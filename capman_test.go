@@ -1,0 +1,99 @@
+package capman
+
+import (
+	"testing"
+)
+
+// TestPublicAPIQuickCycle drives the full public surface: scheduler
+// construction, workload/pack/profile helpers, a fast-forwarded discharge
+// cycle, and the oracle tuner.
+func TestPublicAPIQuickCycle(t *testing.T) {
+	scheduler, err := New(DefaultSchedulerConfig())
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	big, err := CellParamsFor(NCA, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	little, err := CellParamsFor(LMO, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pack := DefaultPack()
+	pack.Big, pack.Little = big, little
+
+	cfg := SimConfig{
+		Profile:  NexusProfile(),
+		Workload: VideoWorkload(42),
+		Policy:   scheduler,
+		Pack:     pack,
+		TEC:      DefaultTEC(),
+		Thermal:  DefaultThermal(),
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.ServiceTimeS <= 0 || res.EnergyDeliveredJ <= 0 {
+		t.Errorf("empty result %+v", res)
+	}
+	if st := scheduler.Stats(); st.Decisions == 0 {
+		t.Error("scheduler made no decisions")
+	}
+
+	thr, oracle, err := TuneOracle(cfg, nil)
+	if err != nil {
+		t.Fatalf("TuneOracle: %v", err)
+	}
+	if thr <= 0 || oracle.ServiceTimeS <= 0 {
+		t.Errorf("oracle threshold %v, service %v", thr, oracle.ServiceTimeS)
+	}
+}
+
+func TestWorkloadHelpers(t *testing.T) {
+	for name, factory := range map[string]func() Generator{
+		"idle":      IdleWorkload(1),
+		"geekbench": GeekbenchWorkload(1),
+		"pcmark":    PCMarkWorkload(1),
+		"video":     VideoWorkload(1),
+	} {
+		g := factory()
+		if g == nil || g.Name() == "" {
+			t.Errorf("%s factory returned a bad generator", name)
+		}
+	}
+	eta, err := EtaStaticWorkload(0.5, 1)
+	if err != nil || eta().Name() != "Eta-50%" {
+		t.Errorf("eta helper: %v", err)
+	}
+	if _, err := EtaStaticWorkload(2, 1); err == nil {
+		t.Error("bad eta accepted")
+	}
+	onoff, err := OnOffWorkload(60, 1)
+	if err != nil || onoff() == nil {
+		t.Errorf("onoff helper: %v", err)
+	}
+	if _, err := OnOffWorkload(-1, 1); err == nil {
+		t.Error("bad period accepted")
+	}
+}
+
+func TestPolicyHelpers(t *testing.T) {
+	for _, p := range []Policy{PracticePolicy(), DualPolicy(), HeuristicPolicy(), OraclePolicy(2)} {
+		if p.Name() == "" {
+			t.Error("policy without a name")
+		}
+	}
+}
+
+func TestProfileHelpers(t *testing.T) {
+	for _, p := range []Profile{NexusProfile(), HonorProfile(), LenovoProfile()} {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+	if DefaultTEC().Validate() != nil {
+		t.Error("default TEC invalid")
+	}
+}

@@ -1,0 +1,153 @@
+// Command capman-mdp exposes CAPMAN's decision machinery for inspection:
+// it drives a workload through a short simulated cycle, materialises the
+// empirical MDP, solves it, runs the structural-similarity recursion, and
+// prints the learned policy and cluster structure.
+//
+// Usage:
+//
+//	capman-mdp -workload video -duration 3600 -rho 0.6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro/internal/battery"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/mdp"
+	"repro/internal/sim"
+	"repro/internal/simstruct"
+	"repro/internal/tec"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "capman-mdp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("capman-mdp", flag.ContinueOnError)
+	wl := fs.String("workload", "video", "workload: idle|geekbench|pcmark|video")
+	duration := fs.Float64("duration", 3600, "seconds of demand to learn from")
+	rho := fs.Float64("rho", 0.6, "discount factor")
+	seed := fs.Int64("seed", 42, "workload seed")
+	tau := fs.Float64("tau", 0.05, "cluster distance threshold")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *rho <= 0 || *rho >= 1 {
+		return fmt.Errorf("rho %v outside (0,1)", *rho)
+	}
+
+	var gen func() workload.Generator
+	switch *wl {
+	case "idle":
+		gen = func() workload.Generator { return workload.NewIdle(*seed) }
+	case "geekbench":
+		gen = func() workload.Generator { return workload.NewGeekbench(*seed) }
+	case "pcmark":
+		gen = func() workload.Generator { return workload.NewPCMark(*seed) }
+	case "video":
+		gen = func() workload.Generator { return workload.NewVideo(*seed) }
+	default:
+		return fmt.Errorf("unknown workload %q", *wl)
+	}
+
+	// Learn with CAPMAN itself so exploration covers both controls.
+	capCfg := core.DefaultConfig()
+	capCfg.Rho = *rho
+	capCfg.Seed = *seed
+	scheduler, err := core.New(capCfg)
+	if err != nil {
+		return err
+	}
+	dev := tec.ATE31()
+	cfg := sim.Config{
+		Profile:  device.Nexus(),
+		Workload: gen,
+		Policy:   scheduler,
+		Pack:     battery.DefaultPackConfig(),
+		TEC:      &dev,
+		DT:       0.25,
+		MaxTimeS: *duration,
+	}
+	if _, err := sim.Run(cfg); err != nil {
+		return err
+	}
+
+	sol := scheduler.Solution()
+	if sol == nil {
+		return fmt.Errorf("no solution learned in %.0fs; extend -duration", *duration)
+	}
+	st := scheduler.Stats()
+	fmt.Printf("observations: %d over %.0fs; refreshes: %d; value-iteration sweeps: %d\n",
+		st.Observations, *duration, st.Refreshes, st.ValueIters)
+
+	fmt.Println("\nlearned policy (visited states):")
+	type entry struct {
+		s mdp.State
+		v float64
+	}
+	var entries []entry
+	for s := 0; s < mdp.NumStates; s++ {
+		if sol.V[s] != 0 {
+			entries = append(entries, entry{mdp.State(s), sol.V[s]})
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].v > entries[j].v })
+	for _, e := range entries {
+		vec, err := mdp.Decode(e.s)
+		if err != nil {
+			return err
+		}
+		events := ""
+		for i, ec := range scheduler.TopEvents(e.s, 3) {
+			if i > 0 {
+				events += ","
+			}
+			events += fmt.Sprintf("%v:%.0f", ec.Action, ec.Count)
+		}
+		fmt.Printf("  %-42s V=%.3f -> %-10v events[%s]\n", vec, e.v, sol.Policy[e.s], events)
+	}
+
+	if res := scheduler.Similarity(); res != nil {
+		clusters := res.Clusters(*tau)
+		groups := map[int][]mdp.State{}
+		for s, rep := range clusters {
+			if sol.V[s] != 0 || s == rep {
+				groups[rep] = append(groups[rep], mdp.State(s))
+			}
+		}
+		fmt.Printf("\nstructural-similarity clusters (tau=%.2f, %d iterations to converge):\n",
+			*tau, res.Iterations)
+		var reps []int
+		for rep := range groups {
+			if len(groups[rep]) > 1 {
+				reps = append(reps, rep)
+			}
+		}
+		sort.Ints(reps)
+		for _, rep := range reps {
+			vec, err := mdp.Decode(mdp.State(rep))
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  rep %v: %d member states\n", vec, len(groups[rep]))
+		}
+		printBound(res, *rho)
+	} else {
+		fmt.Println("\nno similarity index yet (it refreshes every few background cycles)")
+	}
+	return nil
+}
+
+// printBound shows the paper's value bound on a sample of state pairs.
+func printBound(res *simstruct.Result, rho float64) {
+	fmt.Printf("\ncompetitiveness: |V*u - V*v| <= delta_S(u,v)/(1-rho), 1/(1-rho) = %.2f\n", 1/(1-rho))
+}

@@ -1,0 +1,30 @@
+package main
+
+import "testing"
+
+func TestLearnAndDump(t *testing.T) {
+	if err := run([]string{"-workload", "video", "-duration", "900", "-rho", "0.6"}); err != nil {
+		t.Fatalf("learn: %v", err)
+	}
+}
+
+func TestRejectsBadInput(t *testing.T) {
+	cases := [][]string{
+		{"-workload", "nope"},
+		{"-rho", "0"},
+		{"-rho", "1.5"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestShortDurationHasNoSolution(t *testing.T) {
+	// Too short to trigger a refresh: the tool should explain rather
+	// than crash.
+	if err := run([]string{"-workload", "video", "-duration", "5"}); err == nil {
+		t.Error("expected a no-solution error for a 5s prefix")
+	}
+}

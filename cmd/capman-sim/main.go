@@ -1,0 +1,223 @@
+// Command capman-sim runs one simulated discharge cycle and prints its
+// outcome. It is the command-line face of the sim engine: pick a phone, a
+// workload, a policy, and battery capacities, and read off the service
+// time, energy balance, and thermal summary.
+//
+// Usage:
+//
+//	capman-sim -workload video -policy capman -phone Nexus -mah 2500
+//	capman-sim -workload eta:0.8 -policy oracle -seed 7 -samples out.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/battery"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/tec"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "capman-sim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("capman-sim", flag.ContinueOnError)
+	wl := fs.String("workload", "video", "workload: idle|geekbench|pcmark|video|eta:<frac>|onoff:<period_s>|spec:<file.json>")
+	pol := fs.String("policy", "capman", "policy: capman|dual|heuristic|practice|oracle|threshold:<W>")
+	phone := fs.String("phone", "Nexus", "phone profile: Nexus|Honor|Lenovo")
+	mah := fs.Float64("mah", 2500, "per-cell capacity in mAh")
+	seed := fs.Int64("seed", 42, "workload seed")
+	dt := fs.Float64("dt", 0.25, "simulation step in seconds")
+	maxTime := fs.Float64("max-time", 1e6, "simulated time cap in seconds")
+	noTEC := fs.Bool("no-tec", false, "disable the thermoelectric cooler")
+	samples := fs.String("samples", "", "write a sampled trace (JSON) to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	profile, err := device.ProfileByName(*phone)
+	if err != nil {
+		return err
+	}
+	wlFactory, err := workloadFactory(*wl, *seed)
+	if err != nil {
+		return err
+	}
+
+	cfg := sim.Config{
+		Profile:  profile,
+		Workload: wlFactory,
+		DT:       *dt,
+		MaxTimeS: *maxTime,
+	}
+	if !*noTEC {
+		dev := tec.ATE31()
+		cfg.TEC = &dev
+	}
+	if *samples != "" {
+		cfg.SampleEveryS = 10
+	}
+
+	pack := battery.DefaultPackConfig()
+	pack.Big = battery.MustParams(battery.NCA, *mah)
+	pack.Little = battery.MustParams(battery.LMO, *mah)
+	cfg.Pack = pack
+
+	switch {
+	case *pol == "capman":
+		capCfg := core.DefaultConfig()
+		capCfg.Seed = *seed
+		capCfg.OverheadScale = profile.DecisionOverheadScale
+		cfg.Policy, err = core.New(capCfg)
+		if err != nil {
+			return err
+		}
+	case *pol == "dual":
+		cfg.Policy = sched.NewDual()
+	case *pol == "heuristic":
+		cfg.Policy = sched.NewHeuristic()
+	case *pol == "practice":
+		single := battery.MustParams(battery.LCO, *mah)
+		cfg.Single = &single
+		cfg.Policy = sched.NewSingle()
+	case *pol == "oracle":
+		thr, best, err := sim.TuneOracle(cfg, nil)
+		if err != nil {
+			return fmt.Errorf("oracle tuning: %w", err)
+		}
+		fmt.Printf("oracle threshold: %.2fW (tuned offline)\n", thr)
+		report(best)
+		return nil
+	case strings.HasPrefix(*pol, "threshold:"):
+		w, err := strconv.ParseFloat(strings.TrimPrefix(*pol, "threshold:"), 64)
+		if err != nil {
+			return fmt.Errorf("parse threshold policy: %w", err)
+		}
+		cfg.Policy = &sched.Threshold{WattThreshold: w}
+	default:
+		return fmt.Errorf("unknown policy %q", *pol)
+	}
+
+	res, err := sim.Run(cfg)
+	if err != nil {
+		return err
+	}
+	report(res)
+	if c, ok := cfg.Policy.(*core.Scheduler); ok {
+		st := c.Stats()
+		fmt.Printf("scheduler: %d decisions, %d refreshes, %d similarity runs, %d clusters, %.1fus/decision\n",
+			st.Decisions, st.Refreshes, st.SimilarityRuns, st.Clusters,
+			safeDiv(st.DecisionSeconds, float64(st.Decisions))*1e6)
+	}
+	if *samples != "" {
+		f, err := os.Create(*samples)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		t := &trace.Trace{
+			Workload: res.Workload, Phone: res.Phone, Policy: res.Policy,
+			DT: cfg.DT, Samples: res.Samples,
+		}
+		if err := t.Write(f); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d samples to %s\n", len(res.Samples), *samples)
+	}
+	return nil
+}
+
+func workloadFactory(spec string, seed int64) (func() workload.Generator, error) {
+	switch {
+	case spec == "idle":
+		return func() workload.Generator { return workload.NewIdle(seed) }, nil
+	case spec == "geekbench":
+		return func() workload.Generator { return workload.NewGeekbench(seed) }, nil
+	case spec == "pcmark":
+		return func() workload.Generator { return workload.NewPCMark(seed) }, nil
+	case spec == "video":
+		return func() workload.Generator { return workload.NewVideo(seed) }, nil
+	case strings.HasPrefix(spec, "eta:"):
+		frac, err := strconv.ParseFloat(strings.TrimPrefix(spec, "eta:"), 64)
+		if err != nil {
+			return nil, fmt.Errorf("parse eta workload: %w", err)
+		}
+		if _, err := workload.NewEtaStatic(frac, seed); err != nil {
+			return nil, err
+		}
+		return func() workload.Generator {
+			g, err := workload.NewEtaStatic(frac, seed)
+			if err != nil {
+				panic(err) // validated above
+			}
+			return g
+		}, nil
+	case strings.HasPrefix(spec, "onoff:"):
+		period, err := strconv.ParseFloat(strings.TrimPrefix(spec, "onoff:"), 64)
+		if err != nil {
+			return nil, fmt.Errorf("parse onoff workload: %w", err)
+		}
+		if _, err := workload.NewOnOff(period, seed); err != nil {
+			return nil, err
+		}
+		return func() workload.Generator {
+			g, err := workload.NewOnOff(period, seed)
+			if err != nil {
+				panic(err) // validated above
+			}
+			return g
+		}, nil
+	case strings.HasPrefix(spec, "spec:"):
+		path := strings.TrimPrefix(spec, "spec:")
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, fmt.Errorf("open workload spec: %w", err)
+		}
+		defer f.Close()
+		parsed, err := workload.ParseSpec(f)
+		if err != nil {
+			return nil, err
+		}
+		return func() workload.Generator {
+			g, err := workload.FromSpec(parsed, seed)
+			if err != nil {
+				panic(err) // validated by ParseSpec
+			}
+			return g
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown workload %q", spec)
+	}
+}
+
+func report(r *sim.Result) {
+	fmt.Printf("policy=%s workload=%s phone=%s\n", r.Policy, r.Workload, r.Phone)
+	fmt.Printf("service time: %.0fs (%.2fh), ended: %s\n", r.ServiceTimeS, r.ServiceTimeS/3600, r.EndReason)
+	fmt.Printf("energy: delivered %.0fJ, wasted %.0fJ (%.1f%%), avg power %.2fW (active %.2fW)\n",
+		r.EnergyDeliveredJ, r.EnergyWastedJ,
+		100*safeDiv(r.EnergyWastedJ, r.EnergyDeliveredJ+r.EnergyWastedJ), r.AvgPowerW, r.AvgActivePowerW)
+	fmt.Printf("thermal: max CPU %.1fC, mean %.1fC, above 45C %.0fs; TEC on %.0fs (%.0fJ, %d flips)\n",
+		r.MaxCPUTempC, r.MeanCPUTempC, r.TimeAbove45S, r.TECOnTimeS, r.TECEnergyJ, r.TECFlips)
+	fmt.Printf("pack: %d switches, big active %.0fs, LITTLE active %.0fs (ratio %.2f), final SoC big %.2f LITTLE %.2f\n",
+		r.Switches, r.BigActiveS, r.LittleActiveS, r.LittleRatio(), r.FinalSoCBig, r.FinalSoCLittle)
+}
+
+func safeDiv(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return a / b
+}

@@ -1,0 +1,56 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunQuickCycle(t *testing.T) {
+	if err := run([]string{"-workload", "video", "-policy", "dual", "-mah", "300"}); err != nil {
+		t.Fatalf("dual cycle: %v", err)
+	}
+}
+
+func TestRunPractice(t *testing.T) {
+	if err := run([]string{"-workload", "pcmark", "-policy", "practice", "-mah", "300"}); err != nil {
+		t.Fatalf("practice cycle: %v", err)
+	}
+}
+
+func TestRunThresholdWithSamples(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "samples.json")
+	err := run([]string{"-workload", "eta:0.5", "-policy", "threshold:1.6",
+		"-mah", "300", "-samples", out, "-no-tec"})
+	if err != nil {
+		t.Fatalf("threshold cycle: %v", err)
+	}
+	if fi, err := os.Stat(out); err != nil || fi.Size() == 0 {
+		t.Errorf("samples file missing or empty: %v", err)
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	cases := [][]string{
+		{"-workload", "nope"},
+		{"-policy", "nope"},
+		{"-phone", "Pixel"},
+		{"-workload", "eta:bad"},
+		{"-workload", "eta:7"},
+		{"-workload", "onoff:bad"},
+		{"-workload", "onoff:-2"},
+		{"-policy", "threshold:xx"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestRunOnOffWorkload(t *testing.T) {
+	if err := run([]string{"-workload", "onoff:30", "-policy", "heuristic",
+		"-mah", "200", "-max-time", "3000"}); err != nil {
+		t.Fatalf("onoff cycle: %v", err)
+	}
+}

@@ -1,0 +1,145 @@
+// Command capman-trace generates, inspects, and summarises workload demand
+// traces. Traces are the JSON interchange format between the workload
+// generators, the simulator, and the replay path of the public API.
+//
+// Usage:
+//
+//	capman-trace -gen video -duration 600 -out video.json
+//	capman-trace -inspect video.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/device"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "capman-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("capman-trace", flag.ContinueOnError)
+	gen := fs.String("gen", "", "generate a trace: idle|geekbench|pcmark|video")
+	duration := fs.Float64("duration", 600, "seconds of demand to generate")
+	dt := fs.Float64("dt", 0.25, "tick length in seconds")
+	seed := fs.Int64("seed", 42, "generator seed")
+	out := fs.String("out", "", "output file (default stdout)")
+	inspect := fs.String("inspect", "", "summarise an existing trace file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	switch {
+	case *gen != "" && *inspect != "":
+		return fmt.Errorf("choose one of -gen and -inspect")
+	case *gen != "":
+		return generate(*gen, *duration, *dt, *seed, *out)
+	case *inspect != "":
+		return inspectFile(*inspect)
+	default:
+		return fmt.Errorf("nothing to do: pass -gen or -inspect")
+	}
+}
+
+func generate(name string, duration, dt float64, seed int64, out string) error {
+	var g workload.Generator
+	switch name {
+	case "idle":
+		g = workload.NewIdle(seed)
+	case "geekbench":
+		g = workload.NewGeekbench(seed)
+	case "pcmark":
+		g = workload.NewPCMark(seed)
+	case "video":
+		g = workload.NewVideo(seed)
+	default:
+		return fmt.Errorf("unknown generator %q", name)
+	}
+	if duration <= 0 || dt <= 0 {
+		return fmt.Errorf("non-positive duration %v or dt %v", duration, dt)
+	}
+	rec := trace.NewRecorder(g)
+	for now := 0.0; now < duration; now += dt {
+		rec.Next(now, dt)
+	}
+	t := &trace.Trace{Workload: g.Name(), DT: dt, Demands: rec.Records()}
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := t.Write(w); err != nil {
+		return err
+	}
+	if out != "" {
+		fmt.Printf("wrote %d demand ticks (%.0fs of %s) to %s\n", len(t.Demands), duration, g.Name(), out)
+	}
+	return nil
+}
+
+func inspectFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	t, err := trace.Read(f)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("workload=%s phone=%s policy=%s dt=%.3fs\n", t.Workload, t.Phone, t.Policy, t.DT)
+	fmt.Printf("demand ticks: %d (%.0fs), samples: %d\n",
+		len(t.Demands), float64(len(t.Demands))*t.DT, len(t.Samples))
+	if len(t.Demands) > 0 {
+		counts := map[string]int{}
+		actions := map[string]int{}
+		phone, err := device.NewPhone(device.Nexus())
+		if err != nil {
+			return err
+		}
+		var energy float64
+		for _, d := range t.Demands {
+			if err := phone.Apply(d.Demand); err != nil {
+				return fmt.Errorf("tick at %.2fs: %w", d.At, err)
+			}
+			energy += phone.Power().Total() * t.DT
+			counts[fmt.Sprintf("%v/%v/%v", d.Demand.CPUState, d.Demand.Screen, d.Demand.WiFi)]++
+			if a := workload.Action(d.Action); a != workload.ActNone {
+				actions[a.String()]++
+			}
+		}
+		fmt.Printf("energy on Nexus: %.1fJ (avg %.2fW)\n", energy, energy/(float64(len(t.Demands))*t.DT))
+		fmt.Println("state occupancy:")
+		for k, v := range counts {
+			fmt.Printf("  %-24s %6d (%.1f%%)\n", k, v, 100*float64(v)/float64(len(t.Demands)))
+		}
+		fmt.Println("events:")
+		for k, v := range actions {
+			fmt.Printf("  %-24s %6d\n", k, v)
+		}
+	}
+	if len(t.Samples) > 0 {
+		var minW, maxW float64
+		for i, s := range t.Samples {
+			if i == 0 || s.PowerW < minW {
+				minW = s.PowerW
+			}
+			if s.PowerW > maxW {
+				maxW = s.PowerW
+			}
+		}
+		fmt.Printf("sampled power: %.2fW .. %.2fW\n", minW, maxW)
+	}
+	return nil
+}

@@ -1,0 +1,40 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestGenerateAndInspect(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "trace.json")
+	if err := run([]string{"-gen", "video", "-duration", "30", "-out", out}); err != nil {
+		t.Fatalf("generate: %v", err)
+	}
+	if err := run([]string{"-inspect", out}); err != nil {
+		t.Fatalf("inspect: %v", err)
+	}
+}
+
+func TestGenerateAllWorkloads(t *testing.T) {
+	for _, wl := range []string{"idle", "geekbench", "pcmark", "video"} {
+		out := filepath.Join(t.TempDir(), wl+".json")
+		if err := run([]string{"-gen", wl, "-duration", "10", "-out", out}); err != nil {
+			t.Errorf("%s: %v", wl, err)
+		}
+	}
+}
+
+func TestRejectsBadInput(t *testing.T) {
+	cases := [][]string{
+		{},
+		{"-gen", "nope"},
+		{"-gen", "video", "-duration", "0"},
+		{"-gen", "video", "-inspect", "x"},
+		{"-inspect", "/does/not/exist.json"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package capman_test
+
+import (
+	"fmt"
+	"log"
+
+	capman "repro"
+)
+
+// ExampleRun simulates one discharge cycle of a video-streaming phone under
+// the Dual baseline on a fast-forwarded (300 mAh) pack.
+func ExampleRun() {
+	big, err := capman.CellParamsFor(capman.NCA, 300)
+	if err != nil {
+		log.Fatal(err)
+	}
+	little, err := capman.CellParamsFor(capman.LMO, 300)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pack := capman.DefaultPack()
+	pack.Big, pack.Little = big, little
+
+	res, err := capman.Run(capman.SimConfig{
+		Profile:  capman.NexusProfile(),
+		Workload: capman.VideoWorkload(42),
+		Policy:   capman.DualPolicy(),
+		Pack:     pack,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("served:", res.ServiceTimeS > 0)
+	fmt.Println("policy:", res.Policy)
+	// Output:
+	// served: true
+	// policy: Dual
+}
+
+// ExampleNew builds the CAPMAN scheduler and inspects its configuration.
+func ExampleNew() {
+	cfg := capman.DefaultSchedulerConfig()
+	scheduler, err := capman.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(scheduler.Name())
+	fmt.Printf("competitive factor 1/(1-rho) = %.1f\n", 1/(1-scheduler.Rho()))
+	// Output:
+	// CAPMAN
+	// competitive factor 1/(1-rho) = 2.5
+}
+
+// ExampleTuneOracle shows the offline ground-truth baseline.
+func ExampleTuneOracle() {
+	big, err := capman.CellParamsFor(capman.NCA, 300)
+	if err != nil {
+		log.Fatal(err)
+	}
+	little, err := capman.CellParamsFor(capman.LMO, 300)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pack := capman.DefaultPack()
+	pack.Big, pack.Little = big, little
+
+	thr, best, err := capman.TuneOracle(capman.SimConfig{
+		Profile:  capman.NexusProfile(),
+		Workload: capman.PCMarkWorkload(7),
+		Pack:     pack,
+	}, []float64{0.9, 1.6, 2.4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("threshold chosen:", thr > 0)
+	fmt.Println("oracle outlives zero:", best.ServiceTimeS > 0)
+	// Output:
+	// threshold chosen: true
+	// oracle outlives zero: true
+}

@@ -1,0 +1,65 @@
+// Multicycle simulates several days of phone life: each day is one full
+// discharge cycle under CAPMAN followed by an overnight CC-CV recharge of
+// the same big.LITTLE pack. The scheduler keeps its learned MDP across
+// days, so later cycles start with a warm model.
+//
+// Run with:
+//
+//	go run ./examples/multicycle
+package main
+
+import (
+	"fmt"
+	"log"
+
+	capman "repro"
+)
+
+func main() {
+	scheduler, err := capman.New(capman.DefaultSchedulerConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	// A 1000 mAh pack keeps the demo quick; the calibration is
+	// capacity-anchored, so behaviour matches the full-size pack on a
+	// fast-forwarded clock.
+	big, err := capman.CellParamsFor(capman.NCA, 1000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	little, err := capman.CellParamsFor(capman.LMO, 1000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pack := capman.DefaultPack()
+	pack.Big, pack.Little = big, little
+
+	eta, err := capman.EtaStaticWorkload(0.5, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := capman.RunCycles(capman.CyclesConfig{
+		Base: capman.SimConfig{
+			Profile:  capman.NexusProfile(),
+			Workload: eta,
+			Policy:   scheduler,
+			Pack:     pack,
+			TEC:      capman.DefaultTEC(),
+		},
+		Cycles: 4,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-6s %12s %12s %10s %10s\n", "day", "on time h", "charge h", "switches", "max CPU C")
+	for _, o := range res.Outcomes {
+		fmt.Printf("%-6d %12.2f %12.2f %10d %10.1f\n",
+			o.Cycle+1, o.ServiceTimeS/3600, o.ChargeTimeS/3600, o.Switches, o.MaxCPUTempC)
+	}
+	fmt.Printf("\ntotal: %.1fh on battery, %.1fh on the charger across %d days\n",
+		res.TotalOnTimeS/3600, res.TotalChargeS/3600, len(res.Outcomes))
+	st := scheduler.Stats()
+	fmt.Printf("scheduler carried %d observations and %d model refreshes across days\n",
+		st.Observations, st.Refreshes)
+}

@@ -1,0 +1,48 @@
+// Quickstart: build the CAPMAN scheduler, run one simulated discharge
+// cycle of a video-streaming phone, and print the outcome.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	capman "repro"
+)
+
+func main() {
+	// The CAPMAN scheduler: an empirical MDP over the phone's power
+	// states, refreshed in the background, with a structural-similarity
+	// index sharing decisions between similar states.
+	scheduler, err := capman.New(capman.DefaultSchedulerConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One discharge cycle: a Nexus streaming short videos on the
+	// standard big.LITTLE pack (2500 mAh NCA + 2500 mAh LMO) with TEC
+	// active cooling on the CPU hot spot.
+	res, err := capman.Run(capman.SimConfig{
+		Profile:  capman.NexusProfile(),
+		Workload: capman.VideoWorkload(42),
+		Policy:   scheduler,
+		Pack:     capman.DefaultPack(),
+		TEC:      capman.DefaultTEC(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("service time:   %.2f h (%s)\n", res.ServiceTimeS/3600, res.EndReason)
+	fmt.Printf("energy:         %.0f J delivered, %.0f J wasted\n",
+		res.EnergyDeliveredJ, res.EnergyWastedJ)
+	fmt.Printf("hot spot:       max %.1f C (TEC on %.0f s)\n", res.MaxCPUTempC, res.TECOnTimeS)
+	fmt.Printf("battery use:    %d switches, LITTLE ratio %.2f\n", res.Switches, res.LittleRatio())
+
+	st := scheduler.Stats()
+	fmt.Printf("scheduler:      %d decisions, %d model refreshes, %d similarity clusters\n",
+		st.Decisions, st.Refreshes, st.Clusters)
+}

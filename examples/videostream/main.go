@@ -1,0 +1,76 @@
+// Videostream compares every scheduling policy of the paper's evaluation
+// on the Video workload (the Figure 12c scenario): Oracle, CAPMAN, Dual,
+// Heuristic, and the single-battery Practice phone.
+//
+// Run with:
+//
+//	go run ./examples/videostream
+package main
+
+import (
+	"fmt"
+	"log"
+
+	capman "repro"
+)
+
+func main() {
+	const seed = 42
+
+	base := capman.SimConfig{
+		Profile:  capman.NexusProfile(),
+		Workload: capman.VideoWorkload(seed),
+		Pack:     capman.DefaultPack(),
+		TEC:      capman.DefaultTEC(),
+	}
+
+	// Oracle first: offline threshold search over the identical demand
+	// stream (the workload factory regenerates it deterministically).
+	thr, oracle, err := capman.TuneOracle(base, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-10s %10s %9s %8s  %s\n", "policy", "service s", "hours", "switches", "notes")
+	report := func(name string, r *capman.Result, note string) {
+		fmt.Printf("%-10s %10.0f %9.2f %8d  %s\n",
+			name, r.ServiceTimeS, r.ServiceTimeS/3600, r.Switches, note)
+	}
+	report("Oracle", oracle, fmt.Sprintf("offline-tuned threshold %.1fW", thr))
+
+	scheduler, err := capman.New(capman.DefaultSchedulerConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name   string
+		policy capman.Policy
+		note   string
+	}{
+		{"CAPMAN", scheduler, "online MDP + similarity index"},
+		{"Dual", capman.DualPolicy(), "LITTLE battery first"},
+		{"Heuristic", capman.HeuristicPolicy(), "utilisation-threshold prediction"},
+	} {
+		cfg := base
+		cfg.Policy = tc.policy
+		r, err := capman.Run(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		report(tc.name, r, tc.note)
+	}
+
+	// Practice: the original phone with one stock LCO cell.
+	single, err := capman.CellParamsFor(capman.LCO, 2500)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := base
+	cfg.Policy = capman.PracticePolicy()
+	cfg.Single = &single
+	cfg.TEC = nil
+	practice, err := capman.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("Practice", practice, "single 2500mAh LCO, no TEC")
+}

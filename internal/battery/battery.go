@@ -1,0 +1,74 @@
+// Package battery simulates lithium-ion cells, heterogeneous big.LITTLE
+// battery packs, and the supporting switch electronics that CAPMAN schedules.
+//
+// The cell model combines two well-known abstractions:
+//
+//   - A Kinetic Battery Model (KiBaM) tracks charge in an "available" well
+//     that feeds the load and a "bound" well that replenishes the available
+//     well at a chemistry-specific rate. This reproduces the rate-capacity
+//     effect (high currents strand charge in the bound well) and the
+//     recovery effect (idle periods recover stranded charge).
+//   - A Thévenin equivalent-circuit model (open-circuit voltage source, a
+//     series resistance R0, and one R1‖C1 polarization pair) produces the
+//     terminal-voltage dynamics, including the V-edge transient the paper
+//     exploits (Figure 3).
+//
+// All quantities use SI units: seconds, watts, joules, volts, amperes,
+// coulombs. Temperatures are degrees Celsius.
+package battery
+
+// Selection identifies which cell of a big.LITTLE pack supplies the load.
+type Selection int
+
+// Pack cell selections.
+const (
+	SelectBig Selection = iota + 1
+	SelectLittle
+)
+
+// String returns the paper's name for the selection.
+func (s Selection) String() string {
+	switch s {
+	case SelectBig:
+		return "big"
+	case SelectLittle:
+		return "LITTLE"
+	default:
+		return "unknown"
+	}
+}
+
+// Other returns the opposite selection. It is the identity for invalid
+// selections.
+func (s Selection) Other() Selection {
+	switch s {
+	case SelectBig:
+		return SelectLittle
+	case SelectLittle:
+		return SelectBig
+	default:
+		return s
+	}
+}
+
+// Class partitions chemistries the way Table I of the paper does: cells with
+// high energy density are "big", cells with high discharge rate are "LITTLE".
+type Class int
+
+// Chemistry classes.
+const (
+	ClassBig Class = iota + 1
+	ClassLittle
+)
+
+// String returns the paper's name for the class.
+func (c Class) String() string {
+	switch c {
+	case ClassBig:
+		return "big"
+	case ClassLittle:
+		return "LITTLE"
+	default:
+		return "unknown"
+	}
+}

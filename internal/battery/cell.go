@@ -1,0 +1,313 @@
+package battery
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Cell is a simulated lithium-ion cell combining a KiBaM charge model with a
+// Thévenin equivalent circuit. A Cell is not safe for concurrent use.
+type Cell struct {
+	params Params
+
+	// KiBaM wells, in coulombs.
+	avail float64 // charge immediately deliverable
+	bound float64 // charge that must diffuse into the available well
+
+	// vPol is the voltage across the R1||C1 polarization pair.
+	vPol float64
+
+	// lastI and lastV cache the most recent step's electrical operating
+	// point for observation.
+	lastI float64
+	lastV float64
+
+	drawnC     float64 // total charge drawn from the terminal, coulombs
+	drawnJ     float64 // total energy drawn from the terminal, joules
+	wastedJ    float64 // resistive + parasitic + rate-penalty losses
+	depleted   bool
+	stepsTaken uint64
+}
+
+// Step errors.
+var (
+	// ErrDepleted reports that the cell can no longer serve any load.
+	ErrDepleted = errors.New("battery: cell depleted")
+	// ErrCannotSupply reports that the requested power exceeds what the
+	// cell can deliver at its present state without collapsing below the
+	// cutoff voltage.
+	ErrCannotSupply = errors.New("battery: cannot supply requested power")
+)
+
+// NewCell builds a fully charged cell.
+func NewCell(p Params) (*Cell, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	usable := p.CapacityCoulomb * p.UsableFraction
+	c := &Cell{
+		params: p,
+		avail:  usable * p.AvailFraction,
+		bound:  usable * (1 - p.AvailFraction),
+	}
+	c.lastV = p.OCVAt(1)
+	return c, nil
+}
+
+// Params returns the cell's immutable parameters.
+func (c *Cell) Params() Params { return c.params }
+
+// usableCapacity returns the full usable charge in coulombs.
+func (c *Cell) usableCapacity() float64 {
+	return c.params.CapacityCoulomb * c.params.UsableFraction
+}
+
+// SoC returns the state of charge in [0, 1] over usable capacity.
+func (c *Cell) SoC() float64 {
+	cap := c.usableCapacity()
+	if cap <= 0 {
+		return 0
+	}
+	soc := (c.avail + c.bound) / cap
+	return clamp01(soc)
+}
+
+// AvailableSoC returns the fraction of usable capacity that is in the
+// available well and deliverable without diffusion delay.
+func (c *Cell) AvailableSoC() float64 {
+	cap := c.usableCapacity()
+	if cap <= 0 {
+		return 0
+	}
+	return clamp01(c.avail / cap)
+}
+
+// RemainingJ estimates remaining energy at nominal voltage.
+func (c *Cell) RemainingJ() float64 {
+	return (c.avail + c.bound) * c.params.NominalV
+}
+
+// Voltage returns the terminal voltage at the most recent operating point.
+func (c *Cell) Voltage() float64 { return c.lastV }
+
+// Current returns the discharge current of the most recent step.
+func (c *Cell) Current() float64 { return c.lastI }
+
+// Depleted reports whether the cell has been exhausted.
+func (c *Cell) Depleted() bool { return c.depleted }
+
+// DrawnCoulombs returns the cumulative charge drawn from the terminal.
+func (c *Cell) DrawnCoulombs() float64 { return c.drawnC }
+
+// DrawnJ returns the cumulative energy delivered at the terminal.
+func (c *Cell) DrawnJ() float64 { return c.drawnJ }
+
+// WastedJ returns cumulative internal losses (resistive heat, parasitic
+// drain, and high-rate inefficiency) in joules.
+func (c *Cell) WastedJ() float64 { return c.wastedJ }
+
+// StepResult reports the electrical outcome of one simulation step.
+type StepResult struct {
+	Current float64 // amperes delivered to the load
+	Voltage float64 // terminal volts under load
+	HeatW   float64 // waste heat generated during the step
+}
+
+// ocvNow returns the open-circuit voltage at the present total SoC.
+func (c *Cell) ocvNow() float64 { return c.params.OCVAt(c.SoC()) }
+
+// wellsAfter solves the KiBaM two-well exchange exactly over dt under a
+// constant well drain. The head gap g = h2 - h1 obeys
+//
+//	g' = -lambda*g + wellI/c,   lambda = k / (c*(1-c)),
+//
+// which has a closed-form exponential solution; total charge falls by
+// wellI*dt. The closed form is unconditionally stable for any dt, unlike a
+// forward-Euler exchange. ok is false when the available well cannot cover
+// the drain.
+func (c *Cell) wellsAfter(wellI, dt float64) (avail, bound float64, ok bool) {
+	cFrac := c.params.AvailFraction
+	lambda := c.params.KRate / (cFrac * (1 - cFrac))
+	h1 := c.avail / cFrac
+	h2 := c.bound / (1 - cFrac)
+	g := h2 - h1
+	decay := math.Exp(-lambda * dt)
+	gInf := wellI / (cFrac * lambda) // steady-state gap under this drain
+	gNew := g*decay + gInf*(1-decay)
+
+	total := c.avail + c.bound - wellI*dt
+	if total < 0 {
+		return 0, 0, false
+	}
+	// h1 = total - (1-c)*g; wells must both stay non-negative.
+	h1New := total - (1-cFrac)*gNew
+	avail = cFrac * h1New
+	bound = total - avail
+	if avail < 0 {
+		return 0, 0, false
+	}
+	if bound < 0 {
+		// The bound well emptied mid-step; all remaining charge is
+		// available.
+		avail, bound = total, 0
+	}
+	return avail, bound, true
+}
+
+// solveCurrent finds the discharge current I satisfying
+// P = (OCV - vPol - I*R0) * I, i.e. the smaller root of
+// R0*I^2 - (OCV-vPol)*I + P = 0. It returns an error when the demand
+// exceeds the cell's peak power at its present state.
+func (c *Cell) solveCurrent(powerW, r0 float64) (float64, error) {
+	if powerW <= 0 {
+		return 0, nil
+	}
+	e := c.ocvNow() - c.vPol
+	if e <= c.params.CutoffV {
+		return 0, fmt.Errorf("%w: source voltage %.3fV at cutoff", ErrCannotSupply, e)
+	}
+	disc := e*e - 4*r0*powerW
+	if disc < 0 {
+		return 0, fmt.Errorf("%w: %.2fW exceeds peak power %.2fW",
+			ErrCannotSupply, powerW, e*e/(4*r0))
+	}
+	i := (e - math.Sqrt(disc)) / (2 * r0)
+	if v := e - i*r0; v < c.params.CutoffV {
+		return 0, fmt.Errorf("%w: terminal voltage %.3fV below cutoff %.3fV",
+			ErrCannotSupply, v, c.params.CutoffV)
+	}
+	return i, nil
+}
+
+// canSupplyHorizonS is how long CanSupply requires the available well to
+// sustain the demand; it keeps feasibility checks meaningful for the next
+// few simulation steps rather than a single instant.
+const canSupplyHorizonS = 1.0
+
+// CanSupply reports whether the cell could serve powerW at temperature
+// tempC without violating its cutoff voltage or starving its available
+// well within the feasibility horizon.
+func (c *Cell) CanSupply(powerW, tempC float64) bool {
+	if c.depleted {
+		return powerW <= 0
+	}
+	if powerW <= 0 {
+		return true
+	}
+	if c.avail <= 0 {
+		return false
+	}
+	i, err := c.solveCurrent(powerW, c.params.r0At(tempC))
+	if err != nil {
+		return false
+	}
+	// The wells must sustain the drain for the feasibility horizon.
+	wellI := i * c.params.drainMultiplier(i)
+	_, _, ok := c.wellsAfter(wellI, canSupplyHorizonS)
+	return ok
+}
+
+// Step discharges the cell by powerW (plus its own parasitic drain) for dt
+// seconds at ambient/battery temperature tempC. A powerW of zero models an
+// idle (recovering) cell. Step returns ErrDepleted or ErrCannotSupply when
+// the load cannot be served; the cell state is not advanced in that case.
+func (c *Cell) Step(powerW, tempC, dt float64) (StepResult, error) {
+	if dt <= 0 {
+		return StepResult{}, fmt.Errorf("battery: non-positive dt %v", dt)
+	}
+	if powerW < 0 {
+		return StepResult{}, fmt.Errorf("battery: negative power %v", powerW)
+	}
+	if c.depleted {
+		if powerW > 0 {
+			return StepResult{}, ErrDepleted
+		}
+		return StepResult{}, nil
+	}
+
+	r0 := c.params.r0At(tempC)
+	i, err := c.solveCurrent(powerW, r0)
+	if err != nil {
+		return StepResult{}, err
+	}
+
+	// Total current leaving the wells: the load current scaled by the
+	// high-rate penalty, plus the parasitic drain converted to current.
+	parasiticW := c.params.parasiticAt(tempC)
+	ocv := c.ocvNow()
+	parasiticI := 0.0
+	if ocv > 0 {
+		parasiticI = parasiticW / ocv
+	}
+	mult := c.params.drainMultiplier(i)
+	wellI := i*mult + parasiticI
+
+	avail, bound, ok := c.wellsAfter(wellI, dt)
+	if !ok {
+		if powerW > 0 {
+			return StepResult{}, fmt.Errorf("%w: available well exhausted", ErrCannotSupply)
+		}
+		// Resting with an empty well: drain what little remains.
+		avail, bound, _ = c.wellsAfter(0, dt)
+		avail -= math.Min(avail, wellI*dt)
+	}
+	c.avail, c.bound = avail, bound
+
+	// Polarization RC update (first-order exact step).
+	if c.params.R1 > 0 {
+		tau := c.params.R1 * c.params.C1
+		target := i * c.params.R1
+		alpha := 1 - math.Exp(-dt/tau)
+		c.vPol += (target - c.vPol) * alpha
+	}
+
+	v := ocv - c.vPol - i*r0
+	if powerW == 0 {
+		v = ocv - c.vPol
+	}
+
+	c.lastI = i
+	c.lastV = v
+	c.drawnC += i * dt
+	c.drawnJ += powerW * dt
+	heatW := i*i*r0 + c.vPol*i*signum(c.params.R1) + parasiticW + (mult-1)*i*v
+	if heatW < 0 {
+		heatW = 0
+	}
+	c.wastedJ += heatW * dt
+	c.stepsTaken++
+
+	if c.avail <= 0 && c.bound <= 1e-9 {
+		c.depleted = true
+	}
+	if c.SoC() <= 0 {
+		c.depleted = true
+	}
+	return StepResult{Current: i, Voltage: v, HeatW: heatW}, nil
+}
+
+// Rest advances the cell with zero load, allowing KiBaM recovery and
+// polarization relaxation.
+func (c *Cell) Rest(tempC, dt float64) error {
+	_, err := c.Step(0, tempC, dt)
+	return err
+}
+
+func clamp01(x float64) float64 {
+	switch {
+	case x < 0:
+		return 0
+	case x > 1:
+		return 1
+	default:
+		return x
+	}
+}
+
+func signum(x float64) float64 {
+	if x > 0 {
+		return 1
+	}
+	return 0
+}

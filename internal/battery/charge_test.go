@@ -1,0 +1,165 @@
+package battery
+
+import (
+	"testing"
+)
+
+func TestChargeSpecValidation(t *testing.T) {
+	p := MustParams(NCA, 2500)
+	if err := DefaultChargeSpec(p).Validate(); err != nil {
+		t.Fatalf("default spec invalid: %v", err)
+	}
+	bad := []ChargeSpec{
+		{},
+		{CurrentA: 1},
+		{CurrentA: 1, CVSetpointV: 4.2},
+		{CurrentA: 1, CVSetpointV: 4.2, TaperA: 2, Efficiency: 0.9},
+		{CurrentA: 1, CVSetpointV: 4.2, TaperA: 0.1, Efficiency: 0},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad spec %d accepted", i)
+		}
+	}
+}
+
+// TestChargeDischargeRoundTrip: a drained cell recharges to (near) full and
+// can serve load again.
+func TestChargeDischargeRoundTrip(t *testing.T) {
+	p := MustParams(LMO, 500)
+	c, err := NewCell(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drain to exhaustion.
+	for {
+		if _, err := c.Step(2, 25, 1); err != nil {
+			break
+		}
+	}
+	lowSoC := c.SoC()
+	if lowSoC > 0.2 {
+		t.Fatalf("cell not drained: SoC %v", lowSoC)
+	}
+	// Recharge.
+	elapsed, energy, err := c.ChargeToFull(DefaultChargeSpec(p), 25, 1)
+	if err != nil {
+		t.Fatalf("ChargeToFull: %v", err)
+	}
+	if c.SoC() < 0.95 {
+		t.Errorf("recharged SoC %v", c.SoC())
+	}
+	if elapsed <= 0 || energy <= 0 {
+		t.Errorf("elapsed %v energy %v", elapsed, energy)
+	}
+	// The charger must put in at least the energy the cell can deliver.
+	if energy < c.RemainingJ()*0.5 {
+		t.Errorf("charge energy %vJ implausibly small against %vJ stored", energy, c.RemainingJ())
+	}
+	// And the cell serves load again.
+	if _, err := c.Step(2, 25, 1); err != nil {
+		t.Errorf("recharged cell refused load: %v", err)
+	}
+}
+
+// TestChargeCCThenCV: charging starts in CC (current = spec current) and
+// ends in CV (current below CC, at the setpoint voltage).
+func TestChargeCCThenCV(t *testing.T) {
+	p := MustParams(NCA, 500)
+	c, err := NewCell(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := c.Step(2, 25, 1); err != nil {
+			break
+		}
+	}
+	spec := DefaultChargeSpec(p)
+	first, err := c.Charge(spec, 25, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.CurrentA != spec.CurrentA {
+		t.Errorf("first step current %v, want CC %v", first.CurrentA, spec.CurrentA)
+	}
+	sawCV := false
+	for i := 0; i < 1_000_000; i++ {
+		res, err := c.Charge(spec, 25, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Full {
+			break
+		}
+		if res.Voltage >= spec.CVSetpointV-1e-9 && res.CurrentA < spec.CurrentA {
+			sawCV = true
+		}
+	}
+	if !sawCV {
+		t.Error("never entered the CV phase")
+	}
+}
+
+func TestChargeFullCellIsNoop(t *testing.T) {
+	p := MustParams(NCA, 500)
+	c, err := NewCell(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Charge(DefaultChargeSpec(p), 25, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Full {
+		t.Error("full cell should report Full")
+	}
+}
+
+func TestChargeValidation(t *testing.T) {
+	p := MustParams(NCA, 500)
+	c, err := NewCell(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Charge(ChargeSpec{}, 25, 1); err == nil {
+		t.Error("invalid spec accepted")
+	}
+	if _, err := c.Charge(DefaultChargeSpec(p), 25, 0); err == nil {
+		t.Error("zero dt accepted")
+	}
+	if _, _, err := c.ChargeToFull(DefaultChargeSpec(p), 25, -1); err == nil {
+		t.Error("negative dt accepted")
+	}
+}
+
+// TestChargePackRestoresService: after a full discharge cycle and a pack
+// recharge, the pack serves load again — the "duration between two device
+// charges" loop closes.
+func TestChargePackRestoresService(t *testing.T) {
+	cfg := DefaultPackConfig()
+	cfg.Big = MustParams(NCA, 300)
+	cfg.Little = MustParams(LMO, 300)
+	cfg.Supercap = nil
+	pack, err := NewPack(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := pack.Step(1.5, 25, 2); err != nil {
+			break
+		}
+	}
+	if pack.CanSupply(1.5, 25) {
+		t.Fatal("pack not exhausted")
+	}
+	if _, err := ChargePack(pack, 25, 1); err != nil {
+		t.Fatalf("ChargePack: %v", err)
+	}
+	if !pack.CanSupply(1.5, 25) {
+		t.Error("recharged pack cannot supply")
+	}
+	if _, err := pack.Step(1.5, 25, 1); err != nil {
+		t.Errorf("recharged pack refused load: %v", err)
+	}
+}

@@ -1,0 +1,113 @@
+package battery
+
+import "fmt"
+
+// Chemistry enumerates the six lithium-ion chemistries surveyed in Table I
+// of the paper.
+type Chemistry int
+
+// Surveyed chemistries.
+const (
+	LCO Chemistry = iota + 1 // LiCoO2
+	NCA                      // LiNiCoAlO2
+	LMO                      // LiMn2O4
+	NMC                      // LiNiMnCoO2
+	LFP                      // LiFePO4
+	LTO                      // LiTi5O12
+)
+
+// String returns the common abbreviation for the chemistry.
+func (c Chemistry) String() string {
+	if p, ok := properties[c]; ok {
+		return p.Name
+	}
+	return fmt.Sprintf("Chemistry(%d)", int(c))
+}
+
+// Formula returns the chemical formula for the chemistry.
+func (c Chemistry) Formula() string {
+	if p, ok := properties[c]; ok {
+		return p.Formula
+	}
+	return ""
+}
+
+// Chemistries returns all surveyed chemistries in Table I order.
+func Chemistries() []Chemistry {
+	return []Chemistry{LCO, NCA, LMO, NMC, LFP, LTO}
+}
+
+// Properties captures the qualitative star ratings of Table I. Ratings run
+// from 1 (worst, one star) to 5 (best, five stars).
+type Properties struct {
+	Name           string
+	Formula        string
+	CostEfficiency int
+	Lifetime       int
+	DischargeRate  int
+	EnergyDensity  int
+}
+
+// properties transcribes Table I of the paper.
+var properties = map[Chemistry]Properties{
+	LCO: {Name: "LCO", Formula: "LiCoO2", CostEfficiency: 2, Lifetime: 3, DischargeRate: 2, EnergyDensity: 5},
+	NCA: {Name: "NCA", Formula: "LiNiCoAlO2", CostEfficiency: 3, Lifetime: 1, DischargeRate: 3, EnergyDensity: 5},
+	LMO: {Name: "LMO", Formula: "LiMn2O4", CostEfficiency: 3, Lifetime: 1, DischargeRate: 4, EnergyDensity: 3},
+	NMC: {Name: "NMC", Formula: "LiNiMnCoO2", CostEfficiency: 4, Lifetime: 4, DischargeRate: 4, EnergyDensity: 3},
+	LFP: {Name: "LFP", Formula: "LiFePO4", CostEfficiency: 2, Lifetime: 4, DischargeRate: 5, EnergyDensity: 2},
+	LTO: {Name: "LTO", Formula: "LiTi5O12", CostEfficiency: 1, Lifetime: 5, DischargeRate: 5, EnergyDensity: 1},
+}
+
+// PropertiesOf returns the Table I ratings for the chemistry.
+func PropertiesOf(c Chemistry) (Properties, error) {
+	p, ok := properties[c]
+	if !ok {
+		return Properties{}, fmt.Errorf("battery: unknown chemistry %d", int(c))
+	}
+	return p, nil
+}
+
+// Classify applies the paper's rule: a chemistry whose energy density rating
+// exceeds its discharge rate rating is a big battery; otherwise it is a
+// LITTLE battery.
+func Classify(p Properties) Class {
+	if p.EnergyDensity > p.DischargeRate {
+		return ClassBig
+	}
+	return ClassLittle
+}
+
+// ClassOf classifies a chemistry directly.
+func ClassOf(c Chemistry) (Class, error) {
+	p, err := PropertiesOf(c)
+	if err != nil {
+		return 0, err
+	}
+	return Classify(p), nil
+}
+
+// RadarAxes names the five dimensions of the paper's Figure 4 radar map.
+var RadarAxes = []string{"Discharge Rate", "Energy Density", "Cost Efficiency", "Lifetime", "Safety"}
+
+// Radar returns the chemistry's ratings on the five Figure 4 axes,
+// normalised to [0, 1]. Safety is derived from lifetime and the inverse of
+// energy density, mirroring the qualitative trend of the figure (high-density
+// chemistries are less thermally stable).
+func Radar(c Chemistry) ([]float64, error) {
+	p, err := PropertiesOf(c)
+	if err != nil {
+		return nil, err
+	}
+	safety := float64(p.Lifetime+6-p.EnergyDensity) / 2
+	if safety > 5 {
+		safety = 5
+	}
+	norm := func(stars float64) float64 { return stars / 5 }
+	return []float64{
+		norm(float64(p.DischargeRate)),
+		norm(float64(p.EnergyDensity)),
+		norm(float64(p.CostEfficiency)),
+		norm(float64(p.Lifetime)),
+		norm(safety),
+	}, nil
+}

@@ -1,0 +1,126 @@
+package battery
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestChemistryStrings(t *testing.T) {
+	tests := []struct {
+		chem    Chemistry
+		name    string
+		formula string
+	}{
+		{LCO, "LCO", "LiCoO2"},
+		{NCA, "NCA", "LiNiCoAlO2"},
+		{LMO, "LMO", "LiMn2O4"},
+		{NMC, "NMC", "LiNiMnCoO2"},
+		{LFP, "LFP", "LiFePO4"},
+		{LTO, "LTO", "LiTi5O12"},
+	}
+	for _, tt := range tests {
+		if got := tt.chem.String(); got != tt.name {
+			t.Errorf("%v.String() = %q, want %q", tt.chem, got, tt.name)
+		}
+		if got := tt.chem.Formula(); got != tt.formula {
+			t.Errorf("%v.Formula() = %q, want %q", tt.chem, got, tt.formula)
+		}
+	}
+}
+
+func TestChemistryStringUnknown(t *testing.T) {
+	if got := Chemistry(99).String(); got != "Chemistry(99)" {
+		t.Errorf("unknown chemistry string = %q", got)
+	}
+	if got := Chemistry(99).Formula(); got != "" {
+		t.Errorf("unknown chemistry formula = %q", got)
+	}
+}
+
+func TestPropertiesOfUnknown(t *testing.T) {
+	if _, err := PropertiesOf(Chemistry(0)); err == nil {
+		t.Fatal("expected error for unknown chemistry")
+	}
+}
+
+// TestTableIClassification checks the paper's Table I: LCO and NCA are big,
+// the rest are LITTLE.
+func TestTableIClassification(t *testing.T) {
+	want := map[Chemistry]Class{
+		LCO: ClassBig, NCA: ClassBig,
+		LMO: ClassLittle, NMC: ClassLittle, LFP: ClassLittle, LTO: ClassLittle,
+	}
+	for chem, wantClass := range want {
+		got, err := ClassOf(chem)
+		if err != nil {
+			t.Fatalf("ClassOf(%v): %v", chem, err)
+		}
+		if got != wantClass {
+			t.Errorf("ClassOf(%v) = %v, want %v", chem, got, wantClass)
+		}
+	}
+}
+
+func TestClassOfUnknown(t *testing.T) {
+	if _, err := ClassOf(Chemistry(42)); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestClassifyRule(t *testing.T) {
+	if got := Classify(Properties{EnergyDensity: 5, DischargeRate: 2}); got != ClassBig {
+		t.Errorf("high density should classify big, got %v", got)
+	}
+	if got := Classify(Properties{EnergyDensity: 3, DischargeRate: 3}); got != ClassLittle {
+		t.Errorf("tie should classify LITTLE, got %v", got)
+	}
+}
+
+func TestRadarNormalised(t *testing.T) {
+	for _, chem := range Chemistries() {
+		radar, err := Radar(chem)
+		if err != nil {
+			t.Fatalf("Radar(%v): %v", chem, err)
+		}
+		if len(radar) != len(RadarAxes) {
+			t.Fatalf("Radar(%v) has %d axes, want %d", chem, len(radar), len(RadarAxes))
+		}
+		for i, v := range radar {
+			if v < 0 || v > 1 {
+				t.Errorf("Radar(%v)[%s] = %v outside [0,1]", chem, RadarAxes[i], v)
+			}
+		}
+	}
+}
+
+func TestRadarUnknown(t *testing.T) {
+	if _, err := Radar(Chemistry(7)); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestSelectionHelpers(t *testing.T) {
+	if SelectBig.Other() != SelectLittle || SelectLittle.Other() != SelectBig {
+		t.Error("Other() does not toggle")
+	}
+	if SelectBig.String() != "big" || SelectLittle.String() != "LITTLE" {
+		t.Errorf("selection strings: %q, %q", SelectBig.String(), SelectLittle.String())
+	}
+	if Selection(0).String() != "unknown" || Selection(0).Other() != Selection(0) {
+		t.Error("invalid selection should be inert")
+	}
+	if ClassBig.String() != "big" || ClassLittle.String() != "LITTLE" || Class(9).String() != "unknown" {
+		t.Error("class strings wrong")
+	}
+}
+
+// Property: Other is an involution on valid selections.
+func TestSelectionOtherInvolution(t *testing.T) {
+	f := func(raw uint8) bool {
+		s := Selection(raw%2) + SelectBig
+		return s.Other().Other() == s
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

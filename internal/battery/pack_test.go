@@ -1,0 +1,230 @@
+package battery
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func newTestPack(t *testing.T) *Pack {
+	t.Helper()
+	p, err := NewPack(DefaultPackConfig())
+	if err != nil {
+		t.Fatalf("NewPack: %v", err)
+	}
+	return p
+}
+
+func TestDefaultPackConfig(t *testing.T) {
+	cfg := DefaultPackConfig()
+	if cfg.Big.Chemistry != NCA || cfg.Little.Chemistry != LMO {
+		t.Errorf("default pack chemistries %v/%v", cfg.Big.Chemistry, cfg.Little.Chemistry)
+	}
+	if cfg.Supercap == nil {
+		t.Error("default pack should carry a supercapacitor")
+	}
+}
+
+func TestNewPackInvalid(t *testing.T) {
+	cfg := DefaultPackConfig()
+	cfg.Big = Params{}
+	if _, err := NewPack(cfg); err == nil {
+		t.Error("invalid big cell accepted")
+	}
+	cfg = DefaultPackConfig()
+	cfg.Little = Params{}
+	if _, err := NewPack(cfg); err == nil {
+		t.Error("invalid LITTLE cell accepted")
+	}
+	cfg = DefaultPackConfig()
+	bad := SupercapConfig{}
+	cfg.Supercap = &bad
+	if _, err := NewPack(cfg); err == nil {
+		t.Error("invalid supercap accepted")
+	}
+}
+
+func TestPackInitialSelection(t *testing.T) {
+	cfg := DefaultPackConfig()
+	cfg.Initial = SelectLittle
+	p, err := NewPack(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Active() != SelectLittle {
+		t.Errorf("initial selection %v", p.Active())
+	}
+	cfg.Initial = Selection(0)
+	p, err = NewPack(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Active() != SelectBig {
+		t.Errorf("zero initial should default to big, got %v", p.Active())
+	}
+}
+
+func TestPackSwitchAndSignal(t *testing.T) {
+	p := newTestPack(t)
+	if p.Select(SelectBig) {
+		t.Error("selecting the active cell should be a no-op")
+	}
+	if !p.Select(SelectLittle) {
+		t.Fatal("switch to LITTLE refused")
+	}
+	if p.Active() != SelectLittle || p.Switches() != 1 {
+		t.Errorf("active %v switches %d", p.Active(), p.Switches())
+	}
+	// Latency: a second flip at the same instant must be refused.
+	if p.Select(SelectBig) {
+		t.Error("flip within switch latency accepted")
+	}
+	if _, err := p.Step(1, 25, 1); err != nil {
+		t.Fatal(err)
+	}
+	if !p.Select(SelectBig) {
+		t.Error("flip after latency window refused")
+	}
+	sig := p.Signal()
+	if len(sig) != 2 || sig[0].To != SelectLittle || sig[1].To != SelectBig {
+		t.Errorf("signal edges %+v", sig)
+	}
+	if p.SwitchLossJ() <= 0 {
+		t.Error("switching should cost energy")
+	}
+	if p.Select(Selection(9)) {
+		t.Error("invalid selection accepted")
+	}
+}
+
+func TestPackStepServesAndRests(t *testing.T) {
+	p := newTestPack(t)
+	res, err := p.Step(2, 25, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Delivered || res.Active != SelectBig {
+		t.Errorf("step result %+v", res)
+	}
+	big, little := p.ActiveTime()
+	if big != 1 || little != 0 {
+		t.Errorf("active time big=%v little=%v", big, little)
+	}
+	if p.Cell(SelectBig).SoC() >= 1 {
+		t.Error("active cell did not discharge")
+	}
+}
+
+// TestPackFallback: when the active cell collapses mid-step the pack must
+// switch to the other cell within the same step instead of dying.
+func TestPackFallback(t *testing.T) {
+	cfg := DefaultPackConfig()
+	cfg.Big = MustParams(NCA, 30) // tiny big cell dies quickly
+	cfg.Little = MustParams(LMO, 2500)
+	cfg.Supercap = nil
+	p, err := NewPack(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawFallback := false
+	for i := 0; i < 5000; i++ {
+		res, err := p.Step(2, 25, 1)
+		if err != nil {
+			t.Fatalf("step %d: pack died despite a full LITTLE cell: %v", i, err)
+		}
+		if res.Fallback {
+			sawFallback = true
+			break
+		}
+	}
+	if !sawFallback {
+		t.Error("big cell never collapsed into a fallback")
+	}
+	if p.Active() != SelectLittle {
+		t.Errorf("after fallback the LITTLE cell should be active, got %v", p.Active())
+	}
+}
+
+func TestPackExhaustion(t *testing.T) {
+	cfg := DefaultPackConfig()
+	cfg.Big = MustParams(NCA, 15)
+	cfg.Little = MustParams(LMO, 15)
+	cfg.Supercap = nil
+	p, err := NewPack(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastErr error
+	for i := 0; i < 100000; i++ {
+		if _, lastErr = p.Step(1.5, 25, 1); lastErr != nil {
+			break
+		}
+	}
+	if lastErr == nil {
+		t.Fatal("pack never exhausted")
+	}
+	if !errors.Is(lastErr, ErrCannotSupply) && !errors.Is(lastErr, ErrExhausted) {
+		t.Errorf("exhaustion error = %v", lastErr)
+	}
+	if p.CanSupply(1.5, 25) {
+		t.Error("exhausted pack claims it can supply")
+	}
+}
+
+func TestPackTotalSoCAndRemaining(t *testing.T) {
+	p := newTestPack(t)
+	if got := p.TotalSoC(); math.Abs(got-1) > 1e-9 {
+		t.Errorf("fresh pack total SoC %v", got)
+	}
+	if p.RemainingJ() <= 0 {
+		t.Error("fresh pack has no remaining energy")
+	}
+	for i := 0; i < 600; i++ {
+		if _, err := p.Step(2, 25, 10); err != nil {
+			break
+		}
+	}
+	if got := p.TotalSoC(); got >= 1 {
+		t.Errorf("pack SoC did not fall: %v", got)
+	}
+}
+
+func TestPackRefusesSwitchToDepleted(t *testing.T) {
+	cfg := DefaultPackConfig()
+	cfg.Little = MustParams(LMO, 5)
+	cfg.Initial = SelectLittle
+	cfg.Supercap = nil
+	p, err := NewPack(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100000 && !p.Cell(SelectLittle).Depleted(); i++ {
+		if _, err := p.Step(1, 25, 1); err != nil {
+			break
+		}
+	}
+	if !p.Cell(SelectLittle).Depleted() {
+		t.Skip("LITTLE cell did not reach the depleted flag")
+	}
+	if p.Select(SelectLittle) {
+		t.Error("switch toward a depleted cell accepted")
+	}
+}
+
+func TestCellStateReporting(t *testing.T) {
+	p := newTestPack(t)
+	if _, err := p.Step(2, 25, 5); err != nil {
+		t.Fatal(err)
+	}
+	big := p.CellState(SelectBig)
+	little := p.CellState(SelectLittle)
+	if big.Chemistry != NCA || little.Chemistry != LMO {
+		t.Errorf("cell state chemistries %v/%v", big.Chemistry, little.Chemistry)
+	}
+	if big.SoC >= 1 {
+		t.Error("big cell state SoC did not fall after serving")
+	}
+	if big.DrawnJ <= 0 {
+		t.Error("big cell state shows no energy drawn")
+	}
+}

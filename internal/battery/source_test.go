@@ -1,0 +1,81 @@
+package battery
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestSingleSourceBasics(t *testing.T) {
+	s, err := NewSingleSource(MustParams(LCO, 2500))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Select(SelectLittle) {
+		t.Error("single source has nothing to switch")
+	}
+	if s.Active() != SelectBig {
+		t.Errorf("active = %v", s.Active())
+	}
+	if s.Switches() != 0 {
+		t.Errorf("switches = %d", s.Switches())
+	}
+	res, err := s.Step(2, 25, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Delivered || res.Cell.Current <= 0 {
+		t.Errorf("step result %+v", res)
+	}
+	big, little := s.ActiveTime()
+	if big != 1 || little != 0 {
+		t.Errorf("active time %v/%v", big, little)
+	}
+	// Both selections report the same (only) cell.
+	if s.CellState(SelectBig) != s.CellState(SelectLittle) {
+		t.Error("cell state differs between selections")
+	}
+	if !s.CanSupply(2, 25) || !s.CanSupplyCell(SelectLittle, 2, 25) {
+		t.Error("full single cell should supply 2W")
+	}
+	if s.RemainingJ() <= 0 {
+		t.Error("no remaining energy")
+	}
+}
+
+func TestSingleSourceInvalid(t *testing.T) {
+	if _, err := NewSingleSource(Params{}); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+}
+
+func TestSingleSourceExhaustion(t *testing.T) {
+	s, err := NewSingleSource(MustParams(LCO, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lastErr error
+	for i := 0; i < 100000; i++ {
+		if _, lastErr = s.Step(1.5, 25, 1); lastErr != nil {
+			break
+		}
+	}
+	if lastErr == nil {
+		t.Fatal("tiny cell never exhausted")
+	}
+	if !errors.Is(lastErr, ErrCannotSupply) && !errors.Is(lastErr, ErrExhausted) && !errors.Is(lastErr, ErrDepleted) {
+		t.Errorf("exhaustion error = %v", lastErr)
+	}
+}
+
+func TestPackCanSupplyCell(t *testing.T) {
+	p, err := NewPack(DefaultPackConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.CanSupplyCell(SelectBig, 2, 25) || !p.CanSupplyCell(SelectLittle, 2, 25) {
+		t.Error("fresh pack cells should both supply 2W")
+	}
+	if p.CanSupplyCell(SelectBig, 500, 25) {
+		t.Error("500W accepted")
+	}
+}

@@ -1,0 +1,119 @@
+package battery
+
+import (
+	"errors"
+	"fmt"
+)
+
+// SupercapConfig describes the supercapacitor that boosts and filters the
+// LITTLE battery output (paper Figure 10: "we installed a supercapacitor to
+// boost and filter the LITTLE output").
+type SupercapConfig struct {
+	// CapacitanceF is the capacitance in farads.
+	CapacitanceF float64
+	// VoltageV is the operating voltage of the buffer rail.
+	VoltageV float64
+	// ThresholdW is the demand above which the buffer shaves the surge.
+	ThresholdW float64
+	// MaxAssistW caps how much of a surge the buffer can absorb.
+	MaxAssistW float64
+	// RechargeW is the trickle power used to refill the buffer when the
+	// rail is below threshold.
+	RechargeW float64
+	// Efficiency is the round-trip efficiency of buffering.
+	Efficiency float64
+}
+
+// DefaultSupercapConfig sizes a small phone-scale buffer.
+func DefaultSupercapConfig() SupercapConfig {
+	return SupercapConfig{
+		CapacitanceF: 5,
+		VoltageV:     3.8,
+		ThresholdW:   2.0,
+		MaxAssistW:   1.5,
+		RechargeW:    0.25,
+		Efficiency:   0.92,
+	}
+}
+
+// Validate reports the first problem with the configuration.
+func (c SupercapConfig) Validate() error {
+	switch {
+	case c.CapacitanceF <= 0:
+		return fmt.Errorf("%w: capacitance %v F", errBadSupercap, c.CapacitanceF)
+	case c.VoltageV <= 0:
+		return fmt.Errorf("%w: voltage %v V", errBadSupercap, c.VoltageV)
+	case c.ThresholdW < 0 || c.MaxAssistW < 0 || c.RechargeW < 0:
+		return fmt.Errorf("%w: negative power bound", errBadSupercap)
+	case c.Efficiency <= 0 || c.Efficiency > 1:
+		return fmt.Errorf("%w: efficiency %v", errBadSupercap, c.Efficiency)
+	}
+	return nil
+}
+
+var errBadSupercap = errors.New("battery: invalid supercap config")
+
+// Supercap is a small energy buffer that shaves surge demand off the LITTLE
+// rail. It is not safe for concurrent use.
+type Supercap struct {
+	cfg     SupercapConfig
+	storedJ float64
+	maxJ    float64
+	assists int
+}
+
+// NewSupercap builds a fully charged buffer.
+func NewSupercap(cfg SupercapConfig) (*Supercap, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	max := 0.5 * cfg.CapacitanceF * cfg.VoltageV * cfg.VoltageV
+	return &Supercap{cfg: cfg, storedJ: max, maxJ: max}, nil
+}
+
+// StoredJ returns the buffered energy.
+func (s *Supercap) StoredJ() float64 { return s.storedJ }
+
+// Assists returns how many steps the buffer shaved surge power.
+func (s *Supercap) Assists() int { return s.assists }
+
+// Filter serves a demand through the buffer: surge power above the
+// threshold is supplied from storage (up to MaxAssistW and the stored
+// energy), reducing what the battery must deliver. It returns the power the
+// battery must supply and the heat from buffering losses.
+func (s *Supercap) Filter(powerW, dt float64) (batteryW, heatW float64) {
+	if powerW <= s.cfg.ThresholdW || s.storedJ <= 0 {
+		s.rechargeLocked(dt)
+		return powerW, 0
+	}
+	assist := powerW - s.cfg.ThresholdW
+	if assist > s.cfg.MaxAssistW {
+		assist = s.cfg.MaxAssistW
+	}
+	// Draw from storage, paying the round-trip inefficiency.
+	need := assist * dt / s.cfg.Efficiency
+	if need > s.storedJ {
+		assist = s.storedJ * s.cfg.Efficiency / dt
+		need = s.storedJ
+	}
+	s.storedJ -= need
+	s.assists++
+	heat := (need - assist*dt) / dt
+	return powerW - assist, heat
+}
+
+// Recharge trickles energy back into the buffer from the rail; callers
+// should account for RechargeW separately if they want the battery to pay
+// for it. The default pack treats the trickle as already included in the
+// rail's parasitic budget.
+func (s *Supercap) Recharge(dt float64) { s.rechargeLocked(dt) }
+
+func (s *Supercap) rechargeLocked(dt float64) {
+	if s.storedJ >= s.maxJ {
+		return
+	}
+	s.storedJ += s.cfg.RechargeW * dt
+	if s.storedJ > s.maxJ {
+		s.storedJ = s.maxJ
+	}
+}

@@ -1,0 +1,109 @@
+package battery
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSupercapConfigValidate(t *testing.T) {
+	good := DefaultSupercapConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	bad := []SupercapConfig{
+		{},
+		{CapacitanceF: 1},
+		{CapacitanceF: 1, VoltageV: 3.8, ThresholdW: -1, Efficiency: 0.9},
+		{CapacitanceF: 1, VoltageV: 3.8, Efficiency: 1.5},
+	}
+	for i, cfg := range bad {
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestNewSupercapFull(t *testing.T) {
+	sc, err := NewSupercap(DefaultSupercapConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultSupercapConfig()
+	want := 0.5 * cfg.CapacitanceF * cfg.VoltageV * cfg.VoltageV
+	if math.Abs(sc.StoredJ()-want) > 1e-9 {
+		t.Errorf("stored %v, want %v", sc.StoredJ(), want)
+	}
+}
+
+func TestSupercapShavesSurge(t *testing.T) {
+	sc, err := NewSupercap(DefaultSupercapConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	batteryW, heatW := sc.Filter(3.5, 0.25)
+	if batteryW >= 3.5 {
+		t.Errorf("no shaving: battery sees %vW", batteryW)
+	}
+	if batteryW < 2.0 {
+		t.Errorf("shaved below the threshold: %vW", batteryW)
+	}
+	if heatW < 0 {
+		t.Errorf("negative buffering heat %v", heatW)
+	}
+	if sc.Assists() != 1 {
+		t.Errorf("assists = %d", sc.Assists())
+	}
+}
+
+func TestSupercapPassThroughBelowThreshold(t *testing.T) {
+	sc, err := NewSupercap(DefaultSupercapConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	batteryW, heatW := sc.Filter(1.0, 0.25)
+	if batteryW != 1.0 || heatW != 0 {
+		t.Errorf("below-threshold filter changed the demand: %v, %v", batteryW, heatW)
+	}
+}
+
+func TestSupercapDepletesAndRecharges(t *testing.T) {
+	cfg := DefaultSupercapConfig()
+	cfg.CapacitanceF = 0.2 // tiny buffer
+	sc, err := NewSupercap(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		sc.Filter(3.5, 1)
+	}
+	// The buffer oscillates around one recharge quantum once drained.
+	if sc.StoredJ() > cfg.RechargeW*2 {
+		t.Errorf("buffer should be nearly empty, has %vJ", sc.StoredJ())
+	}
+	low := sc.StoredJ()
+	for i := 0; i < 10; i++ {
+		sc.Recharge(1)
+	}
+	if sc.StoredJ() <= low {
+		t.Error("recharge did not refill the buffer")
+	}
+}
+
+// Property: filtering never increases the battery-side demand and never
+// returns negative values.
+func TestSupercapFilterProperties(t *testing.T) {
+	f := func(rawP uint16, rawDT uint8) bool {
+		sc, err := NewSupercap(DefaultSupercapConfig())
+		if err != nil {
+			return false
+		}
+		p := float64(rawP%800) / 100 // 0..8 W
+		dt := 0.05 + float64(rawDT%20)/10
+		batteryW, heatW := sc.Filter(p, dt)
+		return batteryW >= 0 && batteryW <= p+1e-12 && heatW >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

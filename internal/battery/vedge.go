@@ -1,0 +1,103 @@
+package battery
+
+import (
+	"errors"
+	"fmt"
+)
+
+// VEdge quantifies the voltage transient the paper exploits (Figure 3,
+// following Xu et al.'s V-edge observation): when a load step arrives the
+// terminal voltage first drops sharply, then settles at a level below the
+// initial voltage. The areas D1 (transient dip below the settled level),
+// D2 (steady offset), and D3 (headroom above the settled level up to the
+// ideal no-loss line) size the power-saving potential D3 - D1.
+type VEdge struct {
+	InitialV float64 // voltage immediately before the step
+	MinV     float64 // deepest point of the dip
+	SettledV float64 // post-transient steady level
+	D1       float64 // volt-seconds of transient dip below SettledV
+	D2       float64 // volt-seconds of (InitialV - SettledV) over the window
+	D3       float64 // volt-seconds of recoverable headroom (InitialV-MinV dip avoided)
+}
+
+// SavingPotential returns D3 - D1, the paper's per-edge saving opportunity.
+func (v VEdge) SavingPotential() float64 { return v.D3 - v.D1 }
+
+// ErrShortTrace reports that a voltage trace is too short to analyse.
+var ErrShortTrace = errors.New("battery: voltage trace too short for V-edge analysis")
+
+// AnalyzeVEdge extracts V-edge metrics from a uniformly sampled voltage
+// trace that contains a single load step at stepIndex. dt is the sample
+// interval.
+func AnalyzeVEdge(trace []float64, stepIndex int, dt float64) (VEdge, error) {
+	if len(trace) < 4 || stepIndex <= 0 || stepIndex >= len(trace)-2 {
+		return VEdge{}, fmt.Errorf("%w: %d samples, step at %d", ErrShortTrace, len(trace), stepIndex)
+	}
+	if dt <= 0 {
+		return VEdge{}, fmt.Errorf("battery: non-positive dt %v", dt)
+	}
+	initial := trace[stepIndex-1]
+	min := trace[stepIndex]
+	for _, v := range trace[stepIndex:] {
+		if v < min {
+			min = v
+		}
+	}
+	// Settled level: mean of the final quarter of the post-step window.
+	tail := trace[stepIndex+3*(len(trace)-stepIndex)/4:]
+	if len(tail) == 0 {
+		tail = trace[len(trace)-1:]
+	}
+	var sum float64
+	for _, v := range tail {
+		sum += v
+	}
+	settled := sum / float64(len(tail))
+
+	var d1 float64
+	for _, v := range trace[stepIndex:] {
+		if v < settled {
+			d1 += (settled - v) * dt
+		}
+	}
+	window := float64(len(trace)-stepIndex) * dt
+	d2 := (initial - settled) * window
+	if d2 < 0 {
+		d2 = 0
+	}
+	d3 := (initial - min) * window
+	if d3 < 0 {
+		d3 = 0
+	}
+	return VEdge{InitialV: initial, MinV: min, SettledV: settled, D1: d1, D2: d2, D3: d3}, nil
+}
+
+// StepResponse runs a canonical V-edge experiment on a fresh cell built
+// from p: rest at baselineW, then a step to loadW held for holdS seconds,
+// sampled every dt. It returns the voltage trace and the index of the step.
+func StepResponse(p Params, baselineW, loadW, preS, holdS, dt float64) ([]float64, int, error) {
+	if preS <= 0 || holdS <= 0 || dt <= 0 {
+		return nil, 0, fmt.Errorf("battery: invalid step response window pre=%v hold=%v dt=%v", preS, holdS, dt)
+	}
+	cell, err := NewCell(p)
+	if err != nil {
+		return nil, 0, err
+	}
+	var trace []float64
+	n := int(preS / dt)
+	for i := 0; i < n; i++ {
+		if _, err := cell.Step(baselineW, 25, dt); err != nil {
+			return nil, 0, fmt.Errorf("baseline step: %w", err)
+		}
+		trace = append(trace, cell.Voltage())
+	}
+	stepIndex := len(trace)
+	m := int(holdS / dt)
+	for i := 0; i < m; i++ {
+		if _, err := cell.Step(loadW, 25, dt); err != nil {
+			return nil, 0, fmt.Errorf("load step: %w", err)
+		}
+		trace = append(trace, cell.Voltage())
+	}
+	return trace, stepIndex, nil
+}

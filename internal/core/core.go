@@ -1,0 +1,384 @@
+// Package core implements CAPMAN itself: the cooling- and active-power-
+// management scheduler of Section III. It profiles the running system into
+// an empirical MDP, periodically refreshes a structural-similarity index
+// over the bipartite MDP graph (Algorithm 1), aggregates similar states,
+// solves the aggregate with value iteration, and answers battery decisions
+// from the cached policy in microseconds. Exploration decays over the
+// discharge cycle, reproducing the paper's "CAPMAN gradually learns the
+// state behavior" warm-up.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"repro/internal/battery"
+	"repro/internal/mdp"
+	"repro/internal/sched"
+	"repro/internal/simstruct"
+)
+
+// Config parameterises the CAPMAN scheduler.
+type Config struct {
+	// Rho is the MDP discount factor; the online algorithm is
+	// O(1/(1-Rho))-competitive.
+	Rho float64
+	// RefreshIntervalS is how often the background recomputation (model
+	// materialisation, similarity index, value iteration) runs.
+	RefreshIntervalS float64
+	// Smoothing is the Laplace pseudo-count used when materialising the
+	// empirical model.
+	Smoothing float64
+	// ClusterTau is the structural-distance threshold under which states
+	// share cached decisions. Zero disables aggregation.
+	ClusterTau float64
+	// ExploreEpsilon0 is the initial exploration rate; it decays with a
+	// half-life of ExploreHalfLifeS.
+	ExploreEpsilon0  float64
+	ExploreHalfLifeS float64
+	// Seed drives the exploration RNG.
+	Seed int64
+	// SimilarityEvery runs the similarity index refresh every Nth
+	// background refresh (it is the expensive part; the paper runs it
+	// "when the device is not busy").
+	SimilarityEvery int
+	// OverheadScale multiplies measured decision-path latencies, modelling
+	// slower phones (Figure 15/16).
+	OverheadScale float64
+	// QTieMargin is the action-value gap under which a decision counts as
+	// near-indifferent and falls back to charge balancing. Negative
+	// disables balancing entirely (an ablation knob); zero selects the
+	// default margin.
+	QTieMargin float64
+	// MinOwnObs is the observation count above which a state trusts its
+	// own cached policy instead of its similarity cluster's. Zero selects
+	// the default.
+	MinOwnObs int
+}
+
+// DefaultConfig returns the configuration used throughout the evaluation.
+func DefaultConfig() Config {
+	return Config{
+		Rho:              0.6,
+		RefreshIntervalS: 60,
+		Smoothing:        0.5,
+		ClusterTau:       0.05,
+		ExploreEpsilon0:  0.15,
+		ExploreHalfLifeS: 300,
+		Seed:             1,
+		SimilarityEvery:  10,
+		OverheadScale:    1,
+	}
+}
+
+// Validate reports the first problem with the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.Rho <= 0 || c.Rho >= 1:
+		return fmt.Errorf("capman: rho %v outside (0,1)", c.Rho)
+	case c.RefreshIntervalS <= 0:
+		return fmt.Errorf("capman: refresh interval %v", c.RefreshIntervalS)
+	case c.Smoothing < 0:
+		return fmt.Errorf("capman: smoothing %v", c.Smoothing)
+	case c.ClusterTau < 0 || c.ClusterTau >= 1:
+		return fmt.Errorf("capman: cluster tau %v", c.ClusterTau)
+	case c.ExploreEpsilon0 < 0 || c.ExploreEpsilon0 > 1:
+		return fmt.Errorf("capman: epsilon0 %v", c.ExploreEpsilon0)
+	case c.ExploreEpsilon0 > 0 && c.ExploreHalfLifeS <= 0:
+		return fmt.Errorf("capman: explore half-life %v", c.ExploreHalfLifeS)
+	case c.SimilarityEvery <= 0:
+		return fmt.Errorf("capman: similarity cadence %d", c.SimilarityEvery)
+	case c.OverheadScale <= 0:
+		return fmt.Errorf("capman: overhead scale %v", c.OverheadScale)
+	}
+	return nil
+}
+
+// defaultMinOwnObs is the default observation count above which a state
+// trusts its own cached policy instead of its similarity cluster's.
+const defaultMinOwnObs = 12
+
+// defaultQTieMargin is the default action-value gap under which a decision
+// counts as near-indifferent and falls back to charge balancing.
+const defaultQTieMargin = 0.05
+
+// qTieMargin resolves the configured margin.
+func (c Config) qTieMargin() float64 {
+	switch {
+	case c.QTieMargin < 0:
+		return 0 // balancing disabled: ties resolve toward big
+	case c.QTieMargin == 0:
+		return defaultQTieMargin
+	default:
+		return c.QTieMargin
+	}
+}
+
+// minOwnObs resolves the configured threshold.
+func (c Config) minOwnObs() int {
+	if c.MinOwnObs <= 0 {
+		return defaultMinOwnObs
+	}
+	return c.MinOwnObs
+}
+
+// Stats exposes the scheduler's internals for the evaluation harness.
+type Stats struct {
+	Refreshes          int
+	SimilarityRuns     int
+	SimilarityIters    int
+	ValueIters         int
+	Clusters           int
+	Decisions          int
+	Explorations       int
+	Fallbacks          int
+	Observations       int
+	LastRefreshSeconds float64 // wall-clock cost of the last refresh
+	TotalRefreshSec    float64
+	DecisionSeconds    float64 // cumulative decision-path wall-clock
+}
+
+// Scheduler is the CAPMAN policy. It is not safe for concurrent use; the
+// simulation drives it from a single goroutine exactly as the prototype's
+// control loop does.
+type Scheduler struct {
+	cfg Config
+	rng *rand.Rand
+
+	estimator *mdp.Estimator
+	model     *mdp.Model
+	solution  *mdp.Solution
+	clusters  []int // state -> representative state
+	simres    *simstruct.Result
+
+	lastRefresh float64
+	stats       Stats
+}
+
+// Compile-time interface check.
+var _ sched.Policy = (*Scheduler)(nil)
+
+// New builds a CAPMAN scheduler.
+func New(cfg Config) (*Scheduler, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	est, err := mdp.NewEstimator(mdp.NumStates)
+	if err != nil {
+		return nil, err
+	}
+	return &Scheduler{
+		cfg:         cfg,
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		estimator:   est,
+		lastRefresh: -cfg.RefreshIntervalS, // refresh on first opportunity
+	}, nil
+}
+
+// Name implements sched.Policy.
+func (s *Scheduler) Name() string { return "CAPMAN" }
+
+// Stats returns a snapshot of the scheduler's counters.
+func (s *Scheduler) Stats() Stats {
+	st := s.stats
+	st.Observations = s.estimator.Observations()
+	return st
+}
+
+// Rho returns the configured discount factor.
+func (s *Scheduler) Rho() float64 { return s.cfg.Rho }
+
+// Decide implements sched.Policy: look up the cached policy for the
+// current state's cluster representative, explore with decaying epsilon,
+// and guard feasibility.
+func (s *Scheduler) Decide(ctx sched.Context) sched.Decision {
+	start := time.Now()
+	defer func() {
+		s.stats.DecisionSeconds += time.Since(start).Seconds() * s.cfg.OverheadScale
+		s.stats.Decisions++
+	}()
+
+	s.maybeRefresh(ctx.Now)
+
+	if eps := s.epsilon(ctx.Now); eps > 0 && s.rng.Float64() < eps {
+		s.stats.Explorations++
+		want := battery.SelectBig
+		if s.rng.Intn(2) == 1 {
+			want = battery.SelectLittle
+		}
+		return sched.Decision{Battery: ctx.Feasible(want)}
+	}
+
+	// Well-observed states answer from their own cached policy; rarely
+	// visited states borrow the decision of their structural-similarity
+	// cluster representative (the paper's "extract from history patterns
+	// without recomputing the entire graph").
+	state := ctx.State.Encode()
+	rep := state
+	if s.clusters != nil && s.estimator.StateObservations(state) < s.cfg.minOwnObs() {
+		rep = mdp.State(s.clusters[state])
+	}
+	want := battery.SelectBig
+	switch {
+	case s.solution != nil && s.model != nil:
+		// Compare action values; near-indifferent states break the tie
+		// toward the cell with more remaining charge, so the pack
+		// depletes in balance and neither cell strands capacity.
+		qBig := s.model.QValue(rep, mdp.UseBig, s.solution.V, s.cfg.Rho)
+		qLittle := s.model.QValue(rep, mdp.UseLittle, s.solution.V, s.cfg.Rho)
+		margin := s.cfg.qTieMargin()
+		switch {
+		case qBig-qLittle > margin:
+			want = battery.SelectBig
+		case qLittle-qBig > margin:
+			want = battery.SelectLittle
+		case s.cfg.QTieMargin < 0:
+			// Balancing ablated: strict argmax with ties toward big.
+			if qLittle > qBig {
+				want = battery.SelectLittle
+			}
+		case ctx.Little.SoC > ctx.Big.SoC:
+			want = battery.SelectLittle
+		}
+	case ctx.DemandW >= 1.6:
+		// Cold start before the first refresh: route surges to LITTLE.
+		want = battery.SelectLittle
+	}
+	got := ctx.Feasible(want)
+	if got != want {
+		s.stats.Fallbacks++
+	}
+	return sched.Decision{Battery: got}
+}
+
+// Observe implements sched.Policy: feed the realised transition into the
+// empirical MDP.
+func (s *Scheduler) Observe(prev sched.Context, applied battery.Selection, next mdp.StateVec, reward float64) {
+	_ = s.estimator.Observe(prev.State.Encode(), mdp.ControlFor(applied), next.Encode(), reward)
+	_ = s.estimator.ObserveEvent(prev.State.Encode(), prev.Event)
+}
+
+// epsilon returns the decayed exploration rate at time now.
+func (s *Scheduler) epsilon(now float64) float64 {
+	if s.cfg.ExploreEpsilon0 == 0 {
+		return 0
+	}
+	halves := now / s.cfg.ExploreHalfLifeS
+	eps := s.cfg.ExploreEpsilon0
+	for ; halves >= 1; halves-- {
+		eps /= 2
+	}
+	return eps * (1 - 0.5*halves)
+}
+
+// maybeRefresh runs the background recomputation when due.
+func (s *Scheduler) maybeRefresh(now float64) {
+	if now-s.lastRefresh < s.cfg.RefreshIntervalS {
+		return
+	}
+	s.lastRefresh = now
+	if s.estimator.Observations() < 20 {
+		return
+	}
+	start := time.Now()
+	if err := s.refresh(); err != nil {
+		// A failed refresh keeps the previous policy; the scheduler
+		// degrades to its last known-good decisions.
+		return
+	}
+	elapsed := time.Since(start).Seconds() * s.cfg.OverheadScale
+	s.stats.LastRefreshSeconds = elapsed
+	s.stats.TotalRefreshSec += elapsed
+	s.stats.Refreshes++
+}
+
+// refresh materialises the model, refreshes the similarity index on its
+// cadence, and re-solves the value function.
+func (s *Scheduler) refresh() error {
+	model, err := s.estimator.Model(s.cfg.Smoothing)
+	if err != nil {
+		return fmt.Errorf("materialise model: %w", err)
+	}
+	if s.cfg.ClusterTau > 0 && s.stats.Refreshes%s.cfg.SimilarityEvery == 0 {
+		if err := s.refreshSimilarity(model); err != nil && !errors.Is(err, simstruct.ErrNoConverge) {
+			return err
+		}
+	}
+	sol, err := model.ValueIteration(s.cfg.Rho, 1e-6, 10000)
+	if err != nil {
+		return fmt.Errorf("value iteration: %w", err)
+	}
+	s.stats.ValueIters += sol.Iterations
+	s.solution = sol
+	s.model = model
+	return nil
+}
+
+// refreshSimilarity rebuilds the structural-similarity index and the state
+// clusters that share cached decisions.
+func (s *Scheduler) refreshSimilarity(model *mdp.Model) error {
+	graph, err := mdp.BuildGraph(model, true, mdp.StateBatteryOf)
+	if err != nil {
+		return fmt.Errorf("build graph: %w", err)
+	}
+	res, err := simstruct.Compute(graph, simstruct.DefaultConfig(s.cfg.Rho))
+	if err != nil {
+		return fmt.Errorf("similarity: %w", err)
+	}
+	s.simres = res
+	s.clusters = res.Clusters(s.cfg.ClusterTau)
+	s.stats.SimilarityRuns++
+	s.stats.SimilarityIters += res.Iterations
+	n := 0
+	seen := make(map[int]bool)
+	for _, c := range s.clusters {
+		if !seen[c] {
+			seen[c] = true
+			n++
+		}
+	}
+	s.stats.Clusters = n
+	return nil
+}
+
+// Similarity returns the most recent similarity index, or nil before the
+// first similarity refresh.
+func (s *Scheduler) Similarity() *simstruct.Result { return s.simres }
+
+// Solution returns the most recent value-iteration solution, or nil before
+// the first refresh.
+func (s *Scheduler) Solution() *mdp.Solution { return s.solution }
+
+// Model returns the most recently materialised empirical MDP, or nil
+// before the first refresh.
+func (s *Scheduler) Model() *mdp.Model { return s.model }
+
+// TopEvents returns the most frequent action symbols observed in a state
+// (the per-state system-call statistics of the profiling layer).
+func (s *Scheduler) TopEvents(state mdp.State, n int) []mdp.EventCount {
+	return s.estimator.TopEvents(state, n)
+}
+
+// Save persists the scheduler's learned statistics so a rebooted device
+// starts with a warm model.
+func (s *Scheduler) Save(w io.Writer) error { return s.estimator.Save(w) }
+
+// Restore replaces the scheduler's statistics with a previously saved
+// snapshot and re-solves the model immediately.
+func (s *Scheduler) Restore(r io.Reader) error {
+	est, err := mdp.LoadEstimator(r)
+	if err != nil {
+		return err
+	}
+	s.estimator = est
+	s.clusters = nil
+	s.simres = nil
+	if err := s.refresh(); err != nil {
+		return fmt.Errorf("re-solve restored model: %w", err)
+	}
+	s.stats.Refreshes++
+	return nil
+}

@@ -1,0 +1,266 @@
+package device
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestStateStrings(t *testing.T) {
+	tests := []struct {
+		got, want string
+	}{
+		{CPUSleep.String(), "SLEEP"},
+		{CPUC2.String(), "C2"},
+		{CPUC1.String(), "C1"},
+		{CPUC0.String(), "C0"},
+		{ScreenOff.String(), "OFF"},
+		{ScreenOn.String(), "ON"},
+		{WiFiIdle.String(), "IDLE"},
+		{WiFiAccess.String(), "ACCESS"},
+		{WiFiSend.String(), "SEND"},
+		{CPUState(0).String(), "CPUState(0)"},
+		{ScreenState(0).String(), "ScreenState(0)"},
+		{WiFiState(0).String(), "WiFiState(0)"},
+	}
+	for _, tt := range tests {
+		if tt.got != tt.want {
+			t.Errorf("got %q, want %q", tt.got, tt.want)
+		}
+	}
+	if len(CPUStates()) != 4 || len(ScreenStates()) != 2 || len(WiFiStates()) != 3 {
+		t.Error("state enumerations wrong sizes")
+	}
+}
+
+func TestProfilesValid(t *testing.T) {
+	for _, p := range Profiles() {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+	if len(Profiles()) != 3 {
+		t.Errorf("expected three prototype phones")
+	}
+}
+
+func TestProfileByName(t *testing.T) {
+	for _, name := range []string{"Nexus", "Honor", "Lenovo"} {
+		p, err := ProfileByName(name)
+		if err != nil {
+			t.Fatalf("ProfileByName(%s): %v", name, err)
+		}
+		if p.Name != name {
+			t.Errorf("got %s", p.Name)
+		}
+	}
+	if _, err := ProfileByName("Pixel"); err == nil {
+		t.Error("unknown profile accepted")
+	}
+}
+
+func TestProfileValidateRejects(t *testing.T) {
+	good := Nexus()
+	cases := []struct {
+		name string
+		mut  func(*Profile)
+	}{
+		{"no name", func(p *Profile) { p.Name = "" }},
+		{"no freqs", func(p *Profile) { p.FreqKHz = nil }},
+		{"gamma mismatch", func(p *Profile) { p.CPUGammaW = p.CPUGammaW[:1] }},
+		{"missing base", func(p *Profile) { p.CPUBaseW = map[CPUState]float64{CPUC0: 1} }},
+		{"bad threshold", func(p *Profile) { p.WiFiThreshold = 0 }},
+		{"bad overhead", func(p *Profile) { p.DecisionOverheadScale = 0 }},
+	}
+	for _, tc := range cases {
+		p := good
+		p.FreqKHz = append([]float64(nil), good.FreqKHz...)
+		p.CPUGammaW = append([]float64(nil), good.CPUGammaW...)
+		tc.mut(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s accepted", tc.name)
+		}
+	}
+}
+
+// TestTableIIIExactness verifies that the Nexus profile reproduces the
+// paper's Table III state powers (in watts, tolerance 1 mW; C0 uses the
+// calibration utilisation 0.755 at the top DVFS level).
+func TestTableIIIExactness(t *testing.T) {
+	ph, err := NewPhone(Nexus())
+	if err != nil {
+		t.Fatal(err)
+	}
+	apply := func(d Demand) PowerBreakdown {
+		t.Helper()
+		if err := ph.Apply(d); err != nil {
+			t.Fatalf("apply: %v", err)
+		}
+		return ph.Power()
+	}
+	cases := []struct {
+		name   string
+		demand Demand
+		pick   func(PowerBreakdown) float64
+		wantW  float64
+	}{
+		{"CPU C0", Demand{CPUState: CPUC0, CPUUtil: 0.755, CPUFreqIdx: 3, Screen: ScreenOff, WiFi: WiFiIdle},
+			func(b PowerBreakdown) float64 { return b.CPU }, 0.612},
+		{"CPU C1", Demand{CPUState: CPUC1, Screen: ScreenOff, WiFi: WiFiIdle},
+			func(b PowerBreakdown) float64 { return b.CPU }, 0.462},
+		{"CPU C2", Demand{CPUState: CPUC2, Screen: ScreenOff, WiFi: WiFiIdle},
+			func(b PowerBreakdown) float64 { return b.CPU }, 0.310},
+		{"CPU sleep", Demand{CPUState: CPUSleep, Screen: ScreenOff, WiFi: WiFiIdle},
+			func(b PowerBreakdown) float64 { return b.CPU }, 0.055},
+		{"screen on", Demand{CPUState: CPUSleep, Screen: ScreenOn, Brightness: 0.5, WiFi: WiFiIdle},
+			func(b PowerBreakdown) float64 { return b.Screen }, 0.790},
+		{"screen off", Demand{CPUState: CPUSleep, Screen: ScreenOff, WiFi: WiFiIdle},
+			func(b PowerBreakdown) float64 { return b.Screen }, 0.022},
+		{"wifi idle", Demand{CPUState: CPUSleep, Screen: ScreenOff, WiFi: WiFiIdle},
+			func(b PowerBreakdown) float64 { return b.WiFi }, 0.060},
+		{"wifi access", Demand{CPUState: CPUSleep, Screen: ScreenOff, WiFi: WiFiAccess, PacketRate: 600},
+			func(b PowerBreakdown) float64 { return b.WiFi }, 1.284},
+		{"wifi send", Demand{CPUState: CPUSleep, Screen: ScreenOff, WiFi: WiFiSend, PacketRate: 1400},
+			func(b PowerBreakdown) float64 { return b.WiFi }, 1.548},
+	}
+	for _, tc := range cases {
+		got := tc.pick(apply(tc.demand))
+		if math.Abs(got-tc.wantW) > 0.001 {
+			t.Errorf("%s: %.3fW, want %.3fW", tc.name, got, tc.wantW)
+		}
+	}
+}
+
+func TestApplyValidation(t *testing.T) {
+	ph, err := NewPhone(Nexus())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := []Demand{
+		{CPUState: CPUC0, CPUUtil: 1.5, Screen: ScreenOn, WiFi: WiFiIdle},
+		{CPUState: CPUC0, Brightness: 2, Screen: ScreenOn, WiFi: WiFiIdle},
+		{CPUState: CPUC0, PacketRate: -1, Screen: ScreenOn, WiFi: WiFiIdle},
+		{CPUState: CPUC0, CPUFreqIdx: -1, Screen: ScreenOn, WiFi: WiFiIdle},
+		{CPUState: CPUState(9), Screen: ScreenOn, WiFi: WiFiIdle},
+		{CPUState: CPUC0, Screen: ScreenState(9), WiFi: WiFiIdle},
+		{CPUState: CPUC0, Screen: ScreenOn, WiFi: WiFiState(9)},
+	}
+	for i, d := range bad {
+		if err := ph.Apply(d); err == nil {
+			t.Errorf("bad demand %d accepted", i)
+		}
+	}
+}
+
+func TestApplyClampsFreqIndex(t *testing.T) {
+	ph, err := NewPhone(Honor()) // three DVFS levels
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Demand{CPUState: CPUC0, CPUUtil: 1, CPUFreqIdx: 3, Screen: ScreenOn, WiFi: WiFiIdle}
+	if err := ph.Apply(d); err != nil {
+		t.Fatalf("over-range DVFS index should clamp, got %v", err)
+	}
+	if got := ph.FreqIndex(); got != 2 {
+		t.Errorf("clamped index %d, want 2", got)
+	}
+}
+
+func TestTransitionCounting(t *testing.T) {
+	ph, err := NewPhone(Nexus())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sleep := Demand{CPUState: CPUSleep, Screen: ScreenOff, WiFi: WiFiIdle}
+	awake := Demand{CPUState: CPUC0, CPUUtil: 0.5, Screen: ScreenOn, Brightness: 0.5, WiFi: WiFiSend, PacketRate: 100}
+	if err := ph.Apply(sleep); err != nil {
+		t.Fatal(err)
+	}
+	start := ph.Transitions()
+	if err := ph.Apply(awake); err != nil {
+		t.Fatal(err)
+	}
+	if got := ph.Transitions() - start; got != 3 {
+		t.Errorf("wake changed %d device states, want 3", got)
+	}
+	// Re-applying the same demand is free.
+	before := ph.Transitions()
+	if err := ph.Apply(awake); err != nil {
+		t.Fatal(err)
+	}
+	if ph.Transitions() != before {
+		t.Error("idempotent apply counted transitions")
+	}
+}
+
+func TestHeatSplit(t *testing.T) {
+	ph, err := NewPhone(Nexus())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := Demand{CPUState: CPUC0, CPUUtil: 1, CPUFreqIdx: 3, Screen: ScreenOn, Brightness: 0.5, WiFi: WiFiIdle}
+	if err := ph.Apply(d); err != nil {
+		t.Fatal(err)
+	}
+	cpu, body := ph.HeatSplit()
+	b := ph.Power()
+	if math.Abs(cpu+body-b.Total()) > 1e-12 {
+		t.Errorf("heat split %v+%v does not cover total %v", cpu, body, b.Total())
+	}
+	if cpu != b.CPU {
+		t.Errorf("CPU heat %v, want %v", cpu, b.CPU)
+	}
+}
+
+// Property: power is monotone in utilisation, brightness, and packet rate.
+func TestPowerMonotonicity(t *testing.T) {
+	ph, err := NewPhone(Nexus())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(a, b uint8) bool {
+		lo, hi := float64(a%101)/100, float64(b%101)/100
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		demand := func(u float64) Demand {
+			return Demand{CPUState: CPUC0, CPUUtil: u, CPUFreqIdx: 3,
+				Screen: ScreenOn, Brightness: u, WiFi: WiFiSend, PacketRate: u * 2000}
+		}
+		if err := ph.Apply(demand(lo)); err != nil {
+			return false
+		}
+		pLo := ph.Power().Total()
+		if err := ph.Apply(demand(hi)); err != nil {
+			return false
+		}
+		return ph.Power().Total() >= pLo-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestWiFiPiecewiseRegimes: the radio power rises with packet rate across
+// the regime boundary, and the boundary discontinuity is small.
+func TestWiFiPiecewiseRegimes(t *testing.T) {
+	ph, err := NewPhone(Nexus())
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := func(rate float64) float64 {
+		t.Helper()
+		d := Demand{CPUState: CPUSleep, Screen: ScreenOff, WiFi: WiFiSend, PacketRate: rate}
+		if err := ph.Apply(d); err != nil {
+			t.Fatal(err)
+		}
+		return ph.Power().WiFi
+	}
+	thr := Nexus().WiFiThreshold
+	if gap := at(thr) - at(thr+1); gap > 0.1 || gap < -0.1 {
+		t.Errorf("regime boundary discontinuity %.3fW too large", gap)
+	}
+	if at(1400) <= at(300) {
+		t.Error("radio power should rise with packet rate across regimes")
+	}
+}

@@ -1,0 +1,139 @@
+package device
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Profile carries the calibrated power coefficients for one phone model.
+// The Table II formulas consume these coefficients; the Nexus profile
+// reproduces the Table III averages.
+type Profile struct {
+	Name string
+
+	// CPU model: P = gamma[freq] * util + base[state], following Table II
+	// (P_CPU = gamma_freq * mu + C_CPU). FreqKHz lists the DVFS levels.
+	FreqKHz []float64
+	// CPUGammaW is the per-frequency utilisation slope in watts per
+	// utilisation fraction (util in [0, 1]).
+	CPUGammaW []float64
+	// CPUBaseW is the idle power per CPU state.
+	CPUBaseW map[CPUState]float64
+
+	// Screen model: P = ((alphaB + alphaW)/2 * level/255) + C_screen.
+	ScreenAlphaBW float64
+	ScreenAlphaWW float64
+	ScreenBaseOnW float64
+	ScreenOffW    float64
+
+	// WiFi model: piecewise linear in packet rate p (packets/s) with a
+	// threshold t between the low and high power states.
+	WiFiIdleW      float64
+	WiFiGammaLowW  float64 // watts per packet/s below threshold
+	WiFiGammaHighW float64
+	WiFiBaseLowW   float64
+	WiFiBaseHighW  float64
+	WiFiThreshold  float64 // packets/s
+
+	// DecisionOverheadScale scales scheduler decision latency relative to
+	// the Nexus (Figure 16: overhead varies between phones).
+	DecisionOverheadScale float64
+}
+
+// Validate reports the first problem with the profile.
+func (p Profile) Validate() error {
+	switch {
+	case p.Name == "":
+		return errors.New("device: profile missing name")
+	case len(p.FreqKHz) == 0:
+		return fmt.Errorf("device: profile %s has no DVFS levels", p.Name)
+	case len(p.CPUGammaW) != len(p.FreqKHz):
+		return fmt.Errorf("device: profile %s has %d gamma values for %d levels",
+			p.Name, len(p.CPUGammaW), len(p.FreqKHz))
+	case len(p.CPUBaseW) != len(CPUStates()):
+		return fmt.Errorf("device: profile %s has %d CPU base powers", p.Name, len(p.CPUBaseW))
+	case p.WiFiThreshold <= 0:
+		return fmt.Errorf("device: profile %s WiFi threshold %v", p.Name, p.WiFiThreshold)
+	case p.DecisionOverheadScale <= 0:
+		return fmt.Errorf("device: profile %s decision overhead scale %v", p.Name, p.DecisionOverheadScale)
+	}
+	return nil
+}
+
+// Nexus returns the Nexus 6 profile. Its state powers reproduce Table III:
+// CPU C0 612 mW, C1 462 mW, C2 310 mW, sleep 55 mW; screen on 790 mW, off
+// 22 mW; WiFi idle 60 mW, access 1284 mW, send 1548 mW.
+func Nexus() Profile {
+	return Profile{
+		Name:    "Nexus",
+		FreqKHz: []float64{1040000, 1350000, 1700000, 2000000},
+		// C0 base is 310 mW with utilisation lifting it to the Table III
+		// 612 mW average at the trace's mean utilisation on the top level.
+		CPUGammaW: []float64{0.18, 0.24, 0.31, 0.40},
+		CPUBaseW: map[CPUState]float64{
+			CPUSleep: 0.055,
+			CPUC2:    0.310,
+			CPUC1:    0.462,
+			CPUC0:    0.310, // plus gamma*util; 0.310+0.40*0.755 ≈ 0.612
+		},
+		ScreenAlphaBW: 0.90,
+		ScreenAlphaWW: 1.10,
+		ScreenBaseOnW: 0.290, // 0.290 + 1.0*0.5 = 0.790 at mid brightness
+		ScreenOffW:    0.022,
+		WiFiIdleW:     0.060,
+		// Access at 600 pkt/s: 0.060 + 0.00204*600 = 1.284 W. The regimes
+		// intersect near the threshold, keeping the piecewise curve
+		// near-continuous and monotone overall.
+		WiFiGammaLowW:  0.00204,
+		WiFiBaseLowW:   0.060,
+		WiFiThreshold:  600,
+		WiFiGammaHighW: 0.00035,
+		// Send at 1400 pkt/s: 1.058 + 0.00035*1400 = 1.548 W.
+		WiFiBaseHighW:         1.058,
+		DecisionOverheadScale: 1.0,
+	}
+}
+
+// Honor returns the Honor profile: a slightly slower SoC with a more
+// efficient panel.
+func Honor() Profile {
+	p := Nexus()
+	p.Name = "Honor"
+	p.FreqKHz = []float64{1040000, 1400000, 1800000}
+	p.CPUGammaW = []float64{0.16, 0.23, 0.33}
+	p.CPUBaseW = map[CPUState]float64{
+		CPUSleep: 0.050, CPUC2: 0.280, CPUC1: 0.420, CPUC0: 0.285,
+	}
+	p.ScreenBaseOnW = 0.260
+	p.DecisionOverheadScale = 1.35
+	return p
+}
+
+// Lenovo returns the Lenovo profile: a lower clock ceiling with a hungrier
+// radio.
+func Lenovo() Profile {
+	p := Nexus()
+	p.Name = "Lenovo"
+	p.FreqKHz = []float64{1040000, 1300000, 1600000}
+	p.CPUGammaW = []float64{0.17, 0.22, 0.29}
+	p.CPUBaseW = map[CPUState]float64{
+		CPUSleep: 0.060, CPUC2: 0.330, CPUC1: 0.480, CPUC0: 0.330,
+	}
+	p.WiFiGammaLowW = 0.00230
+	p.WiFiBaseHighW = 1.160
+	p.DecisionOverheadScale = 1.7
+	return p
+}
+
+// Profiles returns the three prototype phones.
+func Profiles() []Profile { return []Profile{Nexus(), Honor(), Lenovo()} }
+
+// ProfileByName finds a profile case-sensitively.
+func ProfileByName(name string) (Profile, error) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("device: unknown profile %q", name)
+}

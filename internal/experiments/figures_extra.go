@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/battery"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Fig9Result captures the battery-switch control signal (paper Figure 9):
+// a TTL-style square wave whose edges mark switch events.
+type Fig9Result struct {
+	Workload string
+	WindowS  float64
+	Edges    []battery.SignalEdge
+	Total    int // switches over the whole run
+}
+
+// Fig9 records CAPMAN's switch signal on the PCMark workload and returns
+// the edges inside an excerpt window of the real engine run.
+func Fig9(o Options) (*Fig9Result, error) {
+	policy, err := o.capmanPolicy()
+	if err != nil {
+		return nil, err
+	}
+	seed := o.seed()
+	cfg := o.baseSimConfig(func() workload.Generator { return workload.NewPCMark(seed + 10) }, policy)
+	window := 1800.0
+	if o.Quick {
+		window = 400
+	}
+	cfg.MaxTimeS = window
+	run, err := sim.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Excerpt: a 60s slice after the scheduler's first refresh so the
+	// signal reflects learned decisions rather than exploration.
+	lo, hi := window/2, window/2+60
+	res := &Fig9Result{Workload: run.Workload, WindowS: window, Total: len(run.Signal)}
+	for _, e := range run.Signal {
+		if e.At >= lo && e.At <= hi {
+			res.Edges = append(res.Edges, e)
+		}
+	}
+	return res, nil
+}
+
+// ToTable renders the signal as edge rows plus an ASCII square wave.
+func (r *Fig9Result) ToTable() *Table {
+	t := &Table{
+		ID:     "Fig9",
+		Title:  fmt.Sprintf("Battery switch control signal (%s, 60s excerpt of %gs)", r.Workload, r.WindowS),
+		Header: []string{"t (s)", "edge"},
+	}
+	level := "?"
+	var wave strings.Builder
+	for _, e := range r.Edges {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.2f", e.At),
+			fmt.Sprintf("%s -> %s", level, e.To),
+		})
+		level = e.To.String()
+		wave.WriteString(fmt.Sprintf("|%.1fs %s ", e.At, e.To))
+	}
+	if len(t.Rows) == 0 {
+		t.Rows = append(t.Rows, []string{"-", "no flips inside the excerpt"})
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("%d switch events over the full %gs window; each flip costs energy and injects heat", r.Total, r.WindowS),
+		"signal: "+wave.String())
+	return t
+}
+
+// CurvePoint is one sample of the Figure 12 discharge curve.
+type CurvePoint struct {
+	TimeS   float64
+	PackSoC float64
+	Fitted  float64
+}
+
+// CurvesResult holds the sampled discharge curve and its fitted polynomial
+// (the paper's "green dots ... and the green line is the fitted curve").
+type CurvesResult struct {
+	Workload string
+	Policy   string
+	Points   []CurvePoint
+	Fit      stats.Polynomial
+}
+
+// Fig12Curves samples CAPMAN's pack state of charge across a Video
+// discharge cycle and fits the quadratic trend line.
+func Fig12Curves(o Options) (*CurvesResult, error) {
+	policy, err := o.capmanPolicy()
+	if err != nil {
+		return nil, err
+	}
+	seed := o.seed()
+	cfg := o.baseSimConfig(func() workload.Generator { return workload.NewVideo(seed + 20) }, policy)
+	cfg.SampleEveryS = 120
+	if o.Quick {
+		cfg.SampleEveryS = 30
+	}
+	run, err := sim.Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &CurvesResult{Workload: run.Workload, Policy: run.Policy}
+	var xs, ys []float64
+	capBig := cfg.Pack.Big.CapacityCoulomb
+	capLittle := cfg.Pack.Little.CapacityCoulomb
+	for _, s := range run.Samples {
+		soc := (s.SoCBig*capBig + s.SoCLittle*capLittle) / (capBig + capLittle)
+		xs = append(xs, s.At)
+		ys = append(ys, soc)
+	}
+	if len(xs) < 3 {
+		return nil, fmt.Errorf("fig12curves: only %d samples", len(xs))
+	}
+	fit, err := stats.PolyFit(xs, ys, 2)
+	if err != nil {
+		return nil, fmt.Errorf("fit discharge curve: %w", err)
+	}
+	res.Fit = fit
+	// Thin the table to ~20 rows.
+	stride := len(xs) / 20
+	if stride < 1 {
+		stride = 1
+	}
+	for i := 0; i < len(xs); i += stride {
+		res.Points = append(res.Points, CurvePoint{
+			TimeS:   xs[i],
+			PackSoC: ys[i],
+			Fitted:  fit.Eval(xs[i]),
+		})
+	}
+	return res, nil
+}
+
+// ToTable renders the curve.
+func (r *CurvesResult) ToTable() *Table {
+	t := &Table{
+		ID:     "Fig12Curves",
+		Title:  fmt.Sprintf("Discharge curve with fitted trend (%s under %s)", r.Workload, r.Policy),
+		Header: []string{"t (s)", "pack SoC", "fitted"},
+	}
+	for _, p := range r.Points {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.0f", p.TimeS),
+			fmt.Sprintf("%.3f", p.PackSoC),
+			fmt.Sprintf("%.3f", p.Fitted),
+		})
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf(
+		"quadratic fit coefficients: %.4g %.4g %.4g (the paper overlays this fitted line on its sampled dots)",
+		r.Fit.Coeffs[0], r.Fit.Coeffs[1], r.Fit.Coeffs[2]))
+	return t
+}

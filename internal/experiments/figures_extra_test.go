@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFig9SignalShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("engine run")
+	}
+	res, err := Fig9(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Total == 0 {
+		t.Error("no switch events over the whole window")
+	}
+	// Edges must be chronological and alternate targets.
+	for i := 1; i < len(res.Edges); i++ {
+		if res.Edges[i].At < res.Edges[i-1].At {
+			t.Fatalf("edges out of order at %d", i)
+		}
+		if res.Edges[i].To == res.Edges[i-1].To {
+			t.Fatalf("two consecutive edges to %v", res.Edges[i].To)
+		}
+	}
+	assertRenders(t, res.ToTable())
+}
+
+func TestFig12CurvesShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full discharge cycle")
+	}
+	res, err := Fig12Curves(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) < 5 {
+		t.Fatalf("only %d curve points", len(res.Points))
+	}
+	first := res.Points[0]
+	last := res.Points[len(res.Points)-1]
+	if first.PackSoC <= last.PackSoC {
+		t.Errorf("discharge curve not decreasing: %.3f -> %.3f", first.PackSoC, last.PackSoC)
+	}
+	// The fitted line tracks the samples.
+	for _, p := range res.Points {
+		if d := p.PackSoC - p.Fitted; d > 0.15 || d < -0.15 {
+			t.Errorf("fit deviates %.3f at t=%.0f", d, p.TimeS)
+		}
+	}
+	assertRenders(t, res.ToTable())
+}
+
+func TestPlotters(t *testing.T) {
+	// Fig6 and Fig2b at quick scale are cheap; assert their charts render.
+	f6, err := Fig6(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := f6.Plot().Render(&buf); err != nil {
+		t.Fatalf("Fig6 plot: %v", err)
+	}
+	if !strings.Contains(buf.String(), "dT max") {
+		t.Error("Fig6 plot missing legend")
+	}
+	f2b, err := Fig2b(quickOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	if err := f2b.Plot().Render(&buf); err != nil {
+		t.Fatalf("Fig2b plot: %v", err)
+	}
+}

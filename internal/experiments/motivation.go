@@ -1,0 +1,559 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/battery"
+	"repro/internal/device"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/tec"
+	"repro/internal/workload"
+)
+
+// Fig1Result contrasts electron release (discharge capability) between LMO
+// and NCA cells driven at the same surge power (paper Figure 1).
+type Fig1Result struct {
+	SurgeW float64
+	Cells  []Fig1Cell
+}
+
+// Fig1Cell is one chemistry's surge behaviour.
+type Fig1Cell struct {
+	Chemistry        string
+	TerminalCurrentA float64 // current delivered to the load at the surge
+	InternalDrainA   float64 // well depletion rate (electrons actually released)
+	SustainedS       float64 // how long the surge was sustained before collapse
+	DeliveredC       float64 // charge delivered at the terminal
+}
+
+// Fig1 drives both chemistries at a fixed surge power until collapse.
+func Fig1(o Options) (*Fig1Result, error) {
+	surgeW := 6.0
+	if o.Quick {
+		surgeW = 4.0
+	}
+	res := &Fig1Result{SurgeW: surgeW}
+	for _, chem := range []battery.Chemistry{battery.LMO, battery.NCA} {
+		cell, err := battery.NewCell(battery.MustParams(chem, o.CapacityMAh()))
+		if err != nil {
+			return nil, fmt.Errorf("fig1 %v: %w", chem, err)
+		}
+		dt := 0.5
+		var elapsed, delivered, currentSum float64
+		var steps int
+		start := cell.SoC()
+		for elapsed < 7200 {
+			r, err := cell.Step(surgeW, 25, dt)
+			if err != nil {
+				break
+			}
+			elapsed += dt
+			delivered += r.Current * dt
+			currentSum += r.Current
+			steps++
+		}
+		avgI := 0.0
+		if steps > 0 {
+			avgI = currentSum / float64(steps)
+		}
+		internal := 0.0
+		if elapsed > 0 {
+			internal = (start - cell.SoC()) * cell.Params().CapacityCoulomb * cell.Params().UsableFraction / elapsed
+		}
+		res.Cells = append(res.Cells, Fig1Cell{
+			Chemistry:        chem.String(),
+			TerminalCurrentA: avgI,
+			InternalDrainA:   internal,
+			SustainedS:       elapsed,
+			DeliveredC:       delivered,
+		})
+	}
+	return res, nil
+}
+
+// ToTable renders the result.
+func (r *Fig1Result) ToTable() *Table {
+	t := &Table{
+		ID:     "Fig1",
+		Title:  fmt.Sprintf("Electron release under a %.1fW surge (LMO vs NCA)", r.SurgeW),
+		Header: []string{"chemistry", "terminal A", "well drain A", "sustained s", "delivered C"},
+	}
+	for _, c := range r.Cells {
+		t.Rows = append(t.Rows, []string{
+			c.Chemistry,
+			fmt.Sprintf("%.2f", c.TerminalCurrentA),
+			fmt.Sprintf("%.2f", c.InternalDrainA),
+			fmt.Sprintf("%.0f", c.SustainedS),
+			fmt.Sprintf("%.0f", c.DeliveredC),
+		})
+	}
+	t.Notes = append(t.Notes, "paper: LMO exchanges more electrons than NCA in the same time (higher discharge rate)")
+	return t
+}
+
+// Fig2aResult compares discharge-cycle time of single LMO vs NCA cells on
+// the Idle and Video applications (paper Figure 2a).
+type Fig2aResult struct {
+	Rows []Fig2aRow
+}
+
+// Fig2aRow is one application's contrast.
+type Fig2aRow struct {
+	App              string
+	LMOServiceS      float64
+	NCAServiceS      float64
+	WinnerAdvantages float64 // positive fraction by which the winner leads
+	Winner           string
+}
+
+// Fig2a runs both chemistries through both applications.
+func Fig2a(o Options) (*Fig2aResult, error) {
+	apps := []struct {
+		name string
+		gen  func() workload.Generator
+		dt   float64
+	}{
+		{name: "Idle", gen: func() workload.Generator { return workload.NewIdle(o.seed()) }, dt: 1.0},
+		{name: "Video", gen: func() workload.Generator { return workload.NewSteadyVideo(o.seed()) }, dt: o.dt()},
+	}
+	res := &Fig2aResult{}
+	for _, app := range apps {
+		times := make(map[battery.Chemistry]float64, 2)
+		for _, chem := range []battery.Chemistry{battery.LMO, battery.NCA} {
+			single := battery.MustParams(chem, o.CapacityMAh())
+			cfg := sim.Config{
+				Profile:  device.Nexus(),
+				Workload: app.gen,
+				Policy:   sched.NewSingle(),
+				Single:   &single,
+				DT:       app.dt,
+				MaxTimeS: 5e6,
+			}
+			r, err := sim.Run(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("fig2a %s %v: %w", app.name, chem, err)
+			}
+			times[chem] = r.ServiceTimeS
+		}
+		row := Fig2aRow{App: app.name, LMOServiceS: times[battery.LMO], NCAServiceS: times[battery.NCA]}
+		if row.LMOServiceS >= row.NCAServiceS {
+			row.Winner = "LMO"
+			row.WinnerAdvantages = row.LMOServiceS/row.NCAServiceS - 1
+		} else {
+			row.Winner = "NCA"
+			row.WinnerAdvantages = row.NCAServiceS/row.LMOServiceS - 1
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// ToTable renders the result.
+func (r *Fig2aResult) ToTable() *Table {
+	t := &Table{
+		ID:     "Fig2a",
+		Title:  "Discharge cycle by application and chemistry",
+		Header: []string{"app", "LMO s", "NCA s", "winner", "advantage %"},
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			row.App,
+			fmt.Sprintf("%.0f", row.LMOServiceS),
+			fmt.Sprintf("%.0f", row.NCAServiceS),
+			row.Winner,
+			fmt.Sprintf("%.1f", row.WinnerAdvantages*100),
+		})
+	}
+	t.Notes = append(t.Notes, "paper: Idle favours LMO by 14.3%, Video favours NCA by 24%")
+	return t
+}
+
+// Fig2bResult sweeps the screen on/off cycling frequency (paper Figure 2b).
+type Fig2bResult struct {
+	Rows []Fig2bRow
+}
+
+// Fig2bRow is one cycling period's contrast.
+type Fig2bRow struct {
+	PeriodS       float64
+	LMOServiceS   float64
+	NCAServiceS   float64
+	NCAAdvantage  float64 // NCA/LMO - 1
+	SwitchPerHour float64
+}
+
+// Fig2b runs the on/off cycler at decreasing periods (increasing
+// frequencies).
+func Fig2b(o Options) (*Fig2bResult, error) {
+	periods := []float64{240, 120, 60, 20, 6}
+	if o.Quick {
+		periods = []float64{60, 6}
+	}
+	res := &Fig2bResult{}
+	for _, period := range periods {
+		times := make(map[battery.Chemistry]float64, 2)
+		for _, chem := range []battery.Chemistry{battery.LMO, battery.NCA} {
+			single := battery.MustParams(chem, o.CapacityMAh())
+			p := period
+			cfg := sim.Config{
+				Profile: device.Nexus(),
+				Workload: func() workload.Generator {
+					g, err := workload.NewOnOff(p, o.seed())
+					if err != nil {
+						panic(err) // periods above are always positive
+					}
+					return g
+				},
+				Policy:   sched.NewSingle(),
+				Single:   &single,
+				DT:       min(o.dt(), period/8),
+				MaxTimeS: 5e6,
+			}
+			r, err := sim.Run(cfg)
+			if err != nil {
+				return nil, fmt.Errorf("fig2b period %.0fs %v: %w", period, chem, err)
+			}
+			times[chem] = r.ServiceTimeS
+		}
+		res.Rows = append(res.Rows, Fig2bRow{
+			PeriodS:       period,
+			LMOServiceS:   times[battery.LMO],
+			NCAServiceS:   times[battery.NCA],
+			NCAAdvantage:  times[battery.NCA]/times[battery.LMO] - 1,
+			SwitchPerHour: 3600 / period * 2,
+		})
+	}
+	return res, nil
+}
+
+// ToTable renders the result.
+func (r *Fig2bResult) ToTable() *Table {
+	t := &Table{
+		ID:     "Fig2b",
+		Title:  "Screen on/off frequency sweep (single LMO vs single NCA)",
+		Header: []string{"period s", "flips/h", "LMO s", "NCA s", "NCA advantage %"},
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.0f", row.PeriodS),
+			fmt.Sprintf("%.0f", row.SwitchPerHour),
+			fmt.Sprintf("%.0f", row.LMOServiceS),
+			fmt.Sprintf("%.0f", row.NCAServiceS),
+			fmt.Sprintf("%.1f", row.NCAAdvantage*100),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"paper: NCA leads at every frequency, but its advantage shrinks as frequency rises (46% -> 35%)")
+	return t
+}
+
+// Fig3Result captures the V-edge transient for two load steps (paper
+// Figure 3).
+type Fig3Result struct {
+	Rows []Fig3Row
+}
+
+// Fig3Row is one scenario's V-edge metrics.
+type Fig3Row struct {
+	Scenario string
+	Chem     string
+	Edge     battery.VEdge
+}
+
+// Fig3 measures the V-edge on video-start and screen-on load steps for both
+// chemistries.
+func Fig3(o Options) (*Fig3Result, error) {
+	scenarios := []struct {
+		name               string
+		baselineW, loadW   float64
+		preS, holdS, dtSec float64
+	}{
+		{name: "VideoStream", baselineW: 0.14, loadW: 1.9, preS: 20, holdS: 120, dtSec: 0.1},
+		{name: "ScreenOn", baselineW: 0.14, loadW: 0.95, preS: 20, holdS: 60, dtSec: 0.1},
+	}
+	res := &Fig3Result{}
+	for _, sc := range scenarios {
+		for _, chem := range []battery.Chemistry{battery.LMO, battery.NCA} {
+			// The V-edge is a short transient; always measure it at the
+			// paper's 2500 mAh so OCV decline during the hold window
+			// stays negligible.
+			p := battery.MustParams(chem, 2500)
+			traceV, stepIdx, err := battery.StepResponse(p, sc.baselineW, sc.loadW, sc.preS, sc.holdS, sc.dtSec)
+			if err != nil {
+				return nil, fmt.Errorf("fig3 %s %v: %w", sc.name, chem, err)
+			}
+			edge, err := battery.AnalyzeVEdge(traceV, stepIdx, sc.dtSec)
+			if err != nil {
+				return nil, fmt.Errorf("fig3 %s %v analysis: %w", sc.name, chem, err)
+			}
+			res.Rows = append(res.Rows, Fig3Row{Scenario: sc.name, Chem: chem.String(), Edge: edge})
+		}
+	}
+	return res, nil
+}
+
+// ToTable renders the result.
+func (r *Fig3Result) ToTable() *Table {
+	t := &Table{
+		ID:     "Fig3",
+		Title:  "V-edge transients and saving potential (D3 - D1)",
+		Header: []string{"scenario", "chem", "V0", "Vmin", "Vsettle", "D1 V*s", "D3 V*s", "potential V*s"},
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{
+			row.Scenario, row.Chem,
+			fmt.Sprintf("%.3f", row.Edge.InitialV),
+			fmt.Sprintf("%.3f", row.Edge.MinV),
+			fmt.Sprintf("%.3f", row.Edge.SettledV),
+			fmt.Sprintf("%.2f", row.Edge.D1),
+			fmt.Sprintf("%.2f", row.Edge.D3),
+			fmt.Sprintf("%.2f", row.Edge.SavingPotential()),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"the LITTLE battery minimises D1 (transient loss); the big battery maximises D3 (steady headroom)")
+	return t
+}
+
+// TableIResult reproduces the battery model table and the Figure 4 radar
+// values.
+type TableIResult struct {
+	Rows []TableIRow
+}
+
+// TableIRow is one chemistry.
+type TableIRow struct {
+	Chemistry string
+	Formula   string
+	Props     battery.Properties
+	Class     battery.Class
+	Radar     []float64
+}
+
+// TableI builds the classification table.
+func TableI(Options) (*TableIResult, error) {
+	res := &TableIResult{}
+	for _, chem := range battery.Chemistries() {
+		props, err := battery.PropertiesOf(chem)
+		if err != nil {
+			return nil, err
+		}
+		radar, err := battery.Radar(chem)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, TableIRow{
+			Chemistry: chem.String(),
+			Formula:   chem.Formula(),
+			Props:     props,
+			Class:     battery.Classify(props),
+			Radar:     radar,
+		})
+	}
+	return res, nil
+}
+
+// ToTable renders the result.
+func (r *TableIResult) ToTable() *Table {
+	t := &Table{
+		ID:     "TableI/Fig4",
+		Title:  "Battery model: star ratings, classification, radar values",
+		Header: []string{"battery", "cost", "lifetime", "discharge", "density", "class", "radar(D,E,C,L,S)"},
+	}
+	stars := func(n int) string {
+		s := ""
+		for i := 0; i < n; i++ {
+			s += "*"
+		}
+		return s
+	}
+	for _, row := range r.Rows {
+		radar := ""
+		for i, v := range row.Radar {
+			if i > 0 {
+				radar += ","
+			}
+			radar += fmt.Sprintf("%.1f", v)
+		}
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%s(%s)", row.Formula, row.Chemistry),
+			stars(row.Props.CostEfficiency),
+			stars(row.Props.Lifetime),
+			stars(row.Props.DischargeRate),
+			stars(row.Props.EnergyDensity),
+			row.Class.String(),
+			radar,
+		})
+	}
+	return t
+}
+
+// Fig6Result sweeps TEC operating current against the sustained
+// temperature difference (paper Figure 6 bottom).
+type Fig6Result struct {
+	ColdC  float64
+	Points []Fig6Point
+	PeakA  float64
+	RatedA float64
+}
+
+// Fig6Point is one sweep sample.
+type Fig6Point struct {
+	CurrentA float64
+	DeltaTC  float64
+	PowerW   float64
+}
+
+// Fig6 sweeps the ATE-31 module.
+func Fig6(o Options) (*Fig6Result, error) {
+	dev := tec.ATE31()
+	if err := dev.Validate(); err != nil {
+		return nil, err
+	}
+	cold := 45.0
+	n := 23
+	if o.Quick {
+		n = 12
+	}
+	res := &Fig6Result{ColdC: cold, RatedA: dev.RatedCurrentA(cold)}
+	bestDT := -1.0
+	for i := 0; i < n; i++ {
+		cur := dev.MaxCurrentA * float64(i) / float64(n-1)
+		dT := dev.MaxDeltaT(cur, cold)
+		res.Points = append(res.Points, Fig6Point{
+			CurrentA: cur,
+			DeltaTC:  dT,
+			PowerW:   dev.PowerW(cur, cold, cold+maxF(dT, 0)),
+		})
+		if dT > bestDT {
+			bestDT = dT
+			res.PeakA = cur
+		}
+	}
+	return res, nil
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ToTable renders the result.
+func (r *Fig6Result) ToTable() *Table {
+	t := &Table{
+		ID:     "Fig6",
+		Title:  fmt.Sprintf("TEC dT vs operating current (cold face %.0fC)", r.ColdC),
+		Header: []string{"I (A)", "dT (C)", "P (W)"},
+	}
+	for _, p := range r.Points {
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprintf("%.2f", p.CurrentA),
+			fmt.Sprintf("%.1f", p.DeltaTC),
+			fmt.Sprintf("%.2f", p.PowerW),
+		})
+	}
+	t.Notes = append(t.Notes,
+		fmt.Sprintf("single peak at %.2fA; rated operating current %.2fA (paper: peak near 1.0A)", r.PeakA, r.RatedA))
+	return t
+}
+
+// TableIIIResult enumerates the average power of every hardware state on a
+// profile (paper Table III).
+type TableIIIResult struct {
+	Phone string
+	Rows  []TableIIIRow
+}
+
+// TableIIIRow is one hardware state's power.
+type TableIIIRow struct {
+	Hardware string
+	Status   string
+	PowerMW  float64
+}
+
+// TableIII evaluates the Table II models at each state on the Nexus.
+func TableIII(Options) (*TableIIIResult, error) {
+	profile := device.Nexus()
+	phone, err := device.NewPhone(profile)
+	if err != nil {
+		return nil, err
+	}
+	res := &TableIIIResult{Phone: profile.Name}
+	topFreq := len(profile.FreqKHz) - 1
+	cpuDemands := []struct {
+		state device.CPUState
+		util  float64
+	}{
+		{device.CPUC0, 0.755}, {device.CPUC1, 0}, {device.CPUC2, 0}, {device.CPUSleep, 0},
+	}
+	for _, cd := range cpuDemands {
+		d := device.Demand{CPUState: cd.state, CPUUtil: cd.util, CPUFreqIdx: topFreq,
+			Screen: device.ScreenOff, WiFi: device.WiFiIdle}
+		if cd.state != device.CPUC0 {
+			d.CPUFreqIdx = 0
+		}
+		if err := phone.Apply(d); err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, TableIIIRow{
+			Hardware: "CPU", Status: cd.state.String(), PowerMW: phone.Power().CPU * 1000,
+		})
+	}
+	for _, sc := range device.ScreenStates() {
+		d := device.Demand{CPUState: device.CPUSleep, Screen: sc, Brightness: 0.5, WiFi: device.WiFiIdle}
+		if err := phone.Apply(d); err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, TableIIIRow{
+			Hardware: "Screen", Status: sc.String(), PowerMW: phone.Power().Screen * 1000,
+		})
+	}
+	wifiDemands := []struct {
+		state device.WiFiState
+		rate  float64
+	}{
+		{device.WiFiIdle, 0}, {device.WiFiAccess, 600}, {device.WiFiSend, 1400},
+	}
+	for _, wd := range wifiDemands {
+		d := device.Demand{CPUState: device.CPUSleep, Screen: device.ScreenOff,
+			WiFi: wd.state, PacketRate: wd.rate}
+		if err := phone.Apply(d); err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, TableIIIRow{
+			Hardware: "WiFi", Status: wd.state.String(), PowerMW: phone.Power().WiFi * 1000,
+		})
+	}
+	dev := tec.ATE31()
+	res.Rows = append(res.Rows,
+		TableIIIRow{Hardware: "TEC", Status: "OFF", PowerMW: 0},
+		TableIIIRow{Hardware: "TEC", Status: "ON",
+			PowerMW: dev.PowerW(dev.RatedCurrentA(45), 45, 50) * 1000},
+	)
+	return res, nil
+}
+
+// ToTable renders the result.
+func (r *TableIIIResult) ToTable() *Table {
+	t := &Table{
+		ID:     "TableIII",
+		Title:  fmt.Sprintf("Average power of hardware states (%s)", r.Phone),
+		Header: []string{"hardware", "status", "power mW"},
+	}
+	for _, row := range r.Rows {
+		t.Rows = append(t.Rows, []string{row.Hardware, row.Status, fmt.Sprintf("%.1f", row.PowerMW)})
+	}
+	t.Notes = append(t.Notes,
+		"paper Table III: CPU 612/462/310/55, screen 790/22, WiFi 60/1284/1548 mW; our TEC draws ~700mW (see DESIGN.md on the paper's 29.17mW figure)")
+	return t
+}
+
+func min(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

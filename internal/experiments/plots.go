@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"repro/internal/plot"
+)
+
+// Plotter is an experiment result that also renders as an ASCII chart; the
+// suite draws the chart under the table so the paper's curve shapes are
+// visible, not just tabulated.
+type Plotter interface {
+	Plot() *plot.Chart
+}
+
+// Plot renders the Figure 6 TEC curve.
+func (r *Fig6Result) Plot() *plot.Chart {
+	var xs, ys, ps []float64
+	for _, p := range r.Points {
+		xs = append(xs, p.CurrentA)
+		ys = append(ys, p.DeltaTC)
+		ps = append(ps, p.PowerW)
+	}
+	return &plot.Chart{
+		Title:  "Fig6: TEC dT (and power) vs operating current",
+		XLabel: "I (A)",
+		YLabel: "dT (C) / P (W)",
+		Series: []plot.Series{
+			{Name: "dT max (C)", X: xs, Y: ys},
+			{Name: "electrical W", X: xs, Y: ps},
+		},
+	}
+}
+
+// Plot renders the discharge curve with its fitted trend.
+func (r *CurvesResult) Plot() *plot.Chart {
+	var xs, ys, fs []float64
+	for _, p := range r.Points {
+		xs = append(xs, p.TimeS)
+		ys = append(ys, p.PackSoC)
+		fs = append(fs, p.Fitted)
+	}
+	return &plot.Chart{
+		Title:  "Fig12 curves: pack SoC over one discharge cycle",
+		XLabel: "t (s)",
+		YLabel: "SoC",
+		Series: []plot.Series{
+			{Name: "samples", X: xs, Y: ys},
+			{Name: "fitted", X: xs, Y: fs},
+		},
+	}
+}
+
+// Plot renders the Figure 16 overhead growth (Nexus rows only, both
+// metrics normalised by their first point would hide the exponential, so
+// the raw microseconds are drawn).
+func (r *Fig16Result) Plot() *plot.Chart {
+	var xs, ys []float64
+	for _, row := range r.Rows {
+		if row.Phone != "Nexus" {
+			continue
+		}
+		xs = append(xs, row.Rho)
+		ys = append(ys, row.DecisionMicros)
+	}
+	return &plot.Chart{
+		Title:  "Fig16: decision overhead vs discount factor (Nexus)",
+		XLabel: "rho",
+		YLabel: "us/decision",
+		Series: []plot.Series{{Name: "decision us", X: xs, Y: ys}},
+	}
+}
+
+// Plot renders the Figure 2b advantage decay.
+func (r *Fig2bResult) Plot() *plot.Chart {
+	var xs, ys []float64
+	for _, row := range r.Rows {
+		xs = append(xs, row.SwitchPerHour)
+		ys = append(ys, row.NCAAdvantage*100)
+	}
+	return &plot.Chart{
+		Title:  "Fig2b: NCA advantage vs cycling frequency",
+		XLabel: "flips/h",
+		YLabel: "advantage %",
+		Series: []plot.Series{{Name: "NCA advantage %", X: xs, Y: ys}},
+	}
+}

@@ -1,0 +1,196 @@
+package mdp
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/workload"
+)
+
+// Estimator accumulates empirical transition and reward statistics from the
+// running system — the "Profile and Monitor" layer of the implementation
+// section — and materialises them into a Model on demand.
+type Estimator struct {
+	numStates int
+
+	// counts[s*NumControls+c] maps next-state -> occurrences.
+	counts []map[State]float64
+	// rewardSum mirrors counts with accumulated rewards.
+	rewardSum []map[State]float64
+
+	// eventCounts[s] maps observed action symbols to occurrences, the
+	// paper's "system call vector" statistics.
+	eventCounts []map[workload.Action]float64
+
+	// stateObs[s] counts transitions observed out of state s.
+	stateObs []int
+
+	observations int
+}
+
+// NewEstimator builds an estimator over n states.
+func NewEstimator(n int) (*Estimator, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("mdp: non-positive state count %d", n)
+	}
+	return &Estimator{
+		numStates:   n,
+		counts:      make([]map[State]float64, n*NumControls),
+		rewardSum:   make([]map[State]float64, n*NumControls),
+		eventCounts: make([]map[workload.Action]float64, n),
+		stateObs:    make([]int, n),
+	}, nil
+}
+
+// StateObservations returns how many transitions were observed out of s.
+func (e *Estimator) StateObservations(s State) int {
+	if s < 0 || int(s) >= e.numStates {
+		return 0
+	}
+	return e.stateObs[s]
+}
+
+// Observations returns how many transitions have been recorded.
+func (e *Estimator) Observations() int { return e.observations }
+
+// Observe records one transition: in state s the scheduler applied control
+// c, the system moved to next, and the step produced reward r in [0, 1].
+func (e *Estimator) Observe(s State, c Control, next State, r float64) error {
+	if s < 0 || int(s) >= e.numStates || next < 0 || int(next) >= e.numStates {
+		return fmt.Errorf("mdp: observation states %d -> %d out of range", s, next)
+	}
+	if c != UseBig && c != UseLittle {
+		return fmt.Errorf("mdp: invalid control %d", c)
+	}
+	if r < 0 {
+		r = 0
+	}
+	if r > 1 {
+		r = 1
+	}
+	idx := int(s)*NumControls + int(c)
+	if e.counts[idx] == nil {
+		e.counts[idx] = make(map[State]float64)
+		e.rewardSum[idx] = make(map[State]float64)
+	}
+	e.counts[idx][next]++
+	e.rewardSum[idx][next] += r
+	e.stateObs[s]++
+	e.observations++
+	return nil
+}
+
+// ObserveEvent records an action symbol seen while in state s.
+func (e *Estimator) ObserveEvent(s State, a workload.Action) error {
+	if s < 0 || int(s) >= e.numStates {
+		return fmt.Errorf("mdp: event state %d out of range", s)
+	}
+	if e.eventCounts[s] == nil {
+		e.eventCounts[s] = make(map[workload.Action]float64)
+	}
+	e.eventCounts[s][a]++
+	return nil
+}
+
+// EventCount is one (action, occurrences) pair.
+type EventCount struct {
+	Action workload.Action
+	Count  float64
+}
+
+// TopEvents returns up to n action symbols most frequently observed in
+// state s, in descending count order — the "system call vector" statistics
+// the paper's profiling layer records per state.
+func (e *Estimator) TopEvents(s State, n int) []EventCount {
+	if s < 0 || int(s) >= e.numStates || n <= 0 {
+		return nil
+	}
+	out := make([]EventCount, 0, len(e.eventCounts[s]))
+	for a, c := range e.eventCounts[s] {
+		out = append(out, EventCount{Action: a, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Action < out[j].Action
+	})
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// EventRate returns the empirical probability of seeing action a in state
+// s, with Laplace smoothing over the vocabulary.
+func (e *Estimator) EventRate(s State, a workload.Action) float64 {
+	if s < 0 || int(s) >= e.numStates {
+		return 0
+	}
+	m := e.eventCounts[s]
+	var total float64
+	for _, c := range m {
+		total += c
+	}
+	return (m[a] + 1) / (total + float64(workload.NumActions))
+}
+
+// Model materialises the current statistics into an MDP. smoothing is a
+// Laplace pseudo-count spread over a self-loop with neutral reward. Only
+// visited (state, control) pairs receive transitions: unvisited pairs stay
+// absorbing, keeping the MDP graph (and the similarity recursion over it)
+// proportional to the states the workload actually exercises.
+func (e *Estimator) Model(smoothing float64) (*Model, error) {
+	if smoothing < 0 {
+		return nil, fmt.Errorf("mdp: negative smoothing %v", smoothing)
+	}
+	m, err := NewModel(e.numStates)
+	if err != nil {
+		return nil, err
+	}
+	for s := 0; s < e.numStates; s++ {
+		for c := Control(0); c < NumControls; c++ {
+			idx := s*NumControls + int(c)
+			counts := e.counts[idx]
+			var total float64
+			for _, n := range counts {
+				total += n
+			}
+			if total == 0 {
+				continue // absorbing under this control
+			}
+			ts := make([]Transition, 0, len(counts)+1)
+			denom := total + smoothing
+			for next, n := range counts {
+				ts = append(ts, Transition{
+					Next: next,
+					P:    n / denom,
+					R:    e.rewardSum[idx][next] / n,
+				})
+			}
+			if smoothing > 0 {
+				// Self-loop pseudo-transition with mid reward.
+				ts = mergeSelfLoop(ts, State(s), smoothing/denom, 0.5)
+			}
+			if err := m.SetTransitions(State(s), c, ts); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return m, nil
+}
+
+// mergeSelfLoop adds probability mass p on a self-loop with reward r,
+// merging with an existing self-loop entry if present.
+func mergeSelfLoop(ts []Transition, s State, p, r float64) []Transition {
+	for i := range ts {
+		if ts[i].Next == s {
+			// Reward blends proportionally to mass.
+			tot := ts[i].P + p
+			ts[i].R = (ts[i].R*ts[i].P + r*p) / tot
+			ts[i].P = tot
+			return ts
+		}
+	}
+	return append(ts, Transition{Next: s, P: p, R: r})
+}

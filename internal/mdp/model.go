@@ -1,0 +1,182 @@
+package mdp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Transition is one outcome of taking a control in a state.
+type Transition struct {
+	Next State
+	P    float64 // probability, sums to 1 over the (state, control) pair
+	R    float64 // expected reward in [0, 1]
+}
+
+// Model is a finite MDP over the encoded state space with the two battery
+// controls. Transitions are stored sparsely.
+type Model struct {
+	numStates int
+	trans     [][]Transition // indexed by state*NumControls+control
+}
+
+// NewModel builds an empty model over n states.
+func NewModel(n int) (*Model, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("mdp: non-positive state count %d", n)
+	}
+	return &Model{
+		numStates: n,
+		trans:     make([][]Transition, n*NumControls),
+	}, nil
+}
+
+// NumStates returns the state-space size.
+func (m *Model) NumStates() int { return m.numStates }
+
+// SetTransitions installs the outcome distribution for (s, c). The
+// probabilities must sum to 1 within tolerance and rewards must lie in
+// [0, 1].
+func (m *Model) SetTransitions(s State, c Control, ts []Transition) error {
+	if err := m.check(s, c); err != nil {
+		return err
+	}
+	var sum float64
+	for _, t := range ts {
+		if t.Next < 0 || int(t.Next) >= m.numStates {
+			return fmt.Errorf("mdp: transition target %d out of range", t.Next)
+		}
+		if t.P < 0 {
+			return fmt.Errorf("mdp: negative probability %v", t.P)
+		}
+		if t.R < -1e-9 || t.R > 1+1e-9 {
+			return fmt.Errorf("mdp: reward %v outside [0,1]", t.R)
+		}
+		sum += t.P
+	}
+	if len(ts) > 0 && math.Abs(sum-1) > 1e-6 {
+		return fmt.Errorf("mdp: probabilities for (%d,%v) sum to %v", s, c, sum)
+	}
+	m.trans[int(s)*NumControls+int(c)] = append([]Transition(nil), ts...)
+	return nil
+}
+
+// Transitions returns the outcome distribution for (s, c); the slice is
+// shared and must not be modified.
+func (m *Model) Transitions(s State, c Control) []Transition {
+	if s < 0 || int(s) >= m.numStates {
+		return nil
+	}
+	return m.trans[int(s)*NumControls+int(c)]
+}
+
+func (m *Model) check(s State, c Control) error {
+	if s < 0 || int(s) >= m.numStates {
+		return fmt.Errorf("mdp: state %d out of range [0,%d)", s, m.numStates)
+	}
+	if c != UseBig && c != UseLittle {
+		return fmt.Errorf("mdp: invalid control %d", c)
+	}
+	return nil
+}
+
+// Solution is the result of value iteration.
+type Solution struct {
+	V          []float64
+	Policy     []Control
+	Iterations int
+	Residual   float64
+}
+
+// Value-iteration errors.
+var (
+	ErrBadDiscount = errors.New("mdp: discount factor must be in (0,1)")
+	ErrNoConverge  = errors.New("mdp: value iteration did not converge")
+)
+
+// QValue evaluates the action value of (s, c) under the value function v:
+// Q(s,c) = sum_s' p (r + rho * v[s']). States with no recorded outcomes
+// return 0 (absorbing).
+func (m *Model) QValue(s State, c Control, v []float64, rho float64) float64 {
+	var q float64
+	for _, t := range m.Transitions(s, c) {
+		q += t.P * (t.R + rho*v[t.Next])
+	}
+	return q
+}
+
+// ValueIteration solves the MDP to precision eps with discount rho using
+// at most maxIter sweeps. It implements the Bellman optimality recursion of
+// Equations (8)-(9).
+func (m *Model) ValueIteration(rho, eps float64, maxIter int) (*Solution, error) {
+	if rho <= 0 || rho >= 1 {
+		return nil, fmt.Errorf("%w: %v", ErrBadDiscount, rho)
+	}
+	if eps <= 0 {
+		eps = 1e-6
+	}
+	if maxIter <= 0 {
+		maxIter = 10000
+	}
+	v := make([]float64, m.numStates)
+	next := make([]float64, m.numStates)
+	policy := make([]Control, m.numStates)
+	var residual float64
+	for iter := 1; iter <= maxIter; iter++ {
+		residual = 0
+		for s := 0; s < m.numStates; s++ {
+			best, bestC := math.Inf(-1), UseBig
+			hasAny := false
+			for c := Control(0); c < NumControls; c++ {
+				ts := m.Transitions(State(s), c)
+				if len(ts) == 0 {
+					continue
+				}
+				hasAny = true
+				q := m.QValue(State(s), c, v, rho)
+				if q > best {
+					best, bestC = q, c
+				}
+			}
+			if !hasAny {
+				best = 0 // absorbing state
+			}
+			next[s] = best
+			policy[s] = bestC
+			if d := math.Abs(next[s] - v[s]); d > residual {
+				residual = d
+			}
+		}
+		v, next = next, v
+		if residual < eps {
+			return &Solution{V: v, Policy: policy, Iterations: iter, Residual: residual}, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: residual %v after %d sweeps", ErrNoConverge, residual, maxIter)
+}
+
+// BellmanResidual returns the sup-norm of one Bellman backup applied to v,
+// a correctness probe used by tests.
+func (m *Model) BellmanResidual(v []float64, rho float64) float64 {
+	var worst float64
+	for s := 0; s < m.numStates; s++ {
+		best := math.Inf(-1)
+		hasAny := false
+		for c := Control(0); c < NumControls; c++ {
+			if len(m.Transitions(State(s), c)) == 0 {
+				continue
+			}
+			hasAny = true
+			if q := m.QValue(State(s), c, v, rho); q > best {
+				best = q
+			}
+		}
+		if !hasAny {
+			best = 0
+		}
+		if d := math.Abs(best - v[s]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}

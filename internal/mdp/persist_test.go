@@ -1,0 +1,96 @@
+package mdp
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestEstimatorSaveLoadRoundTrip(t *testing.T) {
+	e, err := NewEstimator(NumStates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		s := State(i % 17)
+		next := State((i * 3) % 23)
+		if err := e.Observe(s, Control(i%2), next, float64(i%10)/10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.ObserveEvent(5, workload.ActWake); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := e.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	restored, err := LoadEstimator(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if restored.Observations() != e.Observations() {
+		t.Errorf("observations %d, want %d", restored.Observations(), e.Observations())
+	}
+	// The materialised models agree exactly.
+	want, err := e.Model(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := restored.Model(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < NumStates; s++ {
+		for c := Control(0); c < NumControls; c++ {
+			a := want.Transitions(State(s), c)
+			b := got.Transitions(State(s), c)
+			if len(a) != len(b) {
+				t.Fatalf("(%d,%v): %d vs %d transitions", s, c, len(a), len(b))
+			}
+			pa := map[State][2]float64{}
+			for _, tr := range a {
+				pa[tr.Next] = [2]float64{tr.P, tr.R}
+			}
+			for _, tr := range b {
+				w := pa[tr.Next]
+				if math.Abs(tr.P-w[0]) > 1e-12 || math.Abs(tr.R-w[1]) > 1e-12 {
+					t.Fatalf("(%d,%v)->%d: %v/%v vs %v/%v", s, c, tr.Next, tr.P, tr.R, w[0], w[1])
+				}
+			}
+		}
+	}
+	// Event stats survive too.
+	if restored.EventRate(5, workload.ActWake) != e.EventRate(5, workload.ActWake) {
+		t.Error("event statistics diverged")
+	}
+}
+
+func TestLoadEstimatorRejectsCorrupt(t *testing.T) {
+	cases := []string{
+		"{not json",
+		`{"version": 99, "numStates": 4}`,
+		`{"version": 1, "numStates": 0}`,
+		`{"version": 1, "numStates": 4, "entries": [{"s": 9, "c": 0, "n": 0, "k": 1}]}`,
+		`{"version": 1, "numStates": 4, "entries": [{"s": 0, "c": 7, "n": 0, "k": 1}]}`,
+		`{"version": 1, "numStates": 4, "entries": [{"s": 0, "c": 0, "n": 9, "k": 1}]}`,
+		`{"version": 1, "numStates": 4, "entries": [{"s": 0, "c": 0, "n": 0, "k": 0}]}`,
+		`{"version": 1, "numStates": 4, "entries": [{"s": 0, "c": 0, "n": 0, "k": 1, "r": 5}]}`,
+		`{"version": 1, "numStates": 4, "events": [{"s": 9, "a": 1, "k": 1}]}`,
+	}
+	for i, raw := range cases {
+		_, err := LoadEstimator(strings.NewReader(raw))
+		if err == nil {
+			t.Errorf("corrupt snapshot %d accepted", i)
+			continue
+		}
+		if i > 0 && !errors.Is(err, ErrBadSnapshot) {
+			t.Errorf("snapshot %d error %v does not wrap ErrBadSnapshot", i, err)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package mdp
+
+import (
+	"fmt"
+	"math"
+)
+
+// PolicyIteration solves the MDP by Howard's policy iteration: repeated
+// exact policy evaluation (by iterative sweeps to precision evalEps)
+// followed by greedy improvement. It converges in few improvement rounds
+// but each evaluation is heavier than a value-iteration sweep — the classic
+// trade-off the paper alludes to when it notes that "theoretically
+// efficient algorithms are not efficient in practice" for on-device use.
+// The ablation benchmark compares it against ValueIteration.
+func (m *Model) PolicyIteration(rho, evalEps float64, maxRounds int) (*Solution, error) {
+	if rho <= 0 || rho >= 1 {
+		return nil, fmt.Errorf("%w: %v", ErrBadDiscount, rho)
+	}
+	if evalEps <= 0 {
+		evalEps = 1e-8
+	}
+	if maxRounds <= 0 {
+		maxRounds = 1000
+	}
+
+	policy := make([]Control, m.numStates)
+	// Start from the first control with outcomes (or UseBig).
+	for s := 0; s < m.numStates; s++ {
+		policy[s] = UseBig
+		if len(m.Transitions(State(s), UseBig)) == 0 && len(m.Transitions(State(s), UseLittle)) > 0 {
+			policy[s] = UseLittle
+		}
+	}
+
+	v := make([]float64, m.numStates)
+	var totalSweeps int
+	for round := 1; round <= maxRounds; round++ {
+		// Policy evaluation: V = r_pi + rho * P_pi V, iterated.
+		sweeps, err := m.evaluatePolicy(policy, v, rho, evalEps)
+		if err != nil {
+			return nil, err
+		}
+		totalSweeps += sweeps
+
+		// Greedy improvement.
+		stable := true
+		for s := 0; s < m.numStates; s++ {
+			best, bestC, hasAny := math.Inf(-1), policy[s], false
+			for c := Control(0); c < NumControls; c++ {
+				if len(m.Transitions(State(s), c)) == 0 {
+					continue
+				}
+				hasAny = true
+				if q := m.QValue(State(s), c, v, rho); q > best {
+					best, bestC = q, c
+				}
+			}
+			if hasAny && bestC != policy[s] {
+				// Strict improvement check avoids flip-flopping on ties.
+				if m.QValue(State(s), bestC, v, rho) > m.QValue(State(s), policy[s], v, rho)+1e-12 {
+					policy[s] = bestC
+					stable = false
+				}
+			}
+		}
+		if stable {
+			return &Solution{
+				V:          append([]float64(nil), v...),
+				Policy:     append([]Control(nil), policy...),
+				Iterations: round,
+				Residual:   m.BellmanResidual(v, rho),
+			}, nil
+		}
+		_ = totalSweeps
+	}
+	return nil, fmt.Errorf("%w: policy iteration after %d rounds", ErrNoConverge, maxRounds)
+}
+
+// evaluatePolicy iterates the fixed-policy Bellman operator in place.
+func (m *Model) evaluatePolicy(policy []Control, v []float64, rho, eps float64) (int, error) {
+	next := make([]float64, len(v))
+	for sweep := 1; ; sweep++ {
+		var residual float64
+		for s := 0; s < m.numStates; s++ {
+			ts := m.Transitions(State(s), policy[s])
+			var val float64
+			for _, t := range ts {
+				val += t.P * (t.R + rho*v[t.Next])
+			}
+			next[s] = val
+			if d := math.Abs(val - v[s]); d > residual {
+				residual = d
+			}
+		}
+		copy(v, next)
+		if residual < eps {
+			return sweep, nil
+		}
+		if sweep > 1_000_000 {
+			return sweep, fmt.Errorf("%w: policy evaluation stalled at residual %v", ErrNoConverge, residual)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package mdp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPolicyIterationMatchesHandSolved(t *testing.T) {
+	m := twoStateModel(t)
+	sol, err := m.PolicyIteration(0.25, 1e-10, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.V[0]-1.0) > 1e-6 || sol.Policy[0] != UseLittle {
+		t.Errorf("rho=0.25: V=%v policy=%v", sol.V[0], sol.Policy[0])
+	}
+	sol, err = m.PolicyIteration(0.9, 1e-10, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.V[0]-5.0) > 1e-4 || sol.Policy[0] != UseBig {
+		t.Errorf("rho=0.9: V=%v policy=%v", sol.V[0], sol.Policy[0])
+	}
+}
+
+func TestPolicyIterationValidation(t *testing.T) {
+	m := twoStateModel(t)
+	if _, err := m.PolicyIteration(0, 1e-8, 10); err == nil {
+		t.Error("rho=0 accepted")
+	}
+	if _, err := m.PolicyIteration(1, 1e-8, 10); err == nil {
+		t.Error("rho=1 accepted")
+	}
+}
+
+// TestSolversAgree: on random empirical models, policy iteration and value
+// iteration converge to the same values and equally good policies.
+func TestSolversAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 10; trial++ {
+		est, err := NewEstimator(NumStates)
+		if err != nil {
+			t.Fatal(err)
+		}
+		states := make([]State, 10)
+		for i := range states {
+			states[i] = State(rng.Intn(NumStates))
+		}
+		for i := 0; i < 3000; i++ {
+			s := states[rng.Intn(len(states))]
+			next := states[rng.Intn(len(states))]
+			if err := est.Observe(s, Control(rng.Intn(2)), next, rng.Float64()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		m, err := est.Model(0.5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const rho = 0.7
+		vi, err := m.ValueIteration(rho, 1e-10, 1000000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pi, err := m.PolicyIteration(rho, 1e-12, 1000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for s := 0; s < NumStates; s++ {
+			if math.Abs(vi.V[s]-pi.V[s]) > 1e-5 {
+				t.Fatalf("trial %d state %d: VI %v vs PI %v", trial, s, vi.V[s], pi.V[s])
+			}
+			// Policies may differ only on exact Q ties.
+			if vi.Policy[s] != pi.Policy[s] {
+				qa := m.QValue(State(s), vi.Policy[s], vi.V, rho)
+				qb := m.QValue(State(s), pi.Policy[s], pi.V, rho)
+				if math.Abs(qa-qb) > 1e-6 {
+					t.Fatalf("trial %d state %d: policies differ with Q gap %v", trial, s, qa-qb)
+				}
+			}
+		}
+	}
+}

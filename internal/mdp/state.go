@@ -1,0 +1,164 @@
+// Package mdp implements the Markov decision process at the heart of
+// CAPMAN: the combinatorial device-power/battery state space (Figure 7),
+// an empirical estimator that learns transition and reward statistics from
+// the observed event stream, exact value iteration, and the bipartite MDP
+// graph representation G_M = {V, Λ, E, Ψ, p, r} consumed by the structural
+// similarity machinery (Section III-B).
+package mdp
+
+import (
+	"fmt"
+
+	"repro/internal/battery"
+	"repro/internal/device"
+)
+
+// State is an encoded index into the combinatorial state space.
+type State int
+
+// StateVec is the decoded hardware state vector of Figure 7: one power
+// state per device (including the CPU's DVFS level) plus the TEC and the
+// active battery.
+type StateVec struct {
+	CPU device.CPUState
+	// Freq is the DVFS level index, clamped to [0, MaxFreqLevels).
+	Freq    int
+	Screen  device.ScreenState
+	WiFi    device.WiFiState
+	TECOn   bool
+	Battery battery.Selection
+}
+
+// Dimensions of the state space.
+const (
+	numCPU    = 4
+	numScreen = 2
+	numWiFi   = 3
+	numTEC    = 2
+	numBatt   = 2
+
+	// MaxFreqLevels is the number of DVFS levels the state space tracks;
+	// profiles with fewer levels use a prefix, profiles with more clamp.
+	MaxFreqLevels = 4
+
+	// NumStates is the size of the combinatorial space (4 CPU x 4 DVFS x
+	// 2 screen x 3 WiFi x 2 TEC x 2 battery = 384; the paper's prototype
+	// tracks a comparable few-hundred-node machine).
+	NumStates = numCPU * MaxFreqLevels * numScreen * numWiFi * numTEC * numBatt
+)
+
+// clampFreq forces a frequency index into range.
+func clampFreq(f int) int {
+	if f < 0 {
+		return 0
+	}
+	if f >= MaxFreqLevels {
+		return MaxFreqLevels - 1
+	}
+	return f
+}
+
+// Encode packs the vector into a State index.
+func (v StateVec) Encode() State {
+	cpu := int(v.CPU - device.CPUSleep)
+	freq := clampFreq(v.Freq)
+	scr := int(v.Screen - device.ScreenOff)
+	wifi := int(v.WiFi - device.WiFiIdle)
+	tec := 0
+	if v.TECOn {
+		tec = 1
+	}
+	batt := int(v.Battery - battery.SelectBig)
+	idx := (((((cpu*MaxFreqLevels)+freq)*numScreen+scr)*numWiFi+wifi)*numTEC+tec)*numBatt + batt
+	return State(idx)
+}
+
+// Valid reports whether every component of the vector is in range.
+func (v StateVec) Valid() bool {
+	return v.CPU >= device.CPUSleep && v.CPU <= device.CPUC0 &&
+		(v.Screen == device.ScreenOff || v.Screen == device.ScreenOn) &&
+		v.WiFi >= device.WiFiIdle && v.WiFi <= device.WiFiSend &&
+		(v.Battery == battery.SelectBig || v.Battery == battery.SelectLittle)
+}
+
+// Decode unpacks a State index.
+func Decode(s State) (StateVec, error) {
+	if s < 0 || int(s) >= NumStates {
+		return StateVec{}, fmt.Errorf("mdp: state %d out of range [0,%d)", s, NumStates)
+	}
+	idx := int(s)
+	batt := idx % numBatt
+	idx /= numBatt
+	tec := idx % numTEC
+	idx /= numTEC
+	wifi := idx % numWiFi
+	idx /= numWiFi
+	scr := idx % numScreen
+	idx /= numScreen
+	freq := idx % MaxFreqLevels
+	idx /= MaxFreqLevels
+	cpu := idx
+	return StateVec{
+		CPU:     device.CPUSleep + device.CPUState(cpu),
+		Freq:    freq,
+		Screen:  device.ScreenOff + device.ScreenState(scr),
+		WiFi:    device.WiFiIdle + device.WiFiState(wifi),
+		TECOn:   tec == 1,
+		Battery: battery.SelectBig + battery.Selection(batt),
+	}, nil
+}
+
+// String renders the vector the way the paper's Figure 8 does.
+func (v StateVec) String() string {
+	tec := "TEC_OFF"
+	if v.TECOn {
+		tec = "TEC_ON"
+	}
+	return fmt.Sprintf("{%v,F%d,%v,%v,%s,%v}", v.CPU, clampFreq(v.Freq), v.Screen, v.WiFi, tec, v.Battery)
+}
+
+// WithBattery returns a copy with the battery component replaced.
+func (v StateVec) WithBattery(sel battery.Selection) StateVec {
+	v.Battery = sel
+	return v
+}
+
+// Control is a battery scheduling action: which cell serves the next step.
+type Control int
+
+// The two controls of a big.LITTLE pack.
+const (
+	UseBig Control = iota
+	UseLittle
+
+	// NumControls is the control-action count.
+	NumControls = 2
+)
+
+// String names the control.
+func (c Control) String() string {
+	switch c {
+	case UseBig:
+		return "use_big"
+	case UseLittle:
+		return "use_LITTLE"
+	default:
+		return fmt.Sprintf("Control(%d)", int(c))
+	}
+}
+
+// Selection converts a control into a pack selection.
+func (c Control) Selection() battery.Selection {
+	if c == UseLittle {
+		return battery.SelectLittle
+	}
+	return battery.SelectBig
+}
+
+// ControlFor converts a pack selection into a control.
+func ControlFor(sel battery.Selection) Control {
+	if sel == battery.SelectLittle {
+		return UseLittle
+	}
+	return UseBig
+}

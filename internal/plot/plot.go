@@ -1,0 +1,154 @@
+// Package plot renders small ASCII line charts so the figure-regeneration
+// harness can show the paper's curves, not just their tabulated values. It
+// is deliberately tiny: one series style, fixed-size canvases, text output.
+package plot
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named curve.
+type Series struct {
+	Name   string
+	X, Y   []float64
+	Marker byte // defaults per series order: '*', 'o', '+', 'x'
+}
+
+// Chart is an ASCII chart definition.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int // plot-area columns (default 64)
+	Height int // plot-area rows (default 16)
+	Series []Series
+}
+
+// Chart errors.
+var (
+	ErrNoData = errors.New("plot: no data")
+)
+
+var defaultMarkers = []byte{'*', 'o', '+', 'x', '#', '@'}
+
+// Render writes the chart.
+func (c Chart) Render(w io.Writer) error {
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 64
+	}
+	if height <= 0 {
+		height = 16
+	}
+	var xmin, xmax, ymin, ymax float64
+	havePoint := false
+	for _, s := range c.Series {
+		if len(s.X) != len(s.Y) {
+			return fmt.Errorf("plot: series %q has %d xs and %d ys", s.Name, len(s.X), len(s.Y))
+		}
+		for i := range s.X {
+			x, y := s.X[i], s.Y[i]
+			if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+				continue
+			}
+			if !havePoint {
+				xmin, xmax, ymin, ymax = x, x, y, y
+				havePoint = true
+				continue
+			}
+			xmin, xmax = math.Min(xmin, x), math.Max(xmax, x)
+			ymin, ymax = math.Min(ymin, y), math.Max(ymax, y)
+		}
+	}
+	if !havePoint {
+		return ErrNoData
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range c.Series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = defaultMarkers[si%len(defaultMarkers)]
+		}
+		for i := range s.X {
+			x, y := s.X[i], s.Y[i]
+			if math.IsNaN(x) || math.IsNaN(y) || math.IsInf(x, 0) || math.IsInf(y, 0) {
+				continue
+			}
+			col := int((x - xmin) / (xmax - xmin) * float64(width-1))
+			row := height - 1 - int((y-ymin)/(ymax-ymin)*float64(height-1))
+			grid[row][col] = marker
+		}
+	}
+
+	if c.Title != "" {
+		if _, err := fmt.Fprintln(w, c.Title); err != nil {
+			return err
+		}
+	}
+	yTop := fmt.Sprintf("%.3g", ymax)
+	yBot := fmt.Sprintf("%.3g", ymin)
+	margin := len(yTop)
+	if len(yBot) > margin {
+		margin = len(yBot)
+	}
+	for r, line := range grid {
+		label := strings.Repeat(" ", margin)
+		switch r {
+		case 0:
+			label = pad(yTop, margin)
+		case height - 1:
+			label = pad(yBot, margin)
+		}
+		if _, err := fmt.Fprintf(w, "%s |%s\n", label, string(line)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s +%s\n", strings.Repeat(" ", margin), strings.Repeat("-", width)); err != nil {
+		return err
+	}
+	xAxis := fmt.Sprintf("%s  %-*s%s", strings.Repeat(" ", margin), width-len(fmt.Sprintf("%.3g", xmax)), fmt.Sprintf("%.3g", xmin), fmt.Sprintf("%.3g", xmax))
+	if _, err := fmt.Fprintln(w, xAxis); err != nil {
+		return err
+	}
+	var legend []string
+	for si, s := range c.Series {
+		marker := s.Marker
+		if marker == 0 {
+			marker = defaultMarkers[si%len(defaultMarkers)]
+		}
+		name := s.Name
+		if name == "" {
+			name = fmt.Sprintf("series %d", si)
+		}
+		legend = append(legend, fmt.Sprintf("%c %s", marker, name))
+	}
+	axes := ""
+	if c.XLabel != "" || c.YLabel != "" {
+		axes = fmt.Sprintf("  [x: %s, y: %s]", c.XLabel, c.YLabel)
+	}
+	if _, err := fmt.Fprintf(w, "%s%s\n", strings.Join(legend, "   "), axes); err != nil {
+		return err
+	}
+	return nil
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return strings.Repeat(" ", w-len(s)) + s
+}

@@ -1,0 +1,104 @@
+package plot
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestRenderBasicChart(t *testing.T) {
+	xs := make([]float64, 20)
+	ys := make([]float64, 20)
+	for i := range xs {
+		xs[i] = float64(i)
+		ys[i] = float64(i * i)
+	}
+	c := Chart{
+		Title:  "quadratic",
+		XLabel: "t",
+		YLabel: "v",
+		Series: []Series{{Name: "y=x^2", X: xs, Y: ys}},
+	}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatalf("Render: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"quadratic", "y=x^2", "*", "361", "[x: t, y: v]"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// The curve is monotone: the top-right region holds the last marker.
+	lines := strings.Split(out, "\n")
+	if !strings.Contains(lines[1], "*") {
+		t.Errorf("no marker on the top row:\n%s", out)
+	}
+}
+
+func TestRenderMultiSeriesMarkers(t *testing.T) {
+	c := Chart{
+		Series: []Series{
+			{Name: "a", X: []float64{0, 1}, Y: []float64{0, 1}},
+			{Name: "b", X: []float64{0, 1}, Y: []float64{1, 0}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Errorf("distinct markers missing:\n%s", out)
+	}
+	if !strings.Contains(out, "* a") || !strings.Contains(out, "o b") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+}
+
+func TestRenderErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (Chart{}).Render(&buf); !errors.Is(err, ErrNoData) {
+		t.Errorf("empty chart error = %v", err)
+	}
+	bad := Chart{Series: []Series{{X: []float64{1}, Y: []float64{1, 2}}}}
+	if err := bad.Render(&buf); err == nil {
+		t.Error("mismatched series accepted")
+	}
+	nan := Chart{Series: []Series{{X: []float64{math.NaN()}, Y: []float64{1}}}}
+	if err := nan.Render(&buf); !errors.Is(err, ErrNoData) {
+		t.Errorf("all-NaN chart error = %v", err)
+	}
+}
+
+func TestRenderDegenerateRanges(t *testing.T) {
+	// Constant series must not divide by zero.
+	c := Chart{Series: []Series{{Name: "flat", X: []float64{1, 2, 3}, Y: []float64{5, 5, 5}}}}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatalf("flat series: %v", err)
+	}
+	single := Chart{Series: []Series{{Name: "dot", X: []float64{2}, Y: []float64{3}}}}
+	buf.Reset()
+	if err := single.Render(&buf); err != nil {
+		t.Fatalf("single point: %v", err)
+	}
+}
+
+func TestCustomSize(t *testing.T) {
+	c := Chart{
+		Width: 20, Height: 5,
+		Series: []Series{{X: []float64{0, 1, 2}, Y: []float64{0, 1, 4}}},
+	}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	// 5 plot rows + axis + x labels + legend.
+	if len(lines) != 8 {
+		t.Errorf("%d lines:\n%s", len(lines), buf.String())
+	}
+}

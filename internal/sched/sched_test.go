@@ -1,0 +1,132 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/battery"
+	"repro/internal/mdp"
+)
+
+// ctx builds a Context with both cells feasible by default.
+func ctx(mutate ...func(*Context)) Context {
+	c := Context{
+		Now:       100,
+		DT:        0.25,
+		DemandW:   1.0,
+		CanBig:    true,
+		CanLittle: true,
+		Big:       battery.CellState{SoC: 0.8},
+		Little:    battery.CellState{SoC: 0.8},
+	}
+	for _, m := range mutate {
+		m(&c)
+	}
+	return c
+}
+
+func TestFeasible(t *testing.T) {
+	c := ctx()
+	if got := c.Feasible(battery.SelectBig); got != battery.SelectBig {
+		t.Errorf("both feasible: %v", got)
+	}
+	c = ctx(func(c *Context) { c.CanBig = false })
+	if got := c.Feasible(battery.SelectBig); got != battery.SelectLittle {
+		t.Errorf("big infeasible should fall back: %v", got)
+	}
+	c = ctx(func(c *Context) { c.CanBig, c.CanLittle = false, false })
+	if got := c.Feasible(battery.SelectBig); got != battery.SelectBig {
+		t.Errorf("neither feasible keeps the request: %v", got)
+	}
+}
+
+func TestSinglePolicy(t *testing.T) {
+	p := NewSingle()
+	if p.Name() != "Practice" {
+		t.Errorf("name %q", p.Name())
+	}
+	if got := p.Decide(ctx()).Battery; got != battery.SelectBig {
+		t.Errorf("decision %v", got)
+	}
+	p.Observe(ctx(), battery.SelectBig, mdp.StateVec{}, 0.5) // must not panic
+}
+
+func TestDualPolicy(t *testing.T) {
+	p := NewDual()
+	if p.Name() != "Dual" {
+		t.Errorf("name %q", p.Name())
+	}
+	if got := p.Decide(ctx()).Battery; got != battery.SelectLittle {
+		t.Errorf("fresh pack: %v, want LITTLE first", got)
+	}
+	depleted := ctx(func(c *Context) {
+		c.Little.Depleted = true
+		c.CanLittle = false
+	})
+	if got := p.Decide(depleted).Battery; got != battery.SelectBig {
+		t.Errorf("depleted LITTLE: %v, want big", got)
+	}
+	infeasible := ctx(func(c *Context) { c.CanLittle = false })
+	if got := p.Decide(infeasible).Battery; got != battery.SelectBig {
+		t.Errorf("infeasible LITTLE: %v, want big", got)
+	}
+}
+
+func TestHeuristicPolicy(t *testing.T) {
+	p := NewHeuristic()
+	if p.Name() != "Heuristic" {
+		t.Errorf("name %q", p.Name())
+	}
+	// Before any observation it reacts to the current utilisation.
+	hot := ctx(func(c *Context) { c.Utilization = 0.9 })
+	if got := p.Decide(hot).Battery; got != battery.SelectLittle {
+		t.Errorf("high util: %v", got)
+	}
+	cold := ctx(func(c *Context) { c.Utilization = 0.1 })
+	if got := p.Decide(cold).Battery; got != battery.SelectBig {
+		t.Errorf("low util: %v", got)
+	}
+	// After observing a high-utilisation step it predicts LITTLE even if
+	// the current tick looks idle (one-step lag).
+	p.Observe(hot, battery.SelectLittle, mdp.StateVec{}, 0.8)
+	if got := p.Decide(cold).Battery; got != battery.SelectLittle {
+		t.Errorf("lagged prediction: %v, want LITTLE from previous util", got)
+	}
+	// And vice versa: it misses a fresh surge for one step.
+	p.Observe(cold, battery.SelectBig, mdp.StateVec{}, 0.8)
+	if got := p.Decide(hot).Battery; got != battery.SelectBig {
+		t.Errorf("lagged prediction: %v, want big from previous idle", got)
+	}
+}
+
+// TestHeuristicRadioBlind: the utilisation model never sees radio-driven
+// demand — the paper's failure mode on streaming workloads.
+func TestHeuristicRadioBlind(t *testing.T) {
+	p := NewHeuristic()
+	radioSurge := ctx(func(c *Context) {
+		c.Utilization = 0.3
+		c.DemandW = 3.5 // radio surge invisible to the CPU model
+	})
+	p.Observe(radioSurge, battery.SelectBig, mdp.StateVec{}, 0.4)
+	if got := p.Decide(radioSurge).Battery; got != battery.SelectBig {
+		t.Errorf("radio surge routed to %v; the utilisation heuristic should miss it", got)
+	}
+}
+
+func TestThresholdPolicy(t *testing.T) {
+	p := NewOracle(2.0)
+	if p.Name() != "Oracle" {
+		t.Errorf("name %q", p.Name())
+	}
+	if got := (&Threshold{}).Name(); got != "Threshold" {
+		t.Errorf("unnamed threshold name %q", got)
+	}
+	surge := ctx(func(c *Context) { c.DemandW = 2.5 })
+	if got := p.Decide(surge).Battery; got != battery.SelectLittle {
+		t.Errorf("surge: %v", got)
+	}
+	base := ctx(func(c *Context) { c.DemandW = 1.5 })
+	if got := p.Decide(base).Battery; got != battery.SelectBig {
+		t.Errorf("base: %v", got)
+	}
+	p.Observe(base, battery.SelectBig, mdp.StateVec{}, 0.9) // must not panic
+}

@@ -1,0 +1,75 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/battery"
+	"repro/internal/sched"
+)
+
+func TestRunCyclesValidation(t *testing.T) {
+	base := quickConfig(sched.NewDual(), videoWL())
+	if _, err := RunCycles(CyclesConfig{Base: base, Cycles: 0}); err == nil {
+		t.Error("zero cycles accepted")
+	}
+	single := battery.MustParams(battery.LCO, 300)
+	bad := base
+	bad.Single = &single
+	if _, err := RunCycles(CyclesConfig{Base: bad, Cycles: 1}); err == nil {
+		t.Error("single-cell base accepted")
+	}
+}
+
+// TestRunCyclesRechargeLoop: the same pack serves several full cycles with
+// recharges in between, and a stateful CAPMAN keeps learning across them.
+func TestRunCyclesRechargeLoop(t *testing.T) {
+	if testing.Short() {
+		t.Skip("three full cycles")
+	}
+	base := quickConfig(quickCapman(t), videoWL())
+	res, err := RunCycles(CyclesConfig{Base: base, Cycles: 3})
+	if err != nil {
+		t.Fatalf("RunCycles: %v", err)
+	}
+	if len(res.Outcomes) != 3 {
+		t.Fatalf("%d outcomes", len(res.Outcomes))
+	}
+	first := res.Outcomes[0]
+	for i, o := range res.Outcomes {
+		if o.ServiceTimeS <= 0 {
+			t.Errorf("cycle %d: no service time", i)
+		}
+		if o.ChargeTimeS <= 0 {
+			t.Errorf("cycle %d: no charge time", i)
+		}
+		// Each cycle serves a comparable span: the recharge must fully
+		// restore the pack (no capacity fade is modelled).
+		if o.ServiceTimeS < first.ServiceTimeS*0.85 || o.ServiceTimeS > first.ServiceTimeS*1.15 {
+			t.Errorf("cycle %d service %.0fs diverges from first %.0fs",
+				i, o.ServiceTimeS, first.ServiceTimeS)
+		}
+	}
+	if res.TotalOnTimeS <= res.Outcomes[0].ServiceTimeS {
+		t.Error("total on-time did not accumulate")
+	}
+	if res.TotalChargeS <= 0 {
+		t.Error("no charge time accumulated")
+	}
+}
+
+func TestRunWithInjectedSource(t *testing.T) {
+	pack, err := battery.NewPack(quickConfig(sched.NewDual(), videoWL()).Pack)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := quickConfig(sched.NewDual(), videoWL())
+	cfg.Source = pack
+	cfg.MaxTimeS = 120
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	// The injected pack carries the run's state.
+	if pack.Cell(battery.SelectLittle).SoC() >= 1 && pack.Cell(battery.SelectBig).SoC() >= 1 {
+		t.Error("injected pack untouched by the run")
+	}
+}

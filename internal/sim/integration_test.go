@@ -1,0 +1,222 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/battery"
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/sched"
+	"repro/internal/tec"
+	"repro/internal/workload"
+)
+
+// quickConfig is a fast-forwarded (500 mAh) cycle for integration tests;
+// the reference-anchored calibration keeps its physics identical to the
+// 2500 mAh paper scale.
+func quickConfig(p sched.Policy, wl func() workload.Generator) Config {
+	dev := tec.ATE31()
+	pack := battery.DefaultPackConfig()
+	pack.Big = battery.MustParams(battery.NCA, 500)
+	pack.Little = battery.MustParams(battery.LMO, 500)
+	return Config{
+		Profile:  device.Nexus(),
+		Workload: wl,
+		Policy:   p,
+		Pack:     pack,
+		TEC:      &dev,
+		DT:       0.25,
+	}
+}
+
+func quickCapman(t *testing.T) *core.Scheduler {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cfg.RefreshIntervalS = 15
+	cfg.ExploreHalfLifeS = 120
+	s, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func videoWL() func() workload.Generator {
+	return func() workload.Generator { return workload.NewVideo(42) }
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Error("zero config accepted")
+	}
+	cfg := quickConfig(sched.NewDual(), videoWL())
+	cfg.Policy = nil
+	if _, err := Run(cfg); err == nil {
+		t.Error("nil policy accepted")
+	}
+	cfg = quickConfig(sched.NewDual(), nil)
+	if _, err := Run(cfg); err == nil {
+		t.Error("nil workload accepted")
+	}
+	cfg = quickConfig(sched.NewDual(), videoWL())
+	cfg.DT = -1
+	if _, err := Run(cfg); err == nil {
+		t.Error("negative dt accepted")
+	}
+}
+
+// TestCAPMANBeatsBaselinesOnVideo is the headline integration property:
+// the full pipeline orders CAPMAN above Dual and the single-cell Practice
+// phone on the dynamic Video workload.
+func TestCAPMANBeatsBaselinesOnVideo(t *testing.T) {
+	capman, err := Run(quickConfig(quickCapman(t), videoWL()))
+	if err != nil {
+		t.Fatalf("capman: %v", err)
+	}
+	dual, err := Run(quickConfig(sched.NewDual(), videoWL()))
+	if err != nil {
+		t.Fatalf("dual: %v", err)
+	}
+	pCfg := quickConfig(sched.NewSingle(), videoWL())
+	single := battery.MustParams(battery.LCO, 500)
+	pCfg.Single = &single
+	pCfg.TEC = nil
+	practice, err := Run(pCfg)
+	if err != nil {
+		t.Fatalf("practice: %v", err)
+	}
+	t.Logf("capman=%.0fs dual=%.0fs practice=%.0fs",
+		capman.ServiceTimeS, dual.ServiceTimeS, practice.ServiceTimeS)
+	if capman.ServiceTimeS <= dual.ServiceTimeS {
+		t.Errorf("CAPMAN (%.0fs) should outlast Dual (%.0fs)",
+			capman.ServiceTimeS, dual.ServiceTimeS)
+	}
+	if capman.ServiceTimeS <= practice.ServiceTimeS*1.5 {
+		t.Errorf("CAPMAN (%.0fs) should far outlast the single-cell phone (%.0fs)",
+			capman.ServiceTimeS, practice.ServiceTimeS)
+	}
+}
+
+// TestOracleUpperBounds: the tuned oracle is at least as good as Dual on
+// the identical demand stream.
+func TestOracleUpperBounds(t *testing.T) {
+	_, oracle, err := TuneOracle(quickConfig(nil, videoWL()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dual, err := Run(quickConfig(sched.NewDual(), videoWL()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oracle.ServiceTimeS < dual.ServiceTimeS {
+		t.Errorf("oracle (%.0fs) below dual (%.0fs)", oracle.ServiceTimeS, dual.ServiceTimeS)
+	}
+}
+
+func TestTuneOracleValidation(t *testing.T) {
+	if _, _, err := TuneOracle(quickConfig(nil, videoWL()), []float64{-1}); err == nil {
+		t.Error("negative threshold accepted")
+	}
+}
+
+func TestRunDeterminism(t *testing.T) {
+	a, err := Run(quickConfig(sched.NewDual(), videoWL()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(quickConfig(sched.NewDual(), videoWL()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ServiceTimeS != b.ServiceTimeS || a.EnergyDeliveredJ != b.EnergyDeliveredJ ||
+		a.Switches != b.Switches {
+		t.Errorf("runs diverged: %.2f/%.2f, %.2f/%.2f, %d/%d",
+			a.ServiceTimeS, b.ServiceTimeS, a.EnergyDeliveredJ, b.EnergyDeliveredJ,
+			a.Switches, b.Switches)
+	}
+}
+
+func TestRunEndsAtTimeLimit(t *testing.T) {
+	cfg := quickConfig(sched.NewDual(), videoWL())
+	cfg.MaxTimeS = 60
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EndReason != EndMaxTime {
+		t.Errorf("end reason %q", res.EndReason)
+	}
+	if math.Abs(res.ServiceTimeS-60) > cfg.DT {
+		t.Errorf("service time %v, want ~60", res.ServiceTimeS)
+	}
+}
+
+func TestRunSampling(t *testing.T) {
+	cfg := quickConfig(sched.NewDual(), videoWL())
+	cfg.MaxTimeS = 300
+	cfg.SampleEveryS = 10
+	cfg.RecordDemands = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Samples) < 25 || len(res.Samples) > 35 {
+		t.Errorf("%d samples for a 300s run at 10s period", len(res.Samples))
+	}
+	if len(res.Demands) != int(300/cfg.DT) {
+		t.Errorf("%d demand records", len(res.Demands))
+	}
+	for _, s := range res.Samples {
+		if s.PowerW <= 0 || s.VoltageV <= 0 || s.SoCBig < 0 || s.SoCBig > 1 {
+			t.Fatalf("implausible sample %+v", s)
+		}
+	}
+}
+
+// TestThermalCouplingInRun: the hot spot warms with load and the TEC keeps
+// it at the threshold on a sustained heavy workload.
+func TestThermalCouplingInRun(t *testing.T) {
+	cfg := quickConfig(quickCapman(t), func() workload.Generator { return workload.NewGeekbench(1) })
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxCPUTempC < 35 {
+		t.Errorf("sustained load never warmed the CPU: max %.1fC", res.MaxCPUTempC)
+	}
+	if res.MaxCPUTempC > 46.5 {
+		t.Errorf("TEC failed to clamp the hot spot: max %.1fC", res.MaxCPUTempC)
+	}
+}
+
+// TestEnergyAccountingConsistency: delivered + wasted energy roughly covers
+// the pack's depleted energy content.
+func TestEnergyAccountingConsistency(t *testing.T) {
+	res, err := Run(quickConfig(sched.NewDual(), videoWL()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pack := battery.DefaultPackConfig()
+	ratedJ := battery.MustParams(battery.NCA, 500).RatedEnergyJ() +
+		battery.MustParams(battery.LMO, 500).RatedEnergyJ()
+	_ = pack
+	total := res.EnergyDeliveredJ + res.EnergyWastedJ
+	if total < 0.5*ratedJ || total > 1.3*ratedJ {
+		t.Errorf("accounted %vJ against rated %vJ", total, ratedJ)
+	}
+	if res.LittleRatio() < 0 || res.LittleRatio() > 1 {
+		t.Errorf("LITTLE ratio %v", res.LittleRatio())
+	}
+}
+
+// TestLittleRatioResult covers the helper directly.
+func TestLittleRatioResult(t *testing.T) {
+	r := &Result{BigActiveS: 30, LittleActiveS: 10}
+	if got := r.LittleRatio(); got != 0.25 {
+		t.Errorf("ratio %v", got)
+	}
+	if got := (&Result{}).LittleRatio(); got != 0 {
+		t.Errorf("empty ratio %v", got)
+	}
+}

@@ -1,0 +1,51 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/sched"
+)
+
+// TuneOracle performs the offline analysis behind the Oracle baseline: it
+// replays the configured discharge cycle once per candidate threshold with
+// full knowledge of the demand sequence (the workload factory regenerates
+// the identical stream) and returns the threshold that maximises service
+// time together with its run. This is the "baseline based on offline
+// analysis, serving ground truth" of the evaluation section.
+func TuneOracle(cfg Config, thresholds []float64) (float64, *Result, error) {
+	if len(thresholds) == 0 {
+		thresholds = DefaultOracleThresholds()
+	}
+	var (
+		best    *Result
+		bestThr float64
+	)
+	for _, thr := range thresholds {
+		if thr < 0 {
+			return 0, nil, fmt.Errorf("sim: negative oracle threshold %v", thr)
+		}
+		trial := cfg
+		trial.Policy = sched.NewOracle(thr)
+		trial.SampleEveryS = 0
+		trial.RecordDemands = false
+		res, err := Run(trial)
+		if err != nil {
+			return 0, nil, fmt.Errorf("oracle trial at %.2fW: %w", thr, err)
+		}
+		if best == nil || res.ServiceTimeS > best.ServiceTimeS {
+			best = res
+			bestThr = thr
+		}
+	}
+	if best == nil {
+		return 0, nil, errors.New("sim: no oracle thresholds evaluated")
+	}
+	return bestThr, best, nil
+}
+
+// DefaultOracleThresholds spans the phone's demand range from deep idle to
+// full tilt.
+func DefaultOracleThresholds() []float64 {
+	return []float64{0.3, 0.6, 0.9, 1.2, 1.5, 1.8, 2.1, 2.4, 2.8, 3.2, 100}
+}

@@ -1,0 +1,57 @@
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// RunMany executes independent simulation configurations concurrently with
+// a bounded worker pool and returns results in input order. The first error
+// aborts nothing already running but is reported; remaining results for
+// successful runs are still returned. Configurations must not share mutable
+// state (each needs its own Policy instance and Workload factory).
+func RunMany(cfgs []Config, workers int) ([]*Result, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cfgs) {
+		workers = len(cfgs)
+	}
+	results := make([]*Result, len(cfgs))
+	errs := make([]error, len(cfgs))
+
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				results[i], errs[i] = Run(cfgs[i])
+			}
+		}()
+	}
+	for i := range cfgs {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			return results, fmt.Errorf("run %d (%s): %w", i, describe(cfgs[i]), err)
+		}
+	}
+	return results, nil
+}
+
+// describe names a configuration for error messages without invoking the
+// workload factory.
+func describe(cfg Config) string {
+	policy := "<nil>"
+	if cfg.Policy != nil {
+		policy = cfg.Policy.Name()
+	}
+	return fmt.Sprintf("%s on %s", policy, cfg.Profile.Name)
+}

@@ -1,0 +1,53 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+func TestRunManyMatchesSerial(t *testing.T) {
+	build := func() []Config {
+		return []Config{
+			quickConfig(sched.NewDual(), videoWL()),
+			quickConfig(sched.NewHeuristic(), videoWL()),
+			quickConfig(sched.NewOracle(1.6), func() workload.Generator { return workload.NewPCMark(3) }),
+		}
+	}
+	parallel, err := RunMany(build(), 3)
+	if err != nil {
+		t.Fatalf("RunMany: %v", err)
+	}
+	serialCfgs := build()
+	for i, cfg := range serialCfgs {
+		want, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if parallel[i].ServiceTimeS != want.ServiceTimeS ||
+			parallel[i].EnergyDeliveredJ != want.EnergyDeliveredJ {
+			t.Errorf("run %d diverged: %.2f/%.2f", i,
+				parallel[i].ServiceTimeS, want.ServiceTimeS)
+		}
+	}
+}
+
+func TestRunManyPropagatesErrors(t *testing.T) {
+	bad := quickConfig(sched.NewDual(), videoWL())
+	bad.Policy = nil
+	if _, err := RunMany([]Config{bad}, 2); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestRunManyDefaultWorkers(t *testing.T) {
+	cfgs := []Config{quickConfig(sched.NewDual(), videoWL())}
+	res, err := RunMany(cfgs, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0] == nil {
+		t.Error("missing result")
+	}
+}

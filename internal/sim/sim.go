@@ -1,0 +1,352 @@
+// Package sim is the discrete-time simulation engine that stands in for
+// the paper's physical testbed: it wires a workload generator to the phone
+// power models, drains a battery source under a scheduling policy, and
+// integrates the thermal network with optional TEC active cooling. One Run
+// is one discharge cycle; its Result carries everything the evaluation
+// section plots.
+package sim
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/battery"
+	"repro/internal/device"
+	"repro/internal/mdp"
+	"repro/internal/sched"
+	"repro/internal/tec"
+	"repro/internal/thermal"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Config describes one simulated discharge cycle.
+type Config struct {
+	// Profile is the phone under test.
+	Profile device.Profile
+	// Workload builds a fresh demand generator; Run calls it once so
+	// repeated runs (e.g. Oracle tuning) see identical streams.
+	Workload func() workload.Generator
+	// Policy schedules the battery.
+	Policy sched.Policy
+
+	// Pack configures the big.LITTLE pack. Ignored when Single or Source
+	// is set.
+	Pack battery.PackConfig
+	// Single, when non-nil, runs the Practice baseline's single cell.
+	Single *battery.Params
+	// Source, when non-nil, supplies a pre-built power source; the run
+	// continues from its current state (used by multi-cycle runs that
+	// recharge a pack in place).
+	Source battery.Source
+
+	// Thermal configures the phone's RC network.
+	Thermal thermal.PhoneConfig
+	// TEC, when non-nil, mounts active cooling on the CPU node.
+	TEC            *tec.Device
+	TECThresholdC  float64
+	TECHysteresisC float64
+
+	// DT is the simulation step in seconds (default 0.25).
+	DT float64
+	// MaxTimeS caps the simulated span (default 1e6 s).
+	MaxTimeS float64
+	// SampleEveryS records a trace sample at this period; zero disables
+	// sampling.
+	SampleEveryS float64
+	// RecordDemands captures the demand stream for replay.
+	RecordDemands bool
+}
+
+// withDefaults fills unset knobs.
+func (c Config) withDefaults() Config {
+	if c.DT == 0 {
+		c.DT = 0.25
+	}
+	if c.MaxTimeS == 0 {
+		c.MaxTimeS = 1e6
+	}
+	if c.TECThresholdC == 0 {
+		c.TECThresholdC = thermal.HotSpotThresholdC
+	}
+	if c.TECHysteresisC == 0 {
+		c.TECHysteresisC = 3
+	}
+	return c
+}
+
+// Validate reports the first problem with the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.Workload == nil:
+		return errors.New("sim: nil workload factory")
+	case c.Policy == nil:
+		return errors.New("sim: nil policy")
+	case c.DT < 0 || c.MaxTimeS < 0 || c.SampleEveryS < 0:
+		return errors.New("sim: negative time knob")
+	}
+	return c.Profile.Validate()
+}
+
+// EndReason explains why a run stopped.
+type EndReason string
+
+// Run outcomes.
+const (
+	EndExhausted EndReason = "battery exhausted"
+	EndCannot    EndReason = "demand unservable"
+	EndMaxTime   EndReason = "time limit"
+)
+
+// Result is one discharge cycle's outcome.
+type Result struct {
+	Policy   string
+	Workload string
+	Phone    string
+
+	ServiceTimeS float64
+	EndReason    EndReason
+	Steps        int
+
+	EnergyDeliveredJ float64
+	EnergyWastedJ    float64
+	AvgPowerW        float64
+	AvgActivePowerW  float64 // mean power while the device is awake
+
+	MaxCPUTempC   float64
+	MaxBodyTempC  float64
+	TimeAbove45S  float64
+	MeanCPUTempC  float64
+	TECEnergyJ    float64
+	TECOnTimeS    float64
+	TECFlips      int
+	Switches      int
+	BigActiveS    float64
+	LittleActiveS float64
+
+	FinalSoCBig    float64
+	FinalSoCLittle float64
+
+	Samples []trace.Sample
+	Demands []trace.DemandRecord
+	// Signal is the battery-switch control trace (Figure 9); empty for
+	// single-cell sources.
+	Signal []battery.SignalEdge
+}
+
+// LittleRatio returns the fraction of active time spent on the LITTLE
+// battery (Figure 14's x-axis).
+func (r *Result) LittleRatio() float64 {
+	tot := r.BigActiveS + r.LittleActiveS
+	if tot <= 0 {
+		return 0
+	}
+	return r.LittleActiveS / tot
+}
+
+// Run simulates one discharge cycle.
+func Run(cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+
+	phone, err := device.NewPhone(cfg.Profile)
+	if err != nil {
+		return nil, fmt.Errorf("phone: %w", err)
+	}
+	source := cfg.Source
+	if source == nil {
+		if cfg.Single != nil {
+			source, err = battery.NewSingleSource(*cfg.Single)
+		} else {
+			source, err = battery.NewPack(cfg.Pack)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("source: %w", err)
+		}
+	}
+	if cfg.Thermal == (thermal.PhoneConfig{}) {
+		cfg.Thermal = thermal.DefaultPhoneConfig()
+	}
+	net, err := thermal.PhoneNetwork(cfg.Thermal)
+	if err != nil {
+		return nil, fmt.Errorf("thermal: %w", err)
+	}
+	var cooler *tec.Controller
+	if cfg.TEC != nil {
+		cooler, err = tec.NewController(*cfg.TEC, cfg.TECThresholdC, cfg.TECHysteresisC)
+		if err != nil {
+			return nil, fmt.Errorf("tec: %w", err)
+		}
+	}
+	gen := cfg.Workload()
+
+	res := &Result{
+		Policy:   cfg.Policy.Name(),
+		Workload: gen.Name(),
+		Phone:    cfg.Profile.Name,
+	}
+
+	dt := cfg.DT
+	now := 0.0
+	nextSample := 0.0
+	var tempAccum, awakeEnergyJ, awakeS float64
+	// pending carries the previous step's transition until its successor
+	// state is known at the next tick.
+	var pending struct {
+		ctx     sched.Context
+		applied battery.Selection
+		reward  float64
+		valid   bool
+	}
+
+	for now < cfg.MaxTimeS {
+		step := gen.Next(now, dt)
+		if cfg.RecordDemands {
+			res.Demands = append(res.Demands, trace.DemandRecord{
+				At: now, Demand: step.Demand, Action: int(step.Action),
+			})
+		}
+		if err := phone.Apply(step.Demand); err != nil {
+			return nil, fmt.Errorf("t=%.1f apply demand: %w", now, err)
+		}
+
+		cpuTemp := net.Temperature(thermal.NodeCPU)
+		bodyTemp := net.Temperature(thermal.NodeBody)
+		battTemp := net.Temperature(thermal.NodeBattery)
+		spreaderTemp := net.Temperature(thermal.NodeSpreader)
+
+		var tecOut tec.Output
+		if cooler != nil {
+			tecOut = cooler.Step(cpuTemp, spreaderTemp, dt)
+		}
+		breakdown := phone.Power()
+		demandW := breakdown.Total() + tecOut.PowerW
+
+		ctx := sched.Context{
+			Now: now,
+			DT:  dt,
+			State: mdp.StateVec{
+				CPU:     phone.CPU(),
+				Freq:    phone.FreqIndex(),
+				Screen:  phone.Screen(),
+				WiFi:    phone.WiFi(),
+				TECOn:   tecOut.On,
+				Battery: source.Active(),
+			},
+			Event:       step.Action,
+			DemandW:     demandW,
+			Utilization: phone.Utilization(),
+			CPUTempC:    cpuTemp,
+			BodyTempC:   bodyTemp,
+			Big:         source.CellState(battery.SelectBig),
+			Little:      source.CellState(battery.SelectLittle),
+			CanBig:      source.CanSupplyCell(battery.SelectBig, demandW, battTemp),
+			CanLittle:   source.CanSupplyCell(battery.SelectLittle, demandW, battTemp),
+		}
+		// Close the previous transition now that its successor state is
+		// known.
+		if pending.valid {
+			cfg.Policy.Observe(pending.ctx, pending.applied, ctx.State, pending.reward)
+		}
+
+		dec := cfg.Policy.Decide(ctx)
+		source.Select(dec.Battery)
+
+		stepRes, err := source.Step(demandW, battTemp, dt)
+		if err != nil {
+			if errors.Is(err, battery.ErrExhausted) || errors.Is(err, battery.ErrDepleted) {
+				res.EndReason = EndExhausted
+			} else if errors.Is(err, battery.ErrCannotSupply) {
+				res.EndReason = EndCannot
+			} else {
+				return nil, fmt.Errorf("t=%.1f source: %w", now, err)
+			}
+			break
+		}
+
+		// Thermal integration: CPU heat minus TEC pumping on the hot
+		// spot, screen/WiFi into the body, battery losses at the
+		// battery node, TEC rejection at the spreader.
+		cpuHeat, bodyHeat := phone.HeatSplit()
+		inputs := []float64{
+			thermal.NodeCPU:      cpuHeat - tecOut.CPUCoolingW,
+			thermal.NodeBattery:  stepRes.HeatW,
+			thermal.NodeBody:     bodyHeat,
+			thermal.NodeSpreader: tecOut.RejectedHeatW,
+		}
+		if err := net.Step(inputs, dt); err != nil {
+			return nil, fmt.Errorf("t=%.1f thermal: %w", now, err)
+		}
+
+		// Reward: step energy efficiency in [0, 1].
+		useful := demandW * dt
+		waste := stepRes.HeatW * dt
+		reward := 1.0
+		if useful+waste > 0 {
+			reward = useful / (useful + waste)
+		}
+		pending.ctx = ctx
+		pending.applied = stepRes.Active
+		pending.reward = reward
+		pending.valid = true
+
+		// Accounting.
+		res.Steps++
+		res.EnergyDeliveredJ += useful
+		res.EnergyWastedJ += waste
+		tempAccum += cpuTemp * dt
+		if cpuTemp >= thermal.HotSpotThresholdC {
+			res.TimeAbove45S += dt
+		}
+		if demandW > 0.3 { // awake threshold: above deep-idle floor
+			awakeEnergyJ += demandW * dt
+			awakeS += dt
+		}
+
+		now += dt
+		if cfg.SampleEveryS > 0 && now >= nextSample {
+			nextSample = now + cfg.SampleEveryS
+			res.Samples = append(res.Samples, trace.Sample{
+				At:        now,
+				PowerW:    demandW,
+				TECW:      tecOut.PowerW,
+				VoltageV:  stepRes.Cell.Voltage,
+				CurrentA:  stepRes.Cell.Current,
+				CPUTempC:  net.Temperature(thermal.NodeCPU),
+				BodyTempC: net.Temperature(thermal.NodeBody),
+				Battery:   stepRes.Active.String(),
+				SoCBig:    source.CellState(battery.SelectBig).SoC,
+				SoCLittle: source.CellState(battery.SelectLittle).SoC,
+			})
+		}
+	}
+
+	if res.EndReason == "" {
+		res.EndReason = EndMaxTime
+	}
+	res.ServiceTimeS = now
+	if now > 0 {
+		res.AvgPowerW = res.EnergyDeliveredJ / now
+		res.MeanCPUTempC = tempAccum / now
+	}
+	if awakeS > 0 {
+		res.AvgActivePowerW = awakeEnergyJ / awakeS
+	}
+	res.MaxCPUTempC = net.MaxTemperature(thermal.NodeCPU)
+	res.MaxBodyTempC = net.MaxTemperature(thermal.NodeBody)
+	if cooler != nil {
+		res.TECEnergyJ = cooler.EnergyJ()
+		res.TECOnTimeS = cooler.OnTimeS()
+		res.TECFlips = cooler.Flips()
+	}
+	res.Switches = source.Switches()
+	res.BigActiveS, res.LittleActiveS = source.ActiveTime()
+	if p, ok := source.(*battery.Pack); ok {
+		res.Signal = p.Signal()
+	}
+	res.FinalSoCBig = source.CellState(battery.SelectBig).SoC
+	res.FinalSoCLittle = source.CellState(battery.SelectLittle).SoC
+	return res, nil
+}

@@ -1,0 +1,87 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/battery"
+	"repro/internal/device"
+	"repro/internal/sched"
+	"repro/internal/tec"
+	"repro/internal/workload"
+)
+
+// videoConfig is the canonical Video-on-Nexus cycle used across tests.
+func videoConfig(p sched.Policy) Config {
+	dev := tec.ATE31()
+	return Config{
+		Profile:  device.Nexus(),
+		Workload: func() workload.Generator { return workload.NewVideo(42) },
+		Policy:   p,
+		Pack:     battery.DefaultPackConfig(),
+		TEC:      &dev,
+		DT:       0.25,
+		MaxTimeS: 200_000,
+	}
+}
+
+func TestRunVideoDual(t *testing.T) {
+	res, err := Run(videoConfig(sched.NewDual()))
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	t.Logf("service=%.0fs (%.2fh) end=%q avgP=%.3fW switches=%d maxCPU=%.1fC "+
+		"tecOn=%.0fs socBig=%.2f socLit=%.2f delivered=%.0fJ wasted=%.0fJ",
+		res.ServiceTimeS, res.ServiceTimeS/3600, res.EndReason, res.AvgPowerW,
+		res.Switches, res.MaxCPUTempC, res.TECOnTimeS, res.FinalSoCBig,
+		res.FinalSoCLittle, res.EnergyDeliveredJ, res.EnergyWastedJ)
+	if res.ServiceTimeS < 3600 {
+		t.Errorf("service time %.0fs implausibly short", res.ServiceTimeS)
+	}
+	if res.EndReason == EndMaxTime {
+		t.Errorf("run hit the time limit before exhausting a 2x2500mAh pack")
+	}
+	if res.AvgPowerW < 0.5 || res.AvgPowerW > 4 {
+		t.Errorf("average power %.2fW outside plausible phone range", res.AvgPowerW)
+	}
+}
+
+func TestRunPracticeSingleCell(t *testing.T) {
+	cfg := videoConfig(sched.NewSingle())
+	single := battery.MustParams(battery.LCO, 2500)
+	cfg.Single = &single
+	cfg.TEC = nil
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	t.Logf("practice service=%.0fs (%.2fh) end=%q", res.ServiceTimeS, res.ServiceTimeS/3600, res.EndReason)
+	if res.Switches != 0 {
+		t.Errorf("single cell reported %d switches", res.Switches)
+	}
+	if res.ServiceTimeS <= 0 {
+		t.Fatalf("no service time")
+	}
+}
+
+func TestPolicyOrderingOnVideo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run comparison")
+	}
+	dual, err := Run(videoConfig(sched.NewDual()))
+	if err != nil {
+		t.Fatalf("dual: %v", err)
+	}
+	single := battery.MustParams(battery.LCO, 2500)
+	pCfg := videoConfig(sched.NewSingle())
+	pCfg.Single = &single
+	practice, err := Run(pCfg)
+	if err != nil {
+		t.Fatalf("practice: %v", err)
+	}
+	t.Logf("dual=%.0fs practice=%.0fs ratio=%.2f",
+		dual.ServiceTimeS, practice.ServiceTimeS, dual.ServiceTimeS/practice.ServiceTimeS)
+	if dual.ServiceTimeS <= practice.ServiceTimeS {
+		t.Errorf("dual pack (%.0fs) should outlast the single cell (%.0fs)",
+			dual.ServiceTimeS, practice.ServiceTimeS)
+	}
+}

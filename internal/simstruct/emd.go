@@ -1,0 +1,138 @@
+package simstruct
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Distribution is a sparse probability distribution over integer points
+// (state indices).
+type Distribution struct {
+	Points []int
+	Probs  []float64
+}
+
+// Validate reports the first problem with the distribution.
+func (d Distribution) Validate() error {
+	if len(d.Points) != len(d.Probs) {
+		return fmt.Errorf("simstruct: %d points with %d probabilities", len(d.Points), len(d.Probs))
+	}
+	if len(d.Points) == 0 {
+		return errors.New("simstruct: empty distribution")
+	}
+	var sum float64
+	for _, p := range d.Probs {
+		if p < 0 {
+			return fmt.Errorf("simstruct: negative probability %v", p)
+		}
+		sum += p
+	}
+	if math.Abs(sum-1) > 1e-6 {
+		return fmt.Errorf("simstruct: distribution sums to %v", sum)
+	}
+	return nil
+}
+
+// GroundDistance evaluates the distance between two support points; it must
+// be non-negative.
+type GroundDistance func(i, j int) float64
+
+// EMD computes the Earth Mover's Distance between two distributions under
+// the ground distance, by reduction to a transportation min-cost flow
+// solved with successive shortest paths (Algorithm 1, Line 4).
+func EMD(p, q Distribution, dist GroundDistance) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, fmt.Errorf("left distribution: %w", err)
+	}
+	if err := q.Validate(); err != nil {
+		return 0, fmt.Errorf("right distribution: %w", err)
+	}
+	if dist == nil {
+		return 0, errors.New("simstruct: nil ground distance")
+	}
+	// Network layout: 0 = source, 1..|p| suppliers, |p|+1..|p|+|q|
+	// consumers, last = sink.
+	np, nq := len(p.Points), len(q.Points)
+	n := np + nq + 2
+	source, sink := 0, n-1
+	f := NewFlowNetwork(n)
+	var total float64
+	for i, mass := range p.Probs {
+		if mass <= 0 {
+			continue
+		}
+		total += mass
+		if err := f.AddArc(source, 1+i, mass, 0); err != nil {
+			return 0, err
+		}
+	}
+	for j, mass := range q.Probs {
+		if mass <= 0 {
+			continue
+		}
+		if err := f.AddArc(1+np+j, sink, mass, 0); err != nil {
+			return 0, err
+		}
+	}
+	for i := range p.Points {
+		if p.Probs[i] <= 0 {
+			continue
+		}
+		for j := range q.Points {
+			if q.Probs[j] <= 0 {
+				continue
+			}
+			d := dist(p.Points[i], q.Points[j])
+			if d < 0 {
+				return 0, fmt.Errorf("simstruct: negative ground distance %v between %d and %d",
+					d, p.Points[i], q.Points[j])
+			}
+			if err := f.AddArc(1+i, 1+np+j, math.Inf(1), d); err != nil {
+				return 0, err
+			}
+		}
+	}
+	cost, err := f.MinCostFlow(source, sink, total)
+	if err != nil {
+		return 0, fmt.Errorf("transportation: %w", err)
+	}
+	return cost, nil
+}
+
+// Hausdorff computes the symmetric Hausdorff distance between two finite
+// point sets under an elementwise distance:
+//
+//	max( max_a min_b d(a,b), max_b min_a d(a,b) )
+//
+// Empty sets follow the paper's absorbing-state convention: two empty sets
+// are at distance 0, an empty set against a non-empty one at distance 1.
+func Hausdorff(as, bs []int, d func(a, b int) float64) float64 {
+	switch {
+	case len(as) == 0 && len(bs) == 0:
+		return 0
+	case len(as) == 0 || len(bs) == 0:
+		return 1
+	}
+	directed := func(xs, ys []int) float64 {
+		var worst float64
+		for _, x := range xs {
+			best := math.Inf(1)
+			for _, y := range ys {
+				if v := d(x, y); v < best {
+					best = v
+				}
+			}
+			if best > worst {
+				worst = best
+			}
+		}
+		return worst
+	}
+	ab := directed(as, bs)
+	ba := directed(bs, as)
+	if ab > ba {
+		return ab
+	}
+	return ba
+}

@@ -1,0 +1,248 @@
+// Package simstruct implements the structural-similarity approximation of
+// CAPMAN's Section III-C/D: a SimRank-style recursion over the bipartite
+// MDP graph that computes state similarities (via Hausdorff distance over
+// action neighbourhoods) and action similarities (via reward distance and
+// the Earth Mover's Distance between transition distributions). The EMD is
+// solved, as the paper prescribes, with a successive-shortest-path min-cost
+// flow using Dijkstra's algorithm on a Fibonacci heap.
+package simstruct
+
+import "errors"
+
+// fibNode is one node of a Fibonacci heap.
+type fibNode struct {
+	key    float64
+	value  int
+	parent *fibNode
+	child  *fibNode
+	left   *fibNode
+	right  *fibNode
+	degree int
+	marked bool
+}
+
+// FibHeap is a min-ordered Fibonacci heap keyed by float64 with int
+// payloads, supporting the DecreaseKey operation Dijkstra needs. The zero
+// value is not usable; call NewFibHeap.
+type FibHeap struct {
+	min   *fibNode
+	size  int
+	nodes map[int]*fibNode // payload -> node, for DecreaseKey by value
+}
+
+// Heap errors.
+var (
+	// ErrEmptyHeap reports an extract from an empty heap.
+	ErrEmptyHeap = errors.New("simstruct: empty heap")
+	// ErrKeyIncrease reports a DecreaseKey with a larger key.
+	ErrKeyIncrease = errors.New("simstruct: new key exceeds current key")
+	// ErrUnknownValue reports a DecreaseKey for an absent payload.
+	ErrUnknownValue = errors.New("simstruct: value not in heap")
+	// ErrDuplicate reports inserting a payload twice.
+	ErrDuplicate = errors.New("simstruct: value already in heap")
+)
+
+// NewFibHeap builds an empty heap.
+func NewFibHeap() *FibHeap {
+	return &FibHeap{nodes: make(map[int]*fibNode)}
+}
+
+// Len returns the number of stored elements.
+func (h *FibHeap) Len() int { return h.size }
+
+// Contains reports whether the payload is present.
+func (h *FibHeap) Contains(value int) bool {
+	_, ok := h.nodes[value]
+	return ok
+}
+
+// Key returns the key of a stored payload.
+func (h *FibHeap) Key(value int) (float64, bool) {
+	n, ok := h.nodes[value]
+	if !ok {
+		return 0, false
+	}
+	return n.key, true
+}
+
+// Insert adds a payload with the given key.
+func (h *FibHeap) Insert(key float64, value int) error {
+	if _, ok := h.nodes[value]; ok {
+		return ErrDuplicate
+	}
+	n := &fibNode{key: key, value: value}
+	n.left, n.right = n, n
+	h.nodes[value] = n
+	h.addToRoots(n)
+	h.size++
+	return nil
+}
+
+// Min returns the minimum key and its payload without removing it.
+func (h *FibHeap) Min() (float64, int, error) {
+	if h.min == nil {
+		return 0, 0, ErrEmptyHeap
+	}
+	return h.min.key, h.min.value, nil
+}
+
+// ExtractMin removes and returns the minimum element.
+func (h *FibHeap) ExtractMin() (float64, int, error) {
+	z := h.min
+	if z == nil {
+		return 0, 0, ErrEmptyHeap
+	}
+	// Promote children to the root list.
+	if z.child != nil {
+		c := z.child
+		for {
+			next := c.right
+			c.parent = nil
+			h.addToRoots(c)
+			if next == z.child {
+				break
+			}
+			c = next
+		}
+		z.child = nil
+	}
+	h.removeFromList(z)
+	if z == z.right {
+		h.min = nil
+	} else {
+		h.min = z.right
+		h.consolidate()
+	}
+	h.size--
+	delete(h.nodes, z.value)
+	return z.key, z.value, nil
+}
+
+// DecreaseKey lowers the key of a stored payload.
+func (h *FibHeap) DecreaseKey(value int, key float64) error {
+	n, ok := h.nodes[value]
+	if !ok {
+		return ErrUnknownValue
+	}
+	if key > n.key {
+		return ErrKeyIncrease
+	}
+	n.key = key
+	p := n.parent
+	if p != nil && n.key < p.key {
+		h.cut(n, p)
+		h.cascadingCut(p)
+	}
+	if n.key < h.min.key {
+		h.min = n
+	}
+	return nil
+}
+
+// addToRoots splices n into the root circular list.
+func (h *FibHeap) addToRoots(n *fibNode) {
+	if h.min == nil {
+		n.left, n.right = n, n
+		h.min = n
+		return
+	}
+	n.left = h.min
+	n.right = h.min.right
+	h.min.right.left = n
+	h.min.right = n
+	if n.key < h.min.key {
+		h.min = n
+	}
+}
+
+// removeFromList unlinks n from its sibling list.
+func (h *FibHeap) removeFromList(n *fibNode) {
+	n.left.right = n.right
+	n.right.left = n.left
+}
+
+// consolidate merges roots of equal degree until all degrees are unique.
+func (h *FibHeap) consolidate() {
+	if h.min == nil {
+		return
+	}
+	// Collect the roots first; the list mutates during linking.
+	var roots []*fibNode
+	r := h.min
+	for {
+		roots = append(roots, r)
+		r = r.right
+		if r == h.min {
+			break
+		}
+	}
+	degrees := make(map[int]*fibNode)
+	for _, x := range roots {
+		d := x.degree
+		for {
+			y, ok := degrees[d]
+			if !ok {
+				break
+			}
+			if y.key < x.key {
+				x, y = y, x
+			}
+			h.link(y, x)
+			delete(degrees, d)
+			d++
+		}
+		degrees[d] = x
+	}
+	h.min = nil
+	for _, n := range degrees {
+		n.left, n.right = n, n
+		h.addToRoots(n)
+	}
+}
+
+// link makes y a child of x.
+func (h *FibHeap) link(y, x *fibNode) {
+	h.removeFromList(y)
+	y.parent = x
+	y.marked = false
+	if x.child == nil {
+		y.left, y.right = y, y
+		x.child = y
+	} else {
+		y.left = x.child
+		y.right = x.child.right
+		x.child.right.left = y
+		x.child.right = y
+	}
+	x.degree++
+}
+
+// cut detaches n from parent p into the root list.
+func (h *FibHeap) cut(n, p *fibNode) {
+	if n.right == n {
+		p.child = nil
+	} else {
+		h.removeFromList(n)
+		if p.child == n {
+			p.child = n.right
+		}
+	}
+	p.degree--
+	n.parent = nil
+	n.marked = false
+	h.addToRoots(n)
+}
+
+// cascadingCut walks up, cutting marked ancestors.
+func (h *FibHeap) cascadingCut(n *fibNode) {
+	p := n.parent
+	if p == nil {
+		return
+	}
+	if !n.marked {
+		n.marked = true
+		return
+	}
+	h.cut(n, p)
+	h.cascadingCut(p)
+}

@@ -1,0 +1,187 @@
+package simstruct
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestFibHeapBasics(t *testing.T) {
+	h := NewFibHeap()
+	if _, _, err := h.Min(); !errors.Is(err, ErrEmptyHeap) {
+		t.Errorf("empty Min error = %v", err)
+	}
+	if _, _, err := h.ExtractMin(); !errors.Is(err, ErrEmptyHeap) {
+		t.Errorf("empty ExtractMin error = %v", err)
+	}
+	for i, k := range []float64{5, 3, 8, 1, 9} {
+		if err := h.Insert(k, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if h.Len() != 5 {
+		t.Errorf("len %d", h.Len())
+	}
+	if err := h.Insert(1, 0); !errors.Is(err, ErrDuplicate) {
+		t.Errorf("duplicate insert error = %v", err)
+	}
+	k, v, err := h.Min()
+	if err != nil || k != 1 || v != 3 {
+		t.Errorf("Min = %v/%v/%v", k, v, err)
+	}
+	if !h.Contains(2) || h.Contains(99) {
+		t.Error("Contains wrong")
+	}
+	if key, ok := h.Key(2); !ok || key != 8 {
+		t.Errorf("Key(2) = %v/%v", key, ok)
+	}
+	if _, ok := h.Key(99); ok {
+		t.Error("Key of absent value")
+	}
+}
+
+// TestFibHeapSortsRandom: extracting all elements yields ascending keys
+// (heapsort equivalence).
+func TestFibHeapSortsRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		h := NewFibHeap()
+		n := 1 + rng.Intn(200)
+		keys := make([]float64, n)
+		for i := range keys {
+			keys[i] = rng.Float64() * 100
+			if err := h.Insert(keys[i], i); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sort.Float64s(keys)
+		for i := 0; i < n; i++ {
+			k, _, err := h.ExtractMin()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if k != keys[i] {
+				t.Fatalf("trial %d: extracted %v at position %d, want %v", trial, k, i, keys[i])
+			}
+		}
+		if h.Len() != 0 {
+			t.Fatal("heap not empty after draining")
+		}
+	}
+}
+
+func TestFibHeapDecreaseKey(t *testing.T) {
+	h := NewFibHeap()
+	for i := 0; i < 10; i++ {
+		if err := h.Insert(float64(10+i), i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := h.DecreaseKey(7, 1); err != nil {
+		t.Fatal(err)
+	}
+	k, v, err := h.Min()
+	if err != nil || v != 7 || k != 1 {
+		t.Errorf("after decrease: %v/%v/%v", k, v, err)
+	}
+	if err := h.DecreaseKey(7, 5); !errors.Is(err, ErrKeyIncrease) {
+		t.Errorf("key increase error = %v", err)
+	}
+	if err := h.DecreaseKey(99, 0); !errors.Is(err, ErrUnknownValue) {
+		t.Errorf("unknown value error = %v", err)
+	}
+}
+
+// TestFibHeapDecreaseKeyDeep exercises cascading cuts: build a deep heap by
+// interleaving extracts (forcing consolidation) and decreases.
+func TestFibHeapDecreaseKeyDeep(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	h := NewFibHeap()
+	alive := map[int]float64{}
+	next := 0
+	for op := 0; op < 5000; op++ {
+		switch {
+		case len(alive) == 0 || rng.Float64() < 0.5:
+			k := rng.Float64() * 1000
+			if err := h.Insert(k, next); err != nil {
+				t.Fatal(err)
+			}
+			alive[next] = k
+			next++
+		case rng.Float64() < 0.5:
+			k, v, err := h.ExtractMin()
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := k
+			for _, ak := range alive {
+				if ak < want {
+					want = ak
+				}
+			}
+			if k != want || alive[v] != k {
+				t.Fatalf("op %d: extracted %v/%v, want key %v", op, k, v, want)
+			}
+			delete(alive, v)
+		default:
+			// Decrease a random live key.
+			for v, k := range alive {
+				nk := k * rng.Float64()
+				if err := h.DecreaseKey(v, nk); err != nil {
+					t.Fatal(err)
+				}
+				alive[v] = nk
+				break
+			}
+		}
+	}
+	// Drain and verify global ordering.
+	prev := -1.0
+	for h.Len() > 0 {
+		k, v, err := h.ExtractMin()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if k < prev {
+			t.Fatalf("out of order: %v after %v", k, prev)
+		}
+		if alive[v] != k {
+			t.Fatalf("value %d has key %v, want %v", v, k, alive[v])
+		}
+		delete(alive, v)
+		prev = k
+	}
+	if len(alive) != 0 {
+		t.Errorf("%d values lost", len(alive))
+	}
+}
+
+// Property: for any key sequence, drain order is sorted.
+func TestFibHeapQuick(t *testing.T) {
+	f := func(keys []float64) bool {
+		h := NewFibHeap()
+		clean := make([]float64, 0, len(keys))
+		for i, k := range keys {
+			if k != k { // NaN keys are out of contract
+				continue
+			}
+			if err := h.Insert(k, i); err != nil {
+				return false
+			}
+			clean = append(clean, k)
+		}
+		sort.Float64s(clean)
+		for _, want := range clean {
+			got, _, err := h.ExtractMin()
+			if err != nil || got != want {
+				return false
+			}
+		}
+		return h.Len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,143 @@
+package simstruct
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// flowArc is one directed arc of the min-cost-flow network, stored with its
+// residual twin.
+type flowArc struct {
+	to   int
+	cap  float64
+	cost float64
+	rev  int // index of the reverse arc in graph[to]
+}
+
+// FlowNetwork is a min-cost-flow network over real-valued capacities,
+// solved by successive shortest paths (Jewell's algorithm, the SSP the
+// paper cites) with Dijkstra on a Fibonacci heap and Johnson potentials.
+type FlowNetwork struct {
+	arcs [][]flowArc
+}
+
+// Flow errors.
+var (
+	ErrBadNode    = errors.New("simstruct: node out of range")
+	ErrNegCost    = errors.New("simstruct: negative arc cost")
+	ErrInfeasible = errors.New("simstruct: flow demand not satisfiable")
+)
+
+// NewFlowNetwork builds a network with n nodes.
+func NewFlowNetwork(n int) *FlowNetwork {
+	return &FlowNetwork{arcs: make([][]flowArc, n)}
+}
+
+// AddArc adds a directed arc with capacity and non-negative cost.
+func (f *FlowNetwork) AddArc(from, to int, capacity, cost float64) error {
+	if from < 0 || from >= len(f.arcs) || to < 0 || to >= len(f.arcs) {
+		return fmt.Errorf("%w: %d -> %d of %d", ErrBadNode, from, to, len(f.arcs))
+	}
+	if cost < 0 {
+		return fmt.Errorf("%w: %v", ErrNegCost, cost)
+	}
+	if capacity < 0 {
+		capacity = 0
+	}
+	f.arcs[from] = append(f.arcs[from], flowArc{to: to, cap: capacity, cost: cost, rev: len(f.arcs[to])})
+	f.arcs[to] = append(f.arcs[to], flowArc{to: from, cap: 0, cost: -cost, rev: len(f.arcs[from]) - 1})
+	return nil
+}
+
+// flowEps treats residual capacities below this as saturated, guarding
+// float accumulation.
+const flowEps = 1e-12
+
+// MinCostFlow pushes `amount` units from source to sink and returns the
+// total cost. It fails with ErrInfeasible when the network cannot carry the
+// requested amount.
+func (f *FlowNetwork) MinCostFlow(source, sink int, amount float64) (float64, error) {
+	n := len(f.arcs)
+	if source < 0 || source >= n || sink < 0 || sink >= n {
+		return 0, fmt.Errorf("%w: source %d sink %d", ErrBadNode, source, sink)
+	}
+	potential := make([]float64, n)
+	dist := make([]float64, n)
+	prevNode := make([]int, n)
+	prevArc := make([]int, n)
+
+	var totalCost float64
+	remaining := amount
+	for remaining > flowEps {
+		// Dijkstra on reduced costs.
+		for i := range dist {
+			dist[i] = math.Inf(1)
+			prevNode[i] = -1
+		}
+		dist[source] = 0
+		heap := NewFibHeap()
+		if err := heap.Insert(0, source); err != nil {
+			return 0, err
+		}
+		for heap.Len() > 0 {
+			d, u, err := heap.ExtractMin()
+			if err != nil {
+				return 0, err
+			}
+			if d > dist[u] {
+				continue
+			}
+			for ai, a := range f.arcs[u] {
+				if a.cap <= flowEps {
+					continue
+				}
+				rc := a.cost + potential[u] - potential[a.to]
+				if rc < 0 {
+					// Floating point slack only; clamp.
+					rc = 0
+				}
+				nd := d + rc
+				if nd < dist[a.to]-flowEps {
+					dist[a.to] = nd
+					prevNode[a.to] = u
+					prevArc[a.to] = ai
+					if heap.Contains(a.to) {
+						if err := heap.DecreaseKey(a.to, nd); err != nil {
+							return 0, err
+						}
+					} else if err := heap.Insert(nd, a.to); err != nil {
+						return 0, err
+					}
+				}
+			}
+		}
+		if math.IsInf(dist[sink], 1) {
+			return totalCost, fmt.Errorf("%w: %v units undelivered", ErrInfeasible, remaining)
+		}
+		for i := range potential {
+			if !math.IsInf(dist[i], 1) {
+				potential[i] += dist[i]
+			}
+		}
+		// Bottleneck along the path.
+		push := remaining
+		for v := sink; v != source; v = prevNode[v] {
+			a := f.arcs[prevNode[v]][prevArc[v]]
+			if a.cap < push {
+				push = a.cap
+			}
+		}
+		if push <= flowEps {
+			return totalCost, fmt.Errorf("%w: stalled with %v remaining", ErrInfeasible, remaining)
+		}
+		for v := sink; v != source; v = prevNode[v] {
+			arc := &f.arcs[prevNode[v]][prevArc[v]]
+			arc.cap -= push
+			f.arcs[v][arc.rev].cap += push
+			totalCost += push * arc.cost
+		}
+		remaining -= push
+	}
+	return totalCost, nil
+}

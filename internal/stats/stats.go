@@ -1,0 +1,185 @@
+// Package stats provides the small numeric toolkit the evaluation harness
+// uses: summary statistics, least-squares polynomial fits (the "fitted
+// curve" lines of the paper's figures), and series helpers.
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary condenses a sample set.
+type Summary struct {
+	Count  int
+	Mean   float64
+	Std    float64
+	Min    float64
+	Max    float64
+	Median float64
+}
+
+// Summarize computes a Summary; an empty input yields a zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{Count: len(xs), Min: xs[0], Max: xs[0]}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	if len(xs) > 1 {
+		s.Std = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	mid := len(sorted) / 2
+	if len(sorted)%2 == 1 {
+		s.Median = sorted[mid]
+	} else {
+		s.Median = (sorted[mid-1] + sorted[mid]) / 2
+	}
+	return s
+}
+
+// Polynomial is a fitted polynomial; Coeffs[i] multiplies x^i.
+type Polynomial struct {
+	Coeffs []float64
+}
+
+// Eval evaluates the polynomial by Horner's method.
+func (p Polynomial) Eval(x float64) float64 {
+	var y float64
+	for i := len(p.Coeffs) - 1; i >= 0; i-- {
+		y = y*x + p.Coeffs[i]
+	}
+	return y
+}
+
+// Fit errors.
+var (
+	ErrFitUnderdetermined = errors.New("stats: fewer points than coefficients")
+	ErrFitSingular        = errors.New("stats: singular normal equations")
+)
+
+// PolyFit fits a degree-d least-squares polynomial through the points by
+// solving the normal equations with Gaussian elimination and partial
+// pivoting.
+func PolyFit(xs, ys []float64, degree int) (Polynomial, error) {
+	if len(xs) != len(ys) {
+		return Polynomial{}, fmt.Errorf("stats: %d xs for %d ys", len(xs), len(ys))
+	}
+	if degree < 0 {
+		return Polynomial{}, fmt.Errorf("stats: negative degree %d", degree)
+	}
+	n := degree + 1
+	if len(xs) < n {
+		return Polynomial{}, fmt.Errorf("%w: %d points for degree %d", ErrFitUnderdetermined, len(xs), degree)
+	}
+	// Normal equations: A^T A c = A^T y with A the Vandermonde matrix.
+	ata := make([][]float64, n)
+	aty := make([]float64, n)
+	for i := range ata {
+		ata[i] = make([]float64, n)
+	}
+	powers := make([]float64, 2*n-1)
+	for _, x := range xs {
+		p := 1.0
+		for k := range powers {
+			powers[k] += p
+			p *= x
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			ata[i][j] = powers[i+j]
+		}
+	}
+	for k, x := range xs {
+		p := 1.0
+		for i := 0; i < n; i++ {
+			aty[i] += p * ys[k]
+			p *= x
+		}
+	}
+	coeffs, err := solveGaussian(ata, aty)
+	if err != nil {
+		return Polynomial{}, err
+	}
+	return Polynomial{Coeffs: coeffs}, nil
+}
+
+// solveGaussian solves Ax=b in place with partial pivoting.
+func solveGaussian(a [][]float64, b []float64) ([]float64, error) {
+	n := len(b)
+	for col := 0; col < n; col++ {
+		// Pivot.
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(a[pivot][col]) < 1e-12 {
+			return nil, ErrFitSingular
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		// Eliminate.
+		for r := col + 1; r < n; r++ {
+			f := a[r][col] / a[col][col]
+			for c := col; c < n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+			b[r] -= f * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		sum := b[r]
+		for c := r + 1; c < n; c++ {
+			sum -= a[r][c] * x[c]
+		}
+		x[r] = sum / a[r][r]
+	}
+	return x, nil
+}
+
+// Linspace returns n evenly spaced values from lo to hi inclusive.
+func Linspace(lo, hi float64, n int) []float64 {
+	if n <= 0 {
+		return nil
+	}
+	if n == 1 {
+		return []float64{lo}
+	}
+	out := make([]float64, n)
+	step := (hi - lo) / float64(n-1)
+	for i := range out {
+		out[i] = lo + float64(i)*step
+	}
+	return out
+}
+
+// Improvement returns the relative gain of a over b as a fraction
+// (0.5 = 50% better). A non-positive b yields 0.
+func Improvement(a, b float64) float64 {
+	if b <= 0 {
+		return 0
+	}
+	return a/b - 1
+}

@@ -1,0 +1,141 @@
+package stats
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.Count != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Errorf("summary %+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(2.5)) > 1e-12 {
+		t.Errorf("std %v", s.Std)
+	}
+	even := Summarize([]float64{1, 2, 3, 4})
+	if even.Median != 2.5 {
+		t.Errorf("even median %v", even.Median)
+	}
+	if empty := Summarize(nil); empty.Count != 0 {
+		t.Errorf("empty summary %+v", empty)
+	}
+	one := Summarize([]float64{7})
+	if one.Std != 0 || one.Median != 7 {
+		t.Errorf("single summary %+v", one)
+	}
+}
+
+// Property: min <= median <= max and min <= mean <= max.
+func TestSummarizeOrdering(t *testing.T) {
+	f := func(xs []float64) bool {
+		clean := make([]float64, 0, len(xs))
+		for _, x := range xs {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e9 {
+				clean = append(clean, x)
+			}
+		}
+		if len(clean) == 0 {
+			return true
+		}
+		s := Summarize(clean)
+		return s.Min <= s.Median+1e-9 && s.Median <= s.Max+1e-9 &&
+			s.Min <= s.Mean+1e-9 && s.Mean <= s.Max+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPolyFitExactRecovery: fitting points sampled from a polynomial of the
+// same degree recovers its coefficients.
+func TestPolyFitExactRecovery(t *testing.T) {
+	truth := Polynomial{Coeffs: []float64{2, -1, 0.5}} // 2 - x + 0.5x^2
+	xs := Linspace(-3, 3, 20)
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = truth.Eval(x)
+	}
+	got, err := PolyFit(xs, ys, 2)
+	if err != nil {
+		t.Fatalf("PolyFit: %v", err)
+	}
+	for i, c := range truth.Coeffs {
+		if math.Abs(got.Coeffs[i]-c) > 1e-8 {
+			t.Errorf("coefficient %d = %v, want %v", i, got.Coeffs[i], c)
+		}
+	}
+}
+
+func TestPolyFitLeastSquares(t *testing.T) {
+	// A line through noisy symmetric points: slope recovered, offset
+	// averaged.
+	xs := []float64{-1, -1, 1, 1}
+	ys := []float64{0.9, 1.1, 2.9, 3.1}
+	p, err := PolyFit(xs, ys, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p.Coeffs[0]-2) > 1e-9 || math.Abs(p.Coeffs[1]-1) > 1e-9 {
+		t.Errorf("fit %v, want [2 1]", p.Coeffs)
+	}
+}
+
+func TestPolyFitErrors(t *testing.T) {
+	if _, err := PolyFit([]float64{1}, []float64{1, 2}, 1); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := PolyFit([]float64{1}, []float64{1}, -1); err == nil {
+		t.Error("negative degree accepted")
+	}
+	if _, err := PolyFit([]float64{1}, []float64{1}, 3); !errors.Is(err, ErrFitUnderdetermined) {
+		t.Errorf("underdetermined error = %v", err)
+	}
+	// Identical x-values make the normal equations singular for degree 1.
+	if _, err := PolyFit([]float64{2, 2, 2}, []float64{1, 2, 3}, 1); !errors.Is(err, ErrFitSingular) {
+		t.Errorf("singular error = %v", err)
+	}
+}
+
+func TestEvalHorner(t *testing.T) {
+	p := Polynomial{Coeffs: []float64{1, 2, 3}} // 1 + 2x + 3x^2
+	if got := p.Eval(2); got != 17 {
+		t.Errorf("Eval(2) = %v", got)
+	}
+	if got := (Polynomial{}).Eval(5); got != 0 {
+		t.Errorf("empty polynomial Eval = %v", got)
+	}
+}
+
+func TestLinspace(t *testing.T) {
+	got := Linspace(0, 1, 5)
+	want := []float64{0, 0.25, 0.5, 0.75, 1}
+	if len(got) != len(want) {
+		t.Fatalf("len %d", len(got))
+	}
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Errorf("linspace[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if Linspace(0, 1, 0) != nil {
+		t.Error("n=0 should return nil")
+	}
+	if one := Linspace(3, 9, 1); len(one) != 1 || one[0] != 3 {
+		t.Errorf("n=1 = %v", one)
+	}
+}
+
+func TestImprovement(t *testing.T) {
+	if got := Improvement(150, 100); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Improvement = %v", got)
+	}
+	if got := Improvement(100, 0); got != 0 {
+		t.Errorf("zero base = %v", got)
+	}
+	if got := Improvement(80, 100); math.Abs(got+0.2) > 1e-12 {
+		t.Errorf("regression = %v", got)
+	}
+}

@@ -1,0 +1,101 @@
+package tec
+
+import "fmt"
+
+// Controller implements the prototype's on/off policy: the TEC powers on at
+// rated current when the monitored temperature exceeds the threshold and
+// powers off once it falls below threshold minus hysteresis. Profiling the
+// module offline and always running it at maximum cooling efficiency is
+// exactly what the paper's implementation section describes.
+type Controller struct {
+	device     Device
+	thresholdC float64
+	hysteresis float64
+
+	on       bool
+	onTimeS  float64
+	flips    int
+	energyJ  float64
+	pumpedJ  float64
+	lastHeat float64
+}
+
+// NewController builds a controller around the device. Threshold is the
+// hot-spot trigger (the paper uses 45 degC) and hysteresis the cool-down
+// band before switching off.
+func NewController(d Device, thresholdC, hysteresisC float64) (*Controller, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if hysteresisC < 0 {
+		return nil, fmt.Errorf("tec: negative hysteresis %v", hysteresisC)
+	}
+	return &Controller{device: d, thresholdC: thresholdC, hysteresis: hysteresisC}, nil
+}
+
+// Device returns the controlled module.
+func (c *Controller) Device() Device { return c.device }
+
+// On reports whether the TEC is currently powered.
+func (c *Controller) On() bool { return c.on }
+
+// Flips returns how many times the TEC changed on/off state.
+func (c *Controller) Flips() int { return c.flips }
+
+// OnTimeS returns the cumulative powered time.
+func (c *Controller) OnTimeS() float64 { return c.onTimeS }
+
+// EnergyJ returns the cumulative electrical energy consumed.
+func (c *Controller) EnergyJ() float64 { return c.energyJ }
+
+// PumpedJ returns the cumulative heat moved off the cold face.
+func (c *Controller) PumpedJ() float64 { return c.pumpedJ }
+
+// Output is the thermal/electrical effect of one controller step.
+type Output struct {
+	On       bool
+	CurrentA float64
+	// PowerW is the electrical draw the battery must serve.
+	PowerW float64
+	// CPUCoolingW is the heat removed from the cold-face node.
+	CPUCoolingW float64
+	// RejectedHeatW is the heat released at the hot face; the simulation
+	// injects it into the heat-spreader node.
+	RejectedHeatW float64
+}
+
+// Step updates the on/off state from the monitored cold-face temperature
+// and returns the TEC's effect over the next dt seconds. hotC is the
+// hot-face (body) temperature.
+func (c *Controller) Step(coldC, hotC, dt float64) Output {
+	prev := c.on
+	switch {
+	case coldC >= c.thresholdC:
+		c.on = true
+	case coldC < c.thresholdC-c.hysteresis:
+		c.on = false
+	}
+	if c.on != prev {
+		c.flips++
+	}
+	if !c.on {
+		return Output{}
+	}
+	i := c.device.RatedCurrentA(coldC)
+	pumped := c.device.HeatPumpedW(i, coldC, hotC)
+	if pumped < 0 {
+		pumped = 0
+	}
+	power := c.device.PowerW(i, coldC, hotC)
+	c.onTimeS += dt
+	c.energyJ += power * dt
+	c.pumpedJ += pumped * dt
+	c.lastHeat = pumped
+	return Output{
+		On:            true,
+		CurrentA:      i,
+		PowerW:        power,
+		CPUCoolingW:   pumped,
+		RejectedHeatW: pumped + power,
+	}
+}

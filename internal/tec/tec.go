@@ -1,0 +1,102 @@
+// Package tec models a thermoelectric cooler (Peltier device) and its
+// on/off controller. CAPMAN mounts the TEC on the CPU hot spot and, when the
+// surface temperature exceeds 45 degC, drives it at its rated operating
+// current — the current that maximises the temperature difference between
+// its faces (paper Figure 6, bottom).
+package tec
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Device is a TEC characterised by its Seebeck coefficient, electrical
+// resistance and thermal conductance, following the model of Dai et al.
+// cited by the paper:
+//
+//	Qc = S*Tc*I - I^2*R/2 - K*(Th - Tc)   (heat pumped from the cold face)
+//	P  = S*I*(Th - Tc) + I^2*R            (electrical power consumed)
+type Device struct {
+	// SeebeckVK is the module Seebeck coefficient in V/K.
+	SeebeckVK float64
+	// ResistanceOhm is the module electrical resistance.
+	ResistanceOhm float64
+	// ConductanceWK is the module thermal conductance in W/K.
+	ConductanceWK float64
+	// MaxCurrentA is the manufacturer's absolute maximum current.
+	MaxCurrentA float64
+}
+
+// Validate reports the first problem with the device constants.
+func (d Device) Validate() error {
+	switch {
+	case d.SeebeckVK <= 0:
+		return fmt.Errorf("%w: Seebeck %v V/K", errBadDevice, d.SeebeckVK)
+	case d.ResistanceOhm <= 0:
+		return fmt.Errorf("%w: resistance %v ohm", errBadDevice, d.ResistanceOhm)
+	case d.ConductanceWK <= 0:
+		return fmt.Errorf("%w: conductance %v W/K", errBadDevice, d.ConductanceWK)
+	case d.MaxCurrentA <= 0:
+		return fmt.Errorf("%w: max current %v A", errBadDevice, d.MaxCurrentA)
+	}
+	return nil
+}
+
+var errBadDevice = errors.New("tec: invalid device constants")
+
+// ATE31 approximates the ATE-31-2.2A module of the prototype (2 mm thick,
+// under 2 g, 2.2 A absolute maximum) with constants placing the peak
+// no-load temperature difference near 1.0 A — the paper's rated operating
+// current — and an electrical draw of roughly 0.7 W when running, which is
+// what lifts the fully utilised system to the ~2.3 W peak active power of
+// Figure 13.
+func ATE31() Device {
+	return Device{
+		SeebeckVK:     0.0022,
+		ResistanceOhm: 0.7,
+		ConductanceWK: 0.02,
+		MaxCurrentA:   2.2,
+	}
+}
+
+// kelvin converts Celsius to Kelvin.
+func kelvin(c float64) float64 { return c + 273.15 }
+
+// HeatPumpedW returns Qc, the heat extracted from the cold face, at
+// operating current i with cold/hot face temperatures in Celsius. Negative
+// values mean the module conducts heat backwards faster than it pumps.
+func (d Device) HeatPumpedW(i, coldC, hotC float64) float64 {
+	tc := kelvin(coldC)
+	return d.SeebeckVK*tc*i - 0.5*i*i*d.ResistanceOhm - d.ConductanceWK*(hotC-coldC)
+}
+
+// PowerW returns the electrical power drawn at current i with the given
+// face temperatures in Celsius.
+func (d Device) PowerW(i, coldC, hotC float64) float64 {
+	return d.SeebeckVK*i*(hotC-coldC) + i*i*d.ResistanceOhm
+}
+
+// HeatRejectedW is the heat released at the hot face: pumped heat plus the
+// electrical power.
+func (d Device) HeatRejectedW(i, coldC, hotC float64) float64 {
+	return d.HeatPumpedW(i, coldC, hotC) + d.PowerW(i, coldC, hotC)
+}
+
+// MaxDeltaT returns the zero-load temperature difference sustained at
+// current i with the cold face at coldC: the ΔT where Qc = 0. This is the
+// curve of Figure 6 (bottom).
+func (d Device) MaxDeltaT(i, coldC float64) float64 {
+	tc := kelvin(coldC)
+	return (d.SeebeckVK*tc*i - 0.5*i*i*d.ResistanceOhm) / d.ConductanceWK
+}
+
+// RatedCurrentA returns the current that maximises MaxDeltaT at the given
+// cold-face temperature: d(ΔTmax)/dI = 0 gives I* = S*Tc/R, clamped to the
+// device maximum.
+func (d Device) RatedCurrentA(coldC float64) float64 {
+	i := d.SeebeckVK * kelvin(coldC) / d.ResistanceOhm
+	if i > d.MaxCurrentA {
+		i = d.MaxCurrentA
+	}
+	return i
+}

@@ -1,0 +1,172 @@
+package tec
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestATE31Valid(t *testing.T) {
+	if err := ATE31().Validate(); err != nil {
+		t.Fatalf("ATE31 invalid: %v", err)
+	}
+}
+
+func TestDeviceValidate(t *testing.T) {
+	bad := []Device{
+		{},
+		{SeebeckVK: 0.002},
+		{SeebeckVK: 0.002, ResistanceOhm: 0.7},
+		{SeebeckVK: 0.002, ResistanceOhm: 0.7, ConductanceWK: 0.02},
+		{SeebeckVK: -1, ResistanceOhm: 0.7, ConductanceWK: 0.02, MaxCurrentA: 2},
+	}
+	for i, d := range bad {
+		if err := d.Validate(); err == nil {
+			t.Errorf("bad device %d accepted", i)
+		}
+	}
+}
+
+// TestFig6SinglePeak: MaxDeltaT over current has exactly one interior
+// maximum, near the rated current (the paper's Figure 6 bottom curve).
+func TestFig6SinglePeak(t *testing.T) {
+	d := ATE31()
+	const cold = 45.0
+	rated := d.RatedCurrentA(cold)
+	if rated < 0.8 || rated > 1.3 {
+		t.Errorf("rated current %.2fA; the paper places the peak near 1.0A", rated)
+	}
+	// The curve rises before the peak and falls after.
+	prev := d.MaxDeltaT(0, cold)
+	rising := true
+	changes := 0
+	for i := 0.05; i <= d.MaxCurrentA; i += 0.05 {
+		cur := d.MaxDeltaT(i, cold)
+		nowRising := cur >= prev
+		if nowRising != rising {
+			changes++
+			rising = nowRising
+		}
+		prev = cur
+	}
+	if changes != 1 {
+		t.Errorf("dT curve changed direction %d times, want exactly 1 (single peak)", changes)
+	}
+	// Analytic optimum: d(dTmax)/dI = 0 at I = S*Tc/R.
+	want := d.SeebeckVK * (cold + 273.15) / d.ResistanceOhm
+	if math.Abs(rated-want) > 1e-9 {
+		t.Errorf("rated current %v, analytic %v", rated, want)
+	}
+}
+
+func TestRatedCurrentClamped(t *testing.T) {
+	d := ATE31()
+	d.SeebeckVK = 0.02 // would put S*Tc/R above MaxCurrent
+	if got := d.RatedCurrentA(45); got != d.MaxCurrentA {
+		t.Errorf("rated current %v not clamped to max %v", got, d.MaxCurrentA)
+	}
+}
+
+// TestEnergyBalance: heat rejected at the hot face equals pumped heat plus
+// electrical power (first law).
+func TestEnergyBalance(t *testing.T) {
+	d := ATE31()
+	f := func(rawI, rawC, rawH uint8) bool {
+		i := float64(rawI%22) / 10
+		cold := 20 + float64(rawC%40)
+		hot := cold + float64(rawH%30) - 10
+		got := d.HeatRejectedW(i, cold, hot)
+		want := d.HeatPumpedW(i, cold, hot) + d.PowerW(i, cold, hot)
+		return math.Abs(got-want) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSecondLaw: pumping against a temperature gradient costs electrical
+// power; at the rated point COP = Qc/P stays below a Carnot-ish bound.
+func TestSecondLaw(t *testing.T) {
+	d := ATE31()
+	i := d.RatedCurrentA(45)
+	qc := d.HeatPumpedW(i, 45, 50)
+	p := d.PowerW(i, 45, 50)
+	if p <= 0 {
+		t.Fatalf("no electrical power at rated current")
+	}
+	if qc/p > 2 {
+		t.Errorf("COP %v implausibly high for a TEC near rated current", qc/p)
+	}
+}
+
+func TestHeatPumpedBackwardGradient(t *testing.T) {
+	d := ATE31()
+	// Hot face colder than cold face: conduction aids pumping.
+	forward := d.HeatPumpedW(1, 45, 50)
+	aided := d.HeatPumpedW(1, 45, 30)
+	if aided <= forward {
+		t.Errorf("reverse gradient should aid pumping: %v <= %v", aided, forward)
+	}
+}
+
+func TestControllerThresholdHysteresis(t *testing.T) {
+	c, err := NewController(ATE31(), 45, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := c.Step(40, 30, 1); out.On {
+		t.Error("TEC on below threshold")
+	}
+	out := c.Step(46, 30, 1)
+	if !out.On {
+		t.Fatal("TEC off above threshold")
+	}
+	if out.PowerW <= 0 || out.CPUCoolingW < 0 || out.RejectedHeatW < out.PowerW {
+		t.Errorf("implausible output %+v", out)
+	}
+	// Inside the hysteresis band it stays on.
+	if out := c.Step(43, 30, 1); !out.On {
+		t.Error("TEC dropped inside the hysteresis band")
+	}
+	// Below threshold - hysteresis it turns off.
+	if out := c.Step(41.9, 30, 1); out.On {
+		t.Error("TEC still on below the hysteresis floor")
+	}
+	if c.Flips() != 2 {
+		t.Errorf("flips = %d, want 2", c.Flips())
+	}
+}
+
+func TestControllerAccounting(t *testing.T) {
+	c, err := NewController(ATE31(), 45, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		c.Step(50, 55, 2)
+	}
+	if got := c.OnTimeS(); math.Abs(got-20) > 1e-9 {
+		t.Errorf("on time %v, want 20", got)
+	}
+	if c.EnergyJ() <= 0 {
+		t.Error("no energy accounted")
+	}
+	if c.PumpedJ() < 0 {
+		t.Error("negative pumped heat")
+	}
+	if !c.On() {
+		t.Error("controller should be on")
+	}
+	if c.Device() != ATE31() {
+		t.Error("device accessor mismatch")
+	}
+}
+
+func TestControllerValidation(t *testing.T) {
+	if _, err := NewController(Device{}, 45, 3); err == nil {
+		t.Error("invalid device accepted")
+	}
+	if _, err := NewController(ATE31(), 45, -1); err == nil {
+		t.Error("negative hysteresis accepted")
+	}
+}

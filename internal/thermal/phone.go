@@ -1,0 +1,77 @@
+package thermal
+
+// Phone node indices for networks built by PhoneNetwork.
+const (
+	NodeCPU = iota
+	NodeBattery
+	NodeBody
+	NodeSpreader
+	NodeAmbient
+	phoneNodeCount
+)
+
+// PhoneConfig sizes the standard five-node phone network of Figure 6 (top):
+// the CPU hot spot, the battery, the body/back-cover (which includes the
+// passive cooling plate), the TEC hot-face heat spreader, and the ambient
+// boundary.
+type PhoneConfig struct {
+	AmbientC float64
+
+	CPUCapacityJK      float64
+	BatteryCapacityJK  float64
+	BodyCapacityJK     float64
+	SpreaderCapacityJK float64
+
+	RCPUBody         float64 // CPU -> body spreading resistance
+	RBatteryBody     float64
+	RBodyAmbient     float64 // body -> air, includes the passive cooling plate
+	RCPUBattery      float64 // direct coupling: the battery sits near the SoC
+	RSpreaderAmbient float64 // TEC hot-face exhaust path
+	RSpreaderBody    float64 // weak parasitic coupling back into the body
+}
+
+// DefaultPhoneConfig returns constants calibrated so that a sustained
+// ~2.3 W system load (the paper's peak active power) drives the CPU node
+// past the 45 degC hot-spot threshold at a 25 degC ambient, while light
+// loads (~0.5 W) stay well below it.
+func DefaultPhoneConfig() PhoneConfig {
+	return PhoneConfig{
+		AmbientC:           25,
+		CPUCapacityJK:      2.5,
+		BatteryCapacityJK:  45,
+		BodyCapacityJK:     110,
+		SpreaderCapacityJK: 8,
+		RCPUBody:           13.0,
+		RBatteryBody:       4.0,
+		RBodyAmbient:       11.0,
+		RCPUBattery:        14.0,
+		RSpreaderAmbient:   3.0,
+		RSpreaderBody:      20.0,
+	}
+}
+
+// PhoneNetwork builds the standard phone network.
+func PhoneNetwork(cfg PhoneConfig) (*Network, error) {
+	nodes := make([]Node, phoneNodeCount)
+	nodes[NodeCPU] = Node{Name: "cpu", CapacityJK: cfg.CPUCapacityJK, InitialC: cfg.AmbientC}
+	nodes[NodeBattery] = Node{Name: "battery", CapacityJK: cfg.BatteryCapacityJK, InitialC: cfg.AmbientC}
+	nodes[NodeBody] = Node{Name: "body", CapacityJK: cfg.BodyCapacityJK, InitialC: cfg.AmbientC}
+	nodes[NodeSpreader] = Node{Name: "spreader", CapacityJK: cfg.SpreaderCapacityJK, InitialC: cfg.AmbientC}
+	nodes[NodeAmbient] = Node{Name: "ambient", CapacityJK: 0, InitialC: cfg.AmbientC}
+	links := []Link{
+		{A: NodeCPU, B: NodeBody, RKW: cfg.RCPUBody},
+		{A: NodeBattery, B: NodeBody, RKW: cfg.RBatteryBody},
+		{A: NodeBody, B: NodeAmbient, RKW: cfg.RBodyAmbient},
+		{A: NodeCPU, B: NodeBattery, RKW: cfg.RCPUBattery},
+		{A: NodeSpreader, B: NodeAmbient, RKW: cfg.RSpreaderAmbient},
+		{A: NodeSpreader, B: NodeBody, RKW: cfg.RSpreaderBody},
+	}
+	return NewNetwork(nodes, links)
+}
+
+// HotSpotThresholdC is the surface temperature the paper treats as a hot
+// spot requiring active cooling (Wienert et al.'s 45 degC skin limit).
+const HotSpotThresholdC = 45.0
+
+// IsHotSpot reports whether the temperature crosses the hot-spot threshold.
+func IsHotSpot(tempC float64) bool { return tempC >= HotSpotThresholdC }

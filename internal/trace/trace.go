@@ -1,0 +1,143 @@
+// Package trace records and replays simulation time series: the software
+// demand stream fed to the phone and the sampled power/voltage/temperature
+// measurements an Agilent multimeter would have produced on the physical
+// prototype. Traces serialise as JSON for offline inspection and replay.
+package trace
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/device"
+	"repro/internal/workload"
+)
+
+// DemandRecord is one tick of recorded software demand.
+type DemandRecord struct {
+	At     float64       `json:"at"`
+	Demand device.Demand `json:"demand"`
+	Action int           `json:"action"`
+}
+
+// Sample is one measurement tick.
+type Sample struct {
+	At        float64 `json:"at"`
+	PowerW    float64 `json:"powerW"`    // total system power incl. TEC
+	TECW      float64 `json:"tecW"`      // TEC electrical power
+	VoltageV  float64 `json:"voltageV"`  // active-cell terminal voltage
+	CurrentA  float64 `json:"currentA"`  // active-cell current
+	CPUTempC  float64 `json:"cpuTempC"`  // hot-spot temperature
+	BodyTempC float64 `json:"bodyTempC"` // surface temperature
+	Battery   string  `json:"battery"`   // active selection name
+	SoCBig    float64 `json:"socBig"`
+	SoCLittle float64 `json:"socLittle"`
+}
+
+// Trace is a recorded run.
+type Trace struct {
+	Workload string         `json:"workload"`
+	Phone    string         `json:"phone"`
+	Policy   string         `json:"policy"`
+	DT       float64        `json:"dt"`
+	Demands  []DemandRecord `json:"demands,omitempty"`
+	Samples  []Sample       `json:"samples,omitempty"`
+}
+
+// Write serialises the trace as indented JSON.
+func (t *Trace) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(t); err != nil {
+		return fmt.Errorf("encode trace: %w", err)
+	}
+	return nil
+}
+
+// Read parses a trace produced by Write.
+func Read(r io.Reader) (*Trace, error) {
+	var t Trace
+	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		return nil, fmt.Errorf("decode trace: %w", err)
+	}
+	if t.DT <= 0 {
+		return nil, errors.New("trace: non-positive dt")
+	}
+	return &t, nil
+}
+
+// Replayer plays a recorded demand stream back as a workload.Generator.
+// Past the end of the recording it holds the final demand.
+type Replayer struct {
+	name    string
+	dt      float64
+	records []DemandRecord
+	idx     int
+}
+
+// Compile-time interface check.
+var _ workload.Generator = (*Replayer)(nil)
+
+// NewReplayer builds a generator from a recorded trace.
+func NewReplayer(t *Trace) (*Replayer, error) {
+	if len(t.Demands) == 0 {
+		return nil, errors.New("trace: no demand records to replay")
+	}
+	return &Replayer{
+		name:    "replay:" + t.Workload,
+		dt:      t.DT,
+		records: t.Demands,
+	}, nil
+}
+
+// Name implements workload.Generator.
+func (r *Replayer) Name() string { return r.name }
+
+// Len returns the number of recorded ticks.
+func (r *Replayer) Len() int { return len(r.records) }
+
+// Duration returns the recorded span in seconds.
+func (r *Replayer) Duration() float64 { return float64(len(r.records)) * r.dt }
+
+// Next implements workload.Generator by time-indexed lookup.
+func (r *Replayer) Next(now, dt float64) workload.Step {
+	i := int(now / r.dt)
+	if i >= len(r.records) {
+		i = len(r.records) - 1
+	}
+	rec := r.records[i]
+	act := workload.Action(rec.Action)
+	if i == r.idx {
+		// Repeated queries inside the same recorded tick suppress the
+		// action so replays do not duplicate events at finer steps.
+		act = workload.ActNone
+	}
+	r.idx = i
+	return workload.Step{Demand: rec.Demand, Action: act}
+}
+
+// Recorder captures the demand stream of a wrapped generator.
+type Recorder struct {
+	inner   workload.Generator
+	records []DemandRecord
+}
+
+// Compile-time interface check.
+var _ workload.Generator = (*Recorder)(nil)
+
+// NewRecorder wraps a generator.
+func NewRecorder(g workload.Generator) *Recorder { return &Recorder{inner: g} }
+
+// Name implements workload.Generator.
+func (r *Recorder) Name() string { return r.inner.Name() }
+
+// Next implements workload.Generator, recording each step.
+func (r *Recorder) Next(now, dt float64) workload.Step {
+	s := r.inner.Next(now, dt)
+	r.records = append(r.records, DemandRecord{At: now, Demand: s.Demand, Action: int(s.Action)})
+	return s
+}
+
+// Records returns the captured demand stream.
+func (r *Recorder) Records() []DemandRecord { return r.records }

@@ -1,0 +1,41 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzRead checks the trace parser never panics and that accepted traces
+// survive a write/read round trip.
+func FuzzRead(f *testing.F) {
+	var seed bytes.Buffer
+	t0 := &Trace{Workload: "seed", DT: 0.25, Demands: []DemandRecord{{At: 0}}}
+	if err := t0.Write(&seed); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.String())
+	f.Add(`{"dt": 1}`)
+	f.Add(`{"dt": 0}`)
+	f.Add(`not json at all`)
+	f.Fuzz(func(t *testing.T, raw string) {
+		parsed, err := Read(strings.NewReader(raw))
+		if err != nil {
+			return
+		}
+		if parsed.DT <= 0 {
+			t.Fatalf("accepted trace with dt %v", parsed.DT)
+		}
+		var buf bytes.Buffer
+		if err := parsed.Write(&buf); err != nil {
+			t.Fatalf("rewrite: %v", err)
+		}
+		again, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("reparse: %v", err)
+		}
+		if again.DT != parsed.DT || len(again.Demands) != len(parsed.Demands) {
+			t.Fatal("round trip changed the trace")
+		}
+	})
+}

@@ -1,0 +1,170 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/workload"
+)
+
+func recordedTrace(t *testing.T, seconds float64) *Trace {
+	t.Helper()
+	const dt = 0.25
+	rec := NewRecorder(workload.NewVideo(3))
+	for now := 0.0; now < seconds; now += dt {
+		rec.Next(now, dt)
+	}
+	return &Trace{Workload: rec.Name(), Phone: "Nexus", Policy: "Dual", DT: dt, Demands: rec.Records()}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	orig := recordedTrace(t, 60)
+	orig.Samples = []Sample{{At: 1, PowerW: 1.5, Battery: "big", SoCBig: 0.9}}
+	var buf bytes.Buffer
+	if err := orig.Write(&buf); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if got.Workload != orig.Workload || got.Phone != orig.Phone || got.Policy != orig.Policy || got.DT != orig.DT {
+		t.Errorf("metadata mismatch: %+v", got)
+	}
+	if len(got.Demands) != len(orig.Demands) {
+		t.Fatalf("%d demands, want %d", len(got.Demands), len(orig.Demands))
+	}
+	for i := range got.Demands {
+		if got.Demands[i] != orig.Demands[i] {
+			t.Fatalf("demand %d mismatch: %+v vs %+v", i, got.Demands[i], orig.Demands[i])
+		}
+	}
+	if len(got.Samples) != 1 || got.Samples[0] != orig.Samples[0] {
+		t.Errorf("samples mismatch: %+v", got.Samples)
+	}
+}
+
+func TestReadRejectsBadInput(t *testing.T) {
+	if _, err := Read(strings.NewReader("{not json")); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	if _, err := Read(strings.NewReader(`{"dt": 0}`)); err == nil {
+		t.Error("zero dt accepted")
+	}
+}
+
+func TestRecorderPassthrough(t *testing.T) {
+	inner := workload.NewVideo(3)
+	ref := workload.NewVideo(3)
+	rec := NewRecorder(inner)
+	if rec.Name() != ref.Name() {
+		t.Errorf("recorder name %q", rec.Name())
+	}
+	const dt = 0.25
+	for now := 0.0; now < 30; now += dt {
+		got := rec.Next(now, dt)
+		want := ref.Next(now, dt)
+		if got != want {
+			t.Fatalf("recorder altered the stream at %.2fs", now)
+		}
+	}
+	if len(rec.Records()) != int(30/dt) {
+		t.Errorf("recorded %d ticks", len(rec.Records()))
+	}
+}
+
+func TestReplayerReproducesDemands(t *testing.T) {
+	tr := recordedTrace(t, 60)
+	rep, err := NewReplayer(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Len() != len(tr.Demands) {
+		t.Errorf("replayer length %d", rep.Len())
+	}
+	if rep.Duration() != 60 {
+		t.Errorf("duration %v", rep.Duration())
+	}
+	for i, want := range tr.Demands {
+		got := rep.Next(want.At, tr.DT)
+		if got.Demand != want.Demand {
+			t.Fatalf("tick %d demand mismatch", i)
+		}
+	}
+}
+
+func TestReplayerSuppressesRepeatedActions(t *testing.T) {
+	tr := recordedTrace(t, 10)
+	rep, err := NewReplayer(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := rep.Next(1.0, tr.DT)
+	second := rep.Next(1.0, tr.DT) // same recorded tick
+	if second.Action != workload.ActNone && second.Action == first.Action {
+		t.Error("repeated query re-emitted the action")
+	}
+	if second.Demand != first.Demand {
+		t.Error("repeated query changed the demand")
+	}
+}
+
+func TestReplayerHoldsFinalDemand(t *testing.T) {
+	tr := recordedTrace(t, 10)
+	rep, err := NewReplayer(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := tr.Demands[len(tr.Demands)-1]
+	got := rep.Next(1e6, tr.DT)
+	if got.Demand != last.Demand {
+		t.Errorf("past-the-end demand %+v, want %+v", got.Demand, last.Demand)
+	}
+}
+
+func TestNewReplayerEmpty(t *testing.T) {
+	if _, err := NewReplayer(&Trace{DT: 0.25}); err == nil {
+		t.Error("empty trace accepted")
+	}
+}
+
+func TestReplayedRunMatchesLive(t *testing.T) {
+	// A phone driven by the replayer consumes the same energy as one
+	// driven by the live generator.
+	const dt, span = 0.25, 120.0
+	live, err := device.NewPhone(device.Nexus())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewRecorder(workload.NewPCMark(5))
+	var liveJ float64
+	for now := 0.0; now < span; now += dt {
+		s := rec.Next(now, dt)
+		if err := live.Apply(s.Demand); err != nil {
+			t.Fatal(err)
+		}
+		liveJ += live.Power().Total() * dt
+	}
+	tr := &Trace{Workload: "pcmark", DT: dt, Demands: rec.Records()}
+	rep, err := NewReplayer(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := device.NewPhone(device.Nexus())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var replayJ float64
+	for now := 0.0; now < span; now += dt {
+		s := rep.Next(now, dt)
+		if err := replayed.Apply(s.Demand); err != nil {
+			t.Fatal(err)
+		}
+		replayJ += replayed.Power().Total() * dt
+	}
+	if liveJ != replayJ {
+		t.Errorf("live %.3fJ, replayed %.3fJ", liveJ, replayJ)
+	}
+}

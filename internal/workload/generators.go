@@ -1,0 +1,370 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/device"
+)
+
+// Idle keeps the phone on and idle ("keeping the phone screen on",
+// Figure 2a): deepest CPU idle, screen off, radio idle, with a periodic
+// background sync blip.
+type Idle struct {
+	rng      *rand.Rand
+	nextSync float64
+	syncing  float64 // remaining seconds of the current sync burst
+}
+
+// NewIdle builds the generator.
+func NewIdle(seed int64) *Idle {
+	return &Idle{rng: newRNG(seed), nextSync: 30}
+}
+
+// Name implements Generator.
+func (g *Idle) Name() string { return "Idle" }
+
+// Next implements Generator.
+func (g *Idle) Next(now, dt float64) Step {
+	if g.syncing > 0 {
+		g.syncing -= dt
+		d := sleepDemand()
+		d.CPUState = device.CPUC1
+		d.WiFi = device.WiFiAccess
+		d.PacketRate = 200
+		return Step{Demand: d, Action: ActSyncTick}
+	}
+	if now >= g.nextSync {
+		g.nextSync = now + 25 + 10*g.rng.Float64()
+		g.syncing = 0.4
+		return Step{Demand: sleepDemand(), Action: ActWake}
+	}
+	return Step{Demand: sleepDemand(), Action: ActNone}
+}
+
+// Geekbench is the paper's resource-intensive benchmark: it "always
+// fulfills the system utilization", alternating compute- and memory-bound
+// phases at full tilt with the screen on.
+type Geekbench struct {
+	rng       *rand.Rand
+	phaseEnd  float64
+	inCompute bool
+	started   bool
+}
+
+// NewGeekbench builds the generator.
+func NewGeekbench(seed int64) *Geekbench {
+	return &Geekbench{rng: newRNG(seed), inCompute: true}
+}
+
+// Name implements Generator.
+func (g *Geekbench) Name() string { return "Geekbench" }
+
+// Next implements Generator.
+func (g *Geekbench) Next(now, dt float64) Step {
+	action := ActNone
+	if !g.started {
+		g.started = true
+		g.phaseEnd = now + 20 + 20*g.rng.Float64()
+		action = ActAppLaunch
+	} else if now >= g.phaseEnd {
+		g.inCompute = !g.inCompute
+		g.phaseEnd = now + 20 + 20*g.rng.Float64()
+		if g.inCompute {
+			action = ActComputeStart
+		} else {
+			action = ActComputeEnd
+		}
+	}
+	d := device.Demand{
+		CPUState:   device.CPUC0,
+		Screen:     device.ScreenOn,
+		Brightness: 0.5,
+		WiFi:       device.WiFiIdle,
+	}
+	if g.inCompute {
+		d.CPUUtil = 0.97 + 0.03*g.rng.Float64()
+		d.CPUFreqIdx = 3
+	} else {
+		d.CPUUtil = 0.82 + 0.08*g.rng.Float64()
+		d.CPUFreqIdx = 2
+	}
+	return Step{Demand: d, Action: action}
+}
+
+// PCMark is the paper's CPU-intensive benchmark "modified with occasional
+// user interactions": bursts of near-full utilisation separated by lulls,
+// punctuated by app launches that surge CPU and radio together.
+type PCMark struct {
+	rng *rand.Rand
+
+	mode     int // 0 lull, 1 burst, 2 launch surge
+	modeEnd  float64
+	nextUser float64
+	started  bool
+}
+
+// NewPCMark builds the generator.
+func NewPCMark(seed int64) *PCMark {
+	return &PCMark{rng: newRNG(seed), nextUser: 15}
+}
+
+// Name implements Generator.
+func (g *PCMark) Name() string { return "PCMark" }
+
+// Next implements Generator.
+func (g *PCMark) Next(now, dt float64) Step {
+	action := ActNone
+	if !g.started {
+		g.started = true
+		g.mode = 1
+		g.modeEnd = now + 3
+		action = ActAppLaunch
+	}
+	if now >= g.modeEnd {
+		switch g.mode {
+		case 0: // lull -> burst or launch surge
+			if g.rng.Float64() < 0.25 {
+				g.mode = 2
+				g.modeEnd = now + 1 + g.rng.Float64()
+				action = ActAppLaunch
+			} else {
+				g.mode = 1
+				g.modeEnd = now + 2 + 6*g.rng.Float64()
+				action = ActComputeStart
+			}
+		case 1: // burst -> lull
+			g.mode = 0
+			g.modeEnd = now + 2 + 8*g.rng.Float64()
+			action = ActComputeEnd
+		case 2: // launch surge -> burst
+			g.mode = 1
+			g.modeEnd = now + 2 + 4*g.rng.Float64()
+			action = ActNetFetchEnd
+		}
+	}
+	if now >= g.nextUser {
+		g.nextUser = now + 10 + 20*g.rng.Float64()
+		if action == ActNone {
+			action = ActUserTouch
+		}
+	}
+	d := device.Demand{
+		CPUState:   device.CPUC0,
+		Screen:     device.ScreenOn,
+		Brightness: 0.5,
+		WiFi:       device.WiFiIdle,
+	}
+	switch g.mode {
+	case 0:
+		d.CPUState = device.CPUC1
+		d.CPUUtil = 0
+		d.CPUFreqIdx = 0
+	case 1:
+		d.CPUUtil = 0.85 + 0.15*g.rng.Float64()
+		d.CPUFreqIdx = 3
+	case 2:
+		d.CPUUtil = 1.0
+		d.CPUFreqIdx = 3
+		d.WiFi = device.WiFiSend
+		d.PacketRate = 2000
+	}
+	return Step{Demand: d, Action: action}
+}
+
+// Video streams short videos: a steady decode load with periodic buffer
+// refills that surge the radio, plus occasional seek/relaunch spikes (the
+// user skipping to the next short video) that push the radio and screen to
+// their peaks — the "dynamic" demand pattern where CAPMAN shines
+// (Figure 12c).
+type Video struct {
+	rng      *rand.Rand
+	steady   bool    // suppress seek spikes (the Figure 2a simple app)
+	fetching float64 // remaining seconds of the current chunk fetch
+	spiking  float64 // remaining seconds of the current seek spike
+	nextF    float64
+	nextSeek float64
+	started  bool
+}
+
+// NewVideo builds the generator.
+func NewVideo(seed int64) *Video {
+	return &Video{rng: newRNG(seed)}
+}
+
+// NewSteadyVideo builds the motivation section's simple "streaming video"
+// application (Figure 2a): the same decode-plus-fetch pattern without the
+// user-driven seek spikes of the evaluation workload.
+func NewSteadyVideo(seed int64) *Video {
+	return &Video{rng: newRNG(seed), steady: true}
+}
+
+// Name implements Generator.
+func (g *Video) Name() string {
+	if g.steady {
+		return "VideoSteady"
+	}
+	return "Video"
+}
+
+// Next implements Generator.
+func (g *Video) Next(now, dt float64) Step {
+	action := ActFrameDecode
+	if !g.started {
+		g.started = true
+		g.nextF = now + 1
+		g.nextSeek = now + 20 + 20*g.rng.Float64()
+		action = ActAppLaunch
+	}
+	d := device.Demand{
+		CPUState:   device.CPUC0,
+		CPUUtil:    0.25 + 0.05*g.rng.Float64(),
+		CPUFreqIdx: 1,
+		Screen:     device.ScreenOn,
+		Brightness: 0.6,
+		WiFi:       device.WiFiIdle,
+	}
+	if g.spiking > 0 {
+		g.spiking -= dt
+		d.CPUUtil = 1.0
+		d.CPUFreqIdx = 3
+		d.Brightness = 1.0
+		d.WiFi = device.WiFiSend
+		d.PacketRate = 2600
+		if g.spiking <= 0 {
+			action = ActNetFetchEnd
+		}
+		return Step{Demand: d, Action: action}
+	}
+	if g.fetching > 0 {
+		g.fetching -= dt
+		d.WiFi = device.WiFiSend
+		d.PacketRate = 1300
+		d.CPUUtil = 0.45
+		d.CPUFreqIdx = 2
+		if g.fetching <= 0 {
+			action = ActNetFetchEnd
+		}
+		return Step{Demand: d, Action: action}
+	}
+	if !g.steady && now >= g.nextSeek {
+		g.nextSeek = now + 25 + 30*g.rng.Float64()
+		g.spiking = 0.9 + 0.6*g.rng.Float64()
+		return Step{Demand: d, Action: ActUserTouch}
+	}
+	if now >= g.nextF {
+		g.nextF = now + 4 + 4*g.rng.Float64()
+		g.fetching = 0.8 + 0.6*g.rng.Float64()
+		return Step{Demand: d, Action: ActNetFetchStart}
+	}
+	return Step{Demand: d, Action: action}
+}
+
+// EtaStatic mixes PCMark and Video segments; Eta is the fraction of time
+// spent in PCMark (the paper's η-Static workload batch).
+type EtaStatic struct {
+	rng    *rand.Rand
+	eta    float64
+	pcmark *PCMark
+	video  *Video
+
+	inPCMark   bool
+	segmentEnd float64
+	started    bool
+}
+
+// NewEtaStatic builds the mixed generator; eta must be in [0, 1].
+func NewEtaStatic(eta float64, seed int64) (*EtaStatic, error) {
+	if eta < 0 || eta > 1 {
+		return nil, fmt.Errorf("workload: eta %v outside [0,1]", eta)
+	}
+	return &EtaStatic{
+		rng:    newRNG(seed),
+		eta:    eta,
+		pcmark: NewPCMark(seed + 1),
+		video:  NewVideo(seed + 2),
+	}, nil
+}
+
+// Name implements Generator.
+func (g *EtaStatic) Name() string { return fmt.Sprintf("Eta-%d%%", int(g.eta*100+0.5)) }
+
+// Eta returns the PCMark mixing fraction.
+func (g *EtaStatic) Eta() float64 { return g.eta }
+
+// Next implements Generator.
+func (g *EtaStatic) Next(now, dt float64) Step {
+	if !g.started || now >= g.segmentEnd {
+		g.started = true
+		g.inPCMark = g.rng.Float64() < g.eta
+		g.segmentEnd = now + 20 + 40*g.rng.Float64()
+	}
+	if g.inPCMark {
+		return g.pcmark.Next(now, dt)
+	}
+	return g.video.Next(now, dt)
+}
+
+// OnOff repeatedly wakes and sleeps the phone at a fixed period (paper
+// Figure 2b): each cycle spends half asleep and half awake on an idle home
+// screen, with a wake surge at each transition.
+type OnOff struct {
+	rng     *rand.Rand
+	periodS float64
+	surge   float64 // remaining surge seconds
+	wasOn   bool
+}
+
+// NewOnOff builds the cycler. periodS is the full on+off cycle length.
+func NewOnOff(periodS float64, seed int64) (*OnOff, error) {
+	if periodS <= 0 {
+		return nil, fmt.Errorf("workload: non-positive on/off period %v", periodS)
+	}
+	return &OnOff{rng: newRNG(seed), periodS: periodS}, nil
+}
+
+// Name implements Generator.
+func (g *OnOff) Name() string { return fmt.Sprintf("OnOff-%.3gs", g.periodS) }
+
+// Next implements Generator.
+func (g *OnOff) Next(now, dt float64) Step {
+	phase := now / g.periodS
+	on := phase-float64(int64(phase)) < 0.5
+	action := ActNone
+	if on != g.wasOn {
+		g.wasOn = on
+		if on {
+			action = ActWake
+			g.surge = min(0.5, g.periodS/4)
+		} else {
+			action = ActSleep
+		}
+	}
+	if !on {
+		return Step{Demand: sleepDemand(), Action: action}
+	}
+	if g.surge > 0 {
+		g.surge -= dt
+		d := device.Demand{
+			CPUState:   device.CPUC0,
+			CPUUtil:    1.0,
+			CPUFreqIdx: 3,
+			Screen:     device.ScreenOn,
+			Brightness: 0.5,
+			WiFi:       device.WiFiSend,
+			PacketRate: 2000,
+		}
+		if action == ActNone {
+			action = ActScreenOn
+		}
+		return Step{Demand: d, Action: action}
+	}
+	return Step{Demand: idleOnDemand(0.5), Action: action}
+}
+
+func min(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,156 @@
+package workload
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/device"
+)
+
+// Spec is a declarative workload: an ordered list of demand phases that
+// users can write as JSON instead of implementing a Generator. The paper's
+// benchmarks are code because they carry stochastic structure; simple
+// custom duty cycles are better served by data.
+type Spec struct {
+	Name string `json:"name"`
+	// Loop repeats the phase list forever; otherwise the final phase
+	// holds once reached.
+	Loop   bool        `json:"loop"`
+	Phases []PhaseSpec `json:"phases"`
+}
+
+// PhaseSpec is one phase of the duty cycle.
+type PhaseSpec struct {
+	// DurationS is the fixed phase length; JitterS adds a uniform random
+	// extension resampled each visit.
+	DurationS float64 `json:"durationS"`
+	JitterS   float64 `json:"jitterS,omitempty"`
+	// Demand is the hardware state the phase requires.
+	Demand device.Demand `json:"demand"`
+	// Action names the event symbol emitted on phase entry (see
+	// ActionByName); empty means none.
+	Action string `json:"action,omitempty"`
+}
+
+// Spec errors.
+var ErrBadSpec = errors.New("workload: invalid spec")
+
+// Validate reports the first problem with the spec.
+func (s Spec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("%w: missing name", ErrBadSpec)
+	}
+	if len(s.Phases) == 0 {
+		return fmt.Errorf("%w: no phases", ErrBadSpec)
+	}
+	for i, p := range s.Phases {
+		if p.DurationS <= 0 {
+			return fmt.Errorf("%w: phase %d duration %v", ErrBadSpec, i, p.DurationS)
+		}
+		if p.JitterS < 0 {
+			return fmt.Errorf("%w: phase %d jitter %v", ErrBadSpec, i, p.JitterS)
+		}
+		if p.Action != "" {
+			if _, err := ActionByName(p.Action); err != nil {
+				return fmt.Errorf("%w: phase %d: %v", ErrBadSpec, i, err)
+			}
+		}
+	}
+	return nil
+}
+
+// ParseSpec reads a JSON spec.
+func ParseSpec(r io.Reader) (Spec, error) {
+	var s Spec
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("decode workload spec: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
+// ActionByName resolves an action symbol by its String() name.
+func ActionByName(name string) (Action, error) {
+	for _, a := range Actions() {
+		if a.String() == name {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("workload: unknown action %q", name)
+}
+
+// SpecGenerator plays a Spec.
+type SpecGenerator struct {
+	spec Spec
+	rng  interface{ Float64() float64 }
+
+	phase    int
+	phaseEnd float64
+	entered  bool
+	done     bool
+}
+
+// Compile-time interface check.
+var _ Generator = (*SpecGenerator)(nil)
+
+// FromSpec builds a generator for the spec.
+func FromSpec(spec Spec, seed int64) (*SpecGenerator, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return &SpecGenerator{spec: spec, rng: newRNG(seed), phaseEnd: -1}, nil
+}
+
+// Name implements Generator.
+func (g *SpecGenerator) Name() string { return g.spec.Name }
+
+// Next implements Generator.
+func (g *SpecGenerator) Next(now, dt float64) Step {
+	action := ActNone
+	if g.phaseEnd < 0 {
+		// First call: enter phase 0.
+		g.phaseEnd = now + g.phaseLen(0)
+		action = g.entryAction(0)
+	}
+	for now >= g.phaseEnd && !g.done {
+		next := g.phase + 1
+		if next >= len(g.spec.Phases) {
+			if !g.spec.Loop {
+				g.done = true
+				break
+			}
+			next = 0
+		}
+		g.phase = next
+		g.phaseEnd += g.phaseLen(next)
+		action = g.entryAction(next)
+	}
+	return Step{Demand: g.spec.Phases[g.phase].Demand, Action: action}
+}
+
+// phaseLen samples the phase duration.
+func (g *SpecGenerator) phaseLen(i int) float64 {
+	p := g.spec.Phases[i]
+	d := p.DurationS
+	if p.JitterS > 0 {
+		d += p.JitterS * g.rng.Float64()
+	}
+	return d
+}
+
+// entryAction resolves the phase-entry symbol.
+func (g *SpecGenerator) entryAction(i int) Action {
+	name := g.spec.Phases[i].Action
+	if name == "" {
+		return ActNone
+	}
+	a, err := ActionByName(name)
+	if err != nil {
+		return ActNone // validated at construction; unreachable
+	}
+	return a
+}

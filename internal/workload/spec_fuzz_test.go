@@ -1,0 +1,42 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/device"
+)
+
+// FuzzParseSpec checks that arbitrary input never panics the spec parser
+// and that anything it accepts produces a generator whose demands the phone
+// accepts.
+func FuzzParseSpec(f *testing.F) {
+	f.Add(`{"name":"x","phases":[{"durationS":1,"demand":{"CPUState":1,"Screen":1,"WiFi":1}}]}`)
+	f.Add(`{"name":"loop","loop":true,"phases":[
+		{"durationS":2,"action":"wake","demand":{"CPUState":4,"CPUUtil":0.5,"Screen":2,"Brightness":0.5,"WiFi":1}},
+		{"durationS":3,"demand":{"CPUState":1,"Screen":1,"WiFi":1}}]}`)
+	f.Add(`{}`)
+	f.Add(`[1,2,3]`)
+	f.Add(`{"name":"bad","phases":[{"durationS":-1}]}`)
+	f.Fuzz(func(t *testing.T, raw string) {
+		spec, err := ParseSpec(strings.NewReader(raw))
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		g, err := FromSpec(spec, 1)
+		if err != nil {
+			t.Fatalf("accepted spec rejected by FromSpec: %v", err)
+		}
+		phone, err := device.NewPhone(device.Nexus())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for now := 0.0; now < 30; now += 0.5 {
+			step := g.Next(now, 0.5)
+			// Demands from a validated spec may still be out of the
+			// phone's range (the spec validates structure, the phone
+			// validates values); Apply must reject, never panic.
+			_ = phone.Apply(step.Demand)
+		}
+	})
+}

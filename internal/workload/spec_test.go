@@ -1,0 +1,148 @@
+package workload
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/device"
+)
+
+func demoSpec() Spec {
+	return Spec{
+		Name: "demo-duty",
+		Loop: true,
+		Phases: []PhaseSpec{
+			{
+				DurationS: 10,
+				Demand: device.Demand{CPUState: device.CPUSleep,
+					Screen: device.ScreenOff, WiFi: device.WiFiIdle},
+				Action: "sleep",
+			},
+			{
+				DurationS: 5, JitterS: 2,
+				Demand: device.Demand{CPUState: device.CPUC0, CPUUtil: 0.9, CPUFreqIdx: 3,
+					Screen: device.ScreenOn, Brightness: 0.5, WiFi: device.WiFiSend, PacketRate: 1500},
+				Action: "wake",
+			},
+		},
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	if err := demoSpec().Validate(); err != nil {
+		t.Fatalf("demo spec invalid: %v", err)
+	}
+	bad := []func(*Spec){
+		func(s *Spec) { s.Name = "" },
+		func(s *Spec) { s.Phases = nil },
+		func(s *Spec) { s.Phases[0].DurationS = 0 },
+		func(s *Spec) { s.Phases[0].JitterS = -1 },
+		func(s *Spec) { s.Phases[0].Action = "no_such_action" },
+	}
+	for i, mut := range bad {
+		s := demoSpec()
+		s.Phases = append([]PhaseSpec(nil), s.Phases...)
+		mut(&s)
+		if err := s.Validate(); !errors.Is(err, ErrBadSpec) {
+			t.Errorf("mutation %d error = %v", i, err)
+		}
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	raw := `{
+		"name": "json-duty",
+		"loop": true,
+		"phases": [
+			{"durationS": 8, "demand": {"CPUState": 1, "Screen": 1, "WiFi": 1}},
+			{"durationS": 2, "action": "wake",
+			 "demand": {"CPUState": 4, "CPUUtil": 1, "CPUFreqIdx": 3, "Screen": 2, "Brightness": 0.5, "WiFi": 3, "PacketRate": 1500}}
+		]
+	}`
+	s, err := ParseSpec(strings.NewReader(raw))
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	if s.Name != "json-duty" || len(s.Phases) != 2 {
+		t.Errorf("parsed %+v", s)
+	}
+	if _, err := ParseSpec(strings.NewReader("{bad")); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+	if _, err := ParseSpec(strings.NewReader(`{"name":"x"}`)); err == nil {
+		t.Error("phaseless spec accepted")
+	}
+}
+
+func TestActionByName(t *testing.T) {
+	for _, a := range Actions() {
+		got, err := ActionByName(a.String())
+		if err != nil || got != a {
+			t.Errorf("ActionByName(%q) = %v, %v", a.String(), got, err)
+		}
+	}
+	if _, err := ActionByName("nonsense"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestSpecGeneratorPlaysPhases(t *testing.T) {
+	g, err := FromSpec(demoSpec(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const dt = 0.5
+	var sleepTicks, wakeTicks, wakeEvents int
+	for now := 0.0; now < 300; now += dt {
+		s := g.Next(now, dt)
+		switch s.Demand.Screen {
+		case device.ScreenOff:
+			sleepTicks++
+		case device.ScreenOn:
+			wakeTicks++
+		}
+		if s.Action == ActWake {
+			wakeEvents++
+		}
+	}
+	if sleepTicks == 0 || wakeTicks == 0 {
+		t.Fatalf("phases did not alternate: %d/%d", sleepTicks, wakeTicks)
+	}
+	// ~10s sleep + ~6s wake per cycle over 300s: ~18 cycles.
+	if wakeEvents < 12 || wakeEvents > 28 {
+		t.Errorf("%d wake events, want ~18", wakeEvents)
+	}
+	// The demands are device-valid.
+	phone, err := device.NewPhone(device.Nexus())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for now := 0.0; now < 60; now += dt {
+		if err := phone.Apply(g.Next(now, dt).Demand); err != nil {
+			t.Fatalf("invalid demand: %v", err)
+		}
+	}
+}
+
+func TestSpecGeneratorHoldsFinalPhase(t *testing.T) {
+	s := demoSpec()
+	s.Loop = false
+	g, err := FromSpec(s, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last Step
+	for now := 0.0; now < 100; now += 0.5 {
+		last = g.Next(now, 0.5)
+	}
+	if last.Demand.Screen != device.ScreenOn {
+		t.Errorf("non-looping spec should hold its final phase, got %+v", last.Demand)
+	}
+}
+
+func TestFromSpecRejectsInvalid(t *testing.T) {
+	if _, err := FromSpec(Spec{}, 1); err == nil {
+		t.Error("empty spec accepted")
+	}
+}
