@@ -31,10 +31,13 @@
 package capman
 
 import (
+	"context"
+
 	"repro/internal/battery"
 	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/sched"
+	"repro/internal/server"
 	"repro/internal/sim"
 	"repro/internal/tec"
 	"repro/internal/thermal"
@@ -84,6 +87,24 @@ type (
 	TECDevice = tec.Device
 	// ThermalConfig sizes the phone's thermal network.
 	ThermalConfig = thermal.PhoneConfig
+
+	// JobSpec is the declarative simulation job accepted by capmand's
+	// POST /v1/jobs (and by Server.Executor().Submit in process).
+	JobSpec = server.JobSpec
+	// JobView is the API's snapshot of a submitted job.
+	JobView = server.View
+	// JobOutcome is a finished job's result payload.
+	JobOutcome = server.Outcome
+	// JobState enumerates the job lifecycle.
+	JobState = server.State
+	// JobRegistry maps spec names onto workload/policy factories.
+	JobRegistry = server.Registry
+	// Server is capmand, the simulation-as-a-service HTTP subsystem.
+	Server = server.Server
+	// ServeConfig assembles a Server.
+	ServeConfig = server.Config
+	// ExecutorConfig sizes the server's worker pool, queue and cache.
+	ExecutorConfig = server.ExecutorConfig
 )
 
 // Re-exported chemistry constants.
@@ -109,9 +130,42 @@ func DefaultSchedulerConfig() SchedulerConfig { return core.DefaultConfig() }
 // Run executes one simulated discharge cycle.
 func Run(cfg SimConfig) (*Result, error) { return sim.Run(cfg) }
 
+// RunContext executes one simulated discharge cycle under a context;
+// cancellation is observed at step granularity.
+func RunContext(ctx context.Context, cfg SimConfig) (*Result, error) {
+	return sim.RunContext(ctx, cfg)
+}
+
 // RunCycles executes repeated discharge cycles with CC-CV recharges of the
 // same pack in between.
 func RunCycles(cfg CyclesConfig) (*CyclesResult, error) { return sim.RunCycles(cfg) }
+
+// RunCyclesContext is RunCycles under a context.
+func RunCyclesContext(ctx context.Context, cfg CyclesConfig) (*CyclesResult, error) {
+	return sim.RunCyclesContext(ctx, cfg)
+}
+
+// RunMany executes independent configurations on a bounded worker pool,
+// aggregating every per-run failure with errors.Join.
+func RunMany(cfgs []SimConfig, workers int) ([]*Result, error) {
+	return sim.RunMany(cfgs, workers)
+}
+
+// RunManyContext is RunMany under a context; see sim.RunManyContext for
+// the cancellation and error-aggregation contract.
+func RunManyContext(ctx context.Context, cfgs []SimConfig, workers int) ([]*Result, error) {
+	return sim.RunManyContext(ctx, cfgs, workers)
+}
+
+// NewServer builds capmand (the simulation service) and starts its worker
+// pool; mount NewServer(cfg).Handler() or use cmd/capman-serve.
+func NewServer(cfg ServeConfig) *Server { return server.New(cfg) }
+
+// DefaultJobRegistry returns the registry of named workloads and policies
+// that job specs resolve against — the same vocabulary cmd/capman-sim
+// accepts. Extend it with RegisterWorkload/RegisterPolicy before passing
+// it in ExecutorConfig.Registry.
+func DefaultJobRegistry() *JobRegistry { return server.DefaultRegistry() }
 
 // TuneOracle performs the offline threshold search behind the Oracle
 // baseline and returns the best threshold with its run.

@@ -1,0 +1,95 @@
+// Command capman-serve runs capmand, the simulation-as-a-service daemon:
+// the CAPMAN simulator behind an HTTP JSON job API with a bounded worker
+// pool, a content-addressed result cache, and Prometheus metrics.
+//
+// Usage:
+//
+//	capman-serve -addr :8080 -workers 8 -queue 128 -job-timeout 5m
+//
+// Submit work with POST /v1/jobs, poll GET /v1/jobs/{id}, cancel with
+// DELETE /v1/jobs/{id}; see /metrics and /healthz for observability. On
+// SIGTERM or SIGINT the server stops accepting work, drains in-flight
+// jobs (up to -drain-timeout), and exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/server"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "capman-serve:", err)
+		os.Exit(1)
+	}
+}
+
+// run parses flags, binds the listener, and serves until ctx is cancelled
+// (SIGTERM/SIGINT in production; the tests cancel it directly).
+func run(ctx context.Context, args []string, out *os.File) error {
+	fs := flag.NewFlagSet("capman-serve", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	workers := fs.Int("workers", 0, "worker pool size (0 = GOMAXPROCS)")
+	queue := fs.Int("queue", 64, "job queue depth")
+	cache := fs.Int("cache", 256, "result cache capacity (-1 disables)")
+	jobTimeout := fs.Duration("job-timeout", 0, "per-job wall-clock timeout (0 = none)")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful drain budget on shutdown")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	srv := server.New(server.Config{Executor: server.ExecutorConfig{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		CacheSize:  *cache,
+		JobTimeout: *jobTimeout,
+	}})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "capmand listening on %s\n", ln.Addr())
+	return serve(ctx, ln, srv, *drainTimeout, out)
+}
+
+// serve runs the HTTP server on ln until ctx is cancelled, then performs
+// the graceful drain: stop accepting connections, let in-flight jobs
+// finish within the drain budget, cancel whatever remains.
+func serve(ctx context.Context, ln net.Listener, srv *server.Server, drainTimeout time.Duration, out *os.File) error {
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(out, "capmand draining...")
+	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	drainErr := srv.Drain(drainCtx)
+	if err := httpSrv.Shutdown(drainCtx); err != nil && drainErr == nil {
+		drainErr = err
+	}
+	<-errc // Serve has returned http.ErrServerClosed
+	if drainErr != nil && !errors.Is(drainErr, context.DeadlineExceeded) {
+		return drainErr
+	}
+	fmt.Fprintln(out, "capmand stopped")
+	return nil
+}

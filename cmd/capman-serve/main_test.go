@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+// TestServeLifecycle drives the full daemon path: listen, serve the job
+// API, then a shutdown signal (the cancelled context stands in for
+// SIGTERM) that must drain the in-flight job before serve returns.
+func TestServeLifecycle(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(server.Config{Executor: server.ExecutorConfig{Workers: 1}})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- serve(ctx, ln, srv, 60*time.Second, os.Stdout) }()
+
+	base := "http://" + ln.Addr().String()
+	waitHealthy(t, base)
+
+	spec := server.JobSpec{
+		Workload: "video", Policy: "dual", Seed: 3,
+		BigMAh: 300, LittleMAh: 300, MaxTimeS: 2000,
+	}
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	var view server.View
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+
+	// Signal shutdown immediately; the drain must still finish the job.
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve returned %v", err)
+		}
+	case <-time.After(90 * time.Second):
+		t.Fatal("serve did not drain and exit")
+	}
+	got, err := srv.Executor().Get(view.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != server.StateDone {
+		t.Fatalf("job state after drain %q (err %q), want done", got.State, got.Error)
+	}
+}
+
+func waitHealthy(t *testing.T, base string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal("server never became healthy")
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := run(ctx, []string{"-bogus-flag"}, os.Stdout); err == nil {
+		t.Error("unknown flag accepted")
+	}
+	if err := run(ctx, []string{"-addr", "999.999.999.999:0"}, os.Stdout); err == nil {
+		t.Error("unroutable listen address accepted")
+	}
+}

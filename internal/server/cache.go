@@ -1,0 +1,74 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is the content-addressed result store: canonical-spec hash →
+// finished Outcome. Only successful outcomes are cached (failures and
+// cancellations must re-run), and eviction is LRU so sweeps larger than
+// the capacity degrade to recomputation, never to an error. Outcomes are
+// treated as immutable by everyone who touches them.
+type Cache struct {
+	mu       sync.Mutex
+	capacity int
+	entries  map[string]*list.Element
+	order    *list.List // front = most recently used
+}
+
+type cacheEntry struct {
+	hash    string
+	outcome *Outcome
+}
+
+// NewCache builds a cache holding at most capacity outcomes; capacity <= 0
+// disables caching entirely (every Get misses, every Put drops).
+func NewCache(capacity int) *Cache {
+	return &Cache{
+		capacity: capacity,
+		entries:  make(map[string]*list.Element),
+		order:    list.New(),
+	}
+}
+
+// Get returns the cached outcome for a content hash, refreshing its
+// recency.
+func (c *Cache) Get(hash string) (*Outcome, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[hash]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).outcome, true
+}
+
+// Put stores an outcome under its content hash, evicting the least
+// recently used entry when full.
+func (c *Cache) Put(hash string, out *Outcome) {
+	if c.capacity <= 0 || out == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[hash]; ok {
+		el.Value.(*cacheEntry).outcome = out
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[hash] = c.order.PushFront(&cacheEntry{hash: hash, outcome: out})
+	for c.order.Len() > c.capacity {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).hash)
+	}
+}
+
+// Len returns the number of cached outcomes.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -1,0 +1,327 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Executor errors, mapped onto HTTP statuses by the handler layer.
+var (
+	ErrNotFound  = errors.New("server: no such job")
+	ErrQueueFull = errors.New("server: queue full")
+	ErrDraining  = errors.New("server: draining, not accepting jobs")
+)
+
+// ExecutorConfig sizes the worker pool.
+type ExecutorConfig struct {
+	// Workers is the pool size (default GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the FIFO backlog (default 64); a full queue
+	// rejects submissions with ErrQueueFull rather than blocking.
+	QueueDepth int
+	// JobTimeout caps each job's wall-clock execution; zero means no
+	// timeout. A timed-out job fails with context.DeadlineExceeded.
+	JobTimeout time.Duration
+	// CacheSize bounds the content-addressed result cache (default 256;
+	// negative disables caching).
+	CacheSize int
+	// Registry resolves job specs (default DefaultRegistry()).
+	Registry *Registry
+	// Metrics receives the executor's instrumentation (default a fresh
+	// panel; share one with the Server to expose it over /metrics).
+	Metrics *Metrics
+}
+
+func (c ExecutorConfig) withDefaults() ExecutorConfig {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 256
+	}
+	if c.Registry == nil {
+		c.Registry = DefaultRegistry()
+	}
+	if c.Metrics == nil {
+		c.Metrics = NewMetrics()
+	}
+	return c
+}
+
+// Executor owns the job table and the bounded worker pool that drains the
+// FIFO queue. Concurrent identical submissions coalesce onto one in-flight
+// job (single flight), and finished outcomes are served from the
+// content-addressed cache.
+type Executor struct {
+	registry *Registry
+	metrics  *Metrics
+	cache    *Cache
+	timeout  time.Duration
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	inflight map[string]*Job // content hash → queued or running job
+	seq      int
+	draining bool
+
+	queue chan *Job
+	wg    sync.WaitGroup
+}
+
+// NewExecutor builds the executor and starts its workers.
+func NewExecutor(cfg ExecutorConfig) *Executor {
+	cfg = cfg.withDefaults()
+	e := &Executor{
+		registry: cfg.Registry,
+		metrics:  cfg.Metrics,
+		cache:    NewCache(cfg.CacheSize),
+		timeout:  cfg.JobTimeout,
+		jobs:     make(map[string]*Job),
+		inflight: make(map[string]*Job),
+		queue:    make(chan *Job, cfg.QueueDepth),
+	}
+	e.metrics.Workers.Set(int64(cfg.Workers))
+	for w := 0; w < cfg.Workers; w++ {
+		e.wg.Add(1)
+		go e.worker()
+	}
+	return e
+}
+
+// Submit validates and enqueues one job, returning its snapshot. A spec
+// whose outcome is already cached returns an immediately-done job marked
+// as a cache hit; a spec identical to a queued or running job coalesces
+// onto that job instead of enqueueing a duplicate.
+func (e *Executor) Submit(spec JobSpec) (View, error) {
+	cfg, err := e.registry.Resolve(spec)
+	if err != nil {
+		return View{}, err
+	}
+	spec = spec.withDefaults()
+	hash, err := spec.Hash()
+	if err != nil {
+		return View{}, err
+	}
+
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.draining {
+		return View{}, ErrDraining
+	}
+	e.metrics.JobsSubmitted.Inc()
+
+	if out, ok := e.cache.Get(hash); ok {
+		e.metrics.CacheHits.Inc()
+		now := time.Now()
+		job := &Job{
+			ID: e.nextID(), Hash: hash, Spec: spec,
+			State: StateDone, Outcome: out, CacheHit: true,
+			SubmittedAt: now, StartedAt: now, FinishedAt: now,
+		}
+		e.jobs[job.ID] = job
+		return job.view(), nil
+	}
+	if job, ok := e.inflight[hash]; ok {
+		e.metrics.CacheHits.Inc()
+		return job.view(), nil
+	}
+	e.metrics.CacheMisses.Inc()
+
+	job := &Job{
+		ID: e.nextID(), Hash: hash, Spec: spec,
+		State: StateQueued, SubmittedAt: time.Now(), cfg: cfg,
+	}
+	select {
+	case e.queue <- job:
+	default:
+		e.metrics.JobsFailed.Inc()
+		return View{}, fmt.Errorf("%w (depth %d)", ErrQueueFull, cap(e.queue))
+	}
+	e.jobs[job.ID] = job
+	e.inflight[hash] = job
+	e.metrics.QueueDepth.Set(int64(len(e.queue)))
+	return job.view(), nil
+}
+
+// nextID mints a job identifier; callers hold the lock.
+func (e *Executor) nextID() string {
+	e.seq++
+	return fmt.Sprintf("j%08d", e.seq)
+}
+
+// Get snapshots a job by ID.
+func (e *Executor) Get(id string) (View, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	job, ok := e.jobs[id]
+	if !ok {
+		return View{}, ErrNotFound
+	}
+	return job.view(), nil
+}
+
+// List snapshots every known job, newest first.
+func (e *Executor) List() []View {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	views := make([]View, 0, len(e.jobs))
+	for _, job := range e.jobs {
+		views = append(views, job.view())
+	}
+	// jobs carry monotonically increasing IDs; sort newest first.
+	for i := 0; i < len(views); i++ {
+		for j := i + 1; j < len(views); j++ {
+			if views[j].ID > views[i].ID {
+				views[i], views[j] = views[j], views[i]
+			}
+		}
+	}
+	return views
+}
+
+// Cancel stops a job: a queued job is dropped before it runs, a running
+// job has its context cancelled and reaches the cancelled state as soon as
+// the simulator observes it (step granularity). Cancelling a terminal job
+// is a no-op. Note that a coalesced submission shares its job with the
+// original submitter, so cancellation affects both.
+func (e *Executor) Cancel(id string) (View, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	job, ok := e.jobs[id]
+	if !ok {
+		return View{}, ErrNotFound
+	}
+	switch job.State {
+	case StateQueued:
+		job.State = StateCancelled
+		job.Err = context.Canceled.Error()
+		job.FinishedAt = time.Now()
+		delete(e.inflight, job.Hash)
+		e.metrics.JobsCancelled.Inc()
+	case StateRunning:
+		job.cancel() // worker publishes the terminal state
+	}
+	return job.view(), nil
+}
+
+// QueueDepth reports the current backlog.
+func (e *Executor) QueueDepth() int {
+	return len(e.queue)
+}
+
+// worker drains the FIFO queue until Drain closes it.
+func (e *Executor) worker() {
+	defer e.wg.Done()
+	for job := range e.queue {
+		e.metrics.QueueDepth.Set(int64(len(e.queue)))
+
+		e.mu.Lock()
+		if job.State != StateQueued { // cancelled while queued
+			e.mu.Unlock()
+			continue
+		}
+		ctx := context.Background()
+		var cancel context.CancelFunc
+		if e.timeout > 0 {
+			ctx, cancel = context.WithTimeout(ctx, e.timeout)
+		} else {
+			ctx, cancel = context.WithCancel(ctx)
+		}
+		job.State = StateRunning
+		job.StartedAt = time.Now()
+		job.cancel = cancel
+		spec, cfg := job.Spec, job.cfg
+		e.mu.Unlock()
+
+		e.metrics.WorkersBusy.Add(1)
+		out, err := runJob(ctx, spec, cfg)
+		cancel()
+		e.metrics.WorkersBusy.Add(-1)
+
+		e.mu.Lock()
+		job.FinishedAt = time.Now()
+		delete(e.inflight, job.Hash)
+		switch {
+		case err == nil:
+			job.State = StateDone
+			job.Outcome = out
+			e.cache.Put(job.Hash, out)
+			e.metrics.JobsCompleted.Inc()
+		case errors.Is(err, context.Canceled):
+			job.State = StateCancelled
+			job.Err = err.Error()
+			e.metrics.JobsCancelled.Inc()
+		default:
+			job.State = StateFailed
+			job.Err = err.Error()
+			e.metrics.JobsFailed.Inc()
+		}
+		e.metrics.JobWallSeconds.Observe(job.FinishedAt.Sub(job.StartedAt).Seconds())
+		e.mu.Unlock()
+	}
+}
+
+// runJob executes the resolved configuration: one discharge cycle, or the
+// multi-cycle loop when the spec asked for Cycles > 1.
+func runJob(ctx context.Context, spec JobSpec, cfg sim.Config) (*Outcome, error) {
+	if spec.Cycles > 1 {
+		res, err := sim.RunCyclesContext(ctx, sim.CyclesConfig{Base: cfg, Cycles: spec.Cycles})
+		if err != nil {
+			return nil, err
+		}
+		return &Outcome{Cycles: res}, nil
+	}
+	res, err := sim.RunContext(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Outcome{Run: res}, nil
+}
+
+// Drain stops accepting submissions, lets queued and running jobs finish,
+// and returns when the pool is idle. If ctx expires first, every in-flight
+// job is cancelled and Drain still waits for the workers to observe the
+// cancellation before returning the context's error.
+func (e *Executor) Drain(ctx context.Context) error {
+	e.mu.Lock()
+	if !e.draining {
+		e.draining = true
+		close(e.queue)
+	}
+	e.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		e.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		e.mu.Lock()
+		for _, job := range e.jobs {
+			if job.State == StateRunning {
+				job.cancel()
+			} else if job.State == StateQueued {
+				job.State = StateCancelled
+				job.Err = context.Canceled.Error()
+				job.FinishedAt = time.Now()
+				delete(e.inflight, job.Hash)
+				e.metrics.JobsCancelled.Inc()
+			}
+		}
+		e.mu.Unlock()
+		<-done
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,169 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func contextWithTimeout(d time.Duration) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(context.Background(), d)
+}
+
+func newTestExecutor(t *testing.T, cfg ExecutorConfig) *Executor {
+	t.Helper()
+	e := NewExecutor(cfg)
+	t.Cleanup(func() {
+		ctx, cancel := contextWithTimeout(2 * time.Second)
+		defer cancel()
+		_ = e.Drain(ctx)
+	})
+	return e
+}
+
+func awaitExec(t *testing.T, e *Executor, id string, pred func(View) bool, what string) View {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		v, err := e.Get(id)
+		if err != nil {
+			t.Fatalf("Get(%s): %v", id, err)
+		}
+		if pred(v) {
+			return v
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s never became %s", id, what)
+	return View{}
+}
+
+func TestExecutorQueueFullRejects(t *testing.T) {
+	e := newTestExecutor(t, ExecutorConfig{Workers: 1, QueueDepth: 1})
+
+	running, err := e.Submit(slowSpec(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	awaitExec(t, e, running.ID, func(v View) bool { return v.State == StateRunning }, "running")
+	if _, err := e.Submit(slowSpec(11)); err != nil {
+		t.Fatalf("queued submit: %v", err)
+	}
+	_, err = e.Submit(slowSpec(12))
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow submit error %v, want ErrQueueFull", err)
+	}
+}
+
+func TestExecutorJobTimeoutFails(t *testing.T) {
+	e := newTestExecutor(t, ExecutorConfig{Workers: 1, JobTimeout: 20 * time.Millisecond})
+
+	v, err := e.Submit(slowSpec(20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := awaitExec(t, e, v.ID, func(v View) bool { return v.State.Terminal() }, "terminal")
+	if done.State != StateFailed {
+		t.Fatalf("timed-out job ended %q, want failed", done.State)
+	}
+	if !strings.Contains(done.Error, context.DeadlineExceeded.Error()) {
+		t.Errorf("timeout error %q does not mention the deadline", done.Error)
+	}
+}
+
+func TestExecutorCancelQueuedJob(t *testing.T) {
+	e := newTestExecutor(t, ExecutorConfig{Workers: 1, QueueDepth: 4})
+
+	running, err := e.Submit(slowSpec(30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	awaitExec(t, e, running.ID, func(v View) bool { return v.State == StateRunning }, "running")
+	queued, err := e.Submit(slowSpec(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := e.Cancel(queued.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.State != StateCancelled {
+		t.Fatalf("queued job state %q after cancel", v.State)
+	}
+	// Cancelling a terminal job is an idempotent no-op.
+	if again, err := e.Cancel(queued.ID); err != nil || again.State != StateCancelled {
+		t.Errorf("re-cancel: state %q err %v", again.State, err)
+	}
+	if _, err := e.Cancel("j99999999"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("cancel of unknown job: %v", err)
+	}
+}
+
+func TestExecutorDrainFinishesInFlightWork(t *testing.T) {
+	e := NewExecutor(ExecutorConfig{Workers: 1})
+	v, err := e.Submit(fastSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := contextWithTimeout(60 * time.Second)
+	defer cancel()
+	if err := e.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	got, err := e.Get(v.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != StateDone {
+		t.Fatalf("drained job state %q, want done", got.State)
+	}
+	if _, err := e.Submit(fastSpec()); !errors.Is(err, ErrDraining) {
+		t.Errorf("post-drain submit error %v, want ErrDraining", err)
+	}
+}
+
+func TestExecutorDrainDeadlineCancelsRunningJobs(t *testing.T) {
+	e := NewExecutor(ExecutorConfig{Workers: 1})
+	v, err := e.Submit(slowSpec(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	awaitExec(t, e, v.ID, func(v View) bool { return v.State == StateRunning }, "running")
+
+	ctx, cancel := contextWithTimeout(50 * time.Millisecond)
+	defer cancel()
+	if err := e.Drain(ctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("drain error %v, want deadline exceeded", err)
+	}
+	got, err := e.Get(v.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != StateCancelled {
+		t.Fatalf("force-drained job state %q, want cancelled", got.State)
+	}
+}
+
+func TestExecutorMultiCycleJob(t *testing.T) {
+	e := newTestExecutor(t, ExecutorConfig{Workers: 1})
+	spec := fastSpec()
+	spec.Cycles = 2
+	spec.BigMAh, spec.LittleMAh = 120, 120
+	spec.MaxTimeS = 1500
+	v, err := e.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := awaitExec(t, e, v.ID, func(v View) bool { return v.State.Terminal() }, "terminal")
+	if done.State != StateDone {
+		t.Fatalf("cycles job ended %q (err %q)", done.State, done.Error)
+	}
+	if done.Outcome == nil || done.Outcome.Cycles == nil {
+		t.Fatal("cycles job missing CyclesResult outcome")
+	}
+	if got := len(done.Outcome.Cycles.Outcomes); got != 2 {
+		t.Errorf("got %d cycle outcomes, want 2", got)
+	}
+}

@@ -1,0 +1,98 @@
+package server
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// State is a job's position in its lifecycle.
+type State string
+
+// Job lifecycle. Queued and running jobs are "in flight"; the other three
+// states are terminal.
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateDone      State = "done"
+	StateFailed    State = "failed"
+	StateCancelled State = "cancelled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCancelled
+}
+
+// Outcome is what a finished job produced: a single discharge cycle's
+// Result, or a multi-cycle run's CyclesResult when the spec asked for
+// Cycles > 1. Exactly one field is set. Outcomes are immutable once
+// published and are what the content-addressed cache stores.
+type Outcome struct {
+	Run    *sim.Result       `json:"run,omitempty"`
+	Cycles *sim.CyclesResult `json:"cycles,omitempty"`
+}
+
+// Job is one submitted simulation. All mutable fields are guarded by the
+// owning Executor's lock; handlers read through Executor methods that
+// return immutable View snapshots.
+type Job struct {
+	ID   string
+	Hash string
+	Spec JobSpec
+
+	State    State
+	Err      string
+	Outcome  *Outcome
+	CacheHit bool
+
+	SubmittedAt time.Time
+	StartedAt   time.Time
+	FinishedAt  time.Time
+
+	cfg    sim.Config
+	cancel context.CancelFunc
+}
+
+// View is the JSON representation of a job returned by the HTTP API.
+type View struct {
+	ID       string   `json:"id"`
+	Hash     string   `json:"hash"`
+	Spec     JobSpec  `json:"spec"`
+	State    State    `json:"state"`
+	Error    string   `json:"error,omitempty"`
+	Outcome  *Outcome `json:"outcome,omitempty"`
+	CacheHit bool     `json:"cacheHit"`
+
+	SubmittedAt time.Time  `json:"submittedAt"`
+	StartedAt   *time.Time `json:"startedAt,omitempty"`
+	FinishedAt  *time.Time `json:"finishedAt,omitempty"`
+	WallS       float64    `json:"wallS,omitempty"`
+}
+
+// view snapshots the job; callers must hold the executor lock.
+func (j *Job) view() View {
+	v := View{
+		ID:          j.ID,
+		Hash:        j.Hash,
+		Spec:        j.Spec,
+		State:       j.State,
+		Error:       j.Err,
+		Outcome:     j.Outcome,
+		CacheHit:    j.CacheHit,
+		SubmittedAt: j.SubmittedAt,
+	}
+	if !j.StartedAt.IsZero() {
+		t := j.StartedAt
+		v.StartedAt = &t
+	}
+	if !j.FinishedAt.IsZero() {
+		t := j.FinishedAt
+		v.FinishedAt = &t
+		if !j.StartedAt.IsZero() {
+			v.WallS = j.FinishedAt.Sub(j.StartedAt).Seconds()
+		}
+	}
+	return v
+}

@@ -1,0 +1,127 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing metric.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the gauge by delta.
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Summary accumulates a sum and a count of float64 observations, exposed as
+// the Prometheus summary sum/count pair. The sum is stored as float64 bits
+// in a uint64 CAS loop so observation stays lock-free.
+type Summary struct {
+	sumBits atomic.Uint64
+	count   atomic.Uint64
+}
+
+// Observe records one sample.
+func (s *Summary) Observe(v float64) {
+	for {
+		old := s.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if s.sumBits.CompareAndSwap(old, next) {
+			break
+		}
+	}
+	s.count.Add(1)
+}
+
+// Sum returns the accumulated total.
+func (s *Summary) Sum() float64 { return math.Float64frombits(s.sumBits.Load()) }
+
+// Count returns the number of observations.
+func (s *Summary) Count() uint64 { return s.count.Load() }
+
+// Metrics is capmand's instrument panel. All fields are safe for
+// concurrent use; WritePrometheus renders them in the Prometheus text
+// exposition format using only the standard library.
+type Metrics struct {
+	JobsSubmitted Counter
+	JobsCompleted Counter
+	JobsFailed    Counter
+	JobsCancelled Counter
+	CacheHits     Counter
+	CacheMisses   Counter
+
+	QueueDepth  Gauge
+	WorkersBusy Gauge
+	Workers     Gauge
+
+	JobWallSeconds Summary
+}
+
+// NewMetrics returns a zeroed instrument panel.
+func NewMetrics() *Metrics { return &Metrics{} }
+
+// WritePrometheus renders every metric in the text exposition format.
+func (m *Metrics) WritePrometheus(w io.Writer) error {
+	counters := []struct {
+		name, help string
+		c          *Counter
+	}{
+		{"capmand_jobs_submitted_total", "Jobs accepted by POST /v1/jobs.", &m.JobsSubmitted},
+		{"capmand_jobs_completed_total", "Jobs that finished successfully.", &m.JobsCompleted},
+		{"capmand_jobs_failed_total", "Jobs that ended in an error.", &m.JobsFailed},
+		{"capmand_jobs_cancelled_total", "Jobs cancelled before completion.", &m.JobsCancelled},
+		{"capmand_cache_hits_total", "Submissions served from the result cache or coalesced onto an in-flight job.", &m.CacheHits},
+		{"capmand_cache_misses_total", "Submissions that had to run the simulator.", &m.CacheMisses},
+	}
+	for _, c := range counters {
+		if err := writeMetric(w, c.name, c.help, "counter", float64(c.c.Value())); err != nil {
+			return err
+		}
+	}
+	gauges := []struct {
+		name, help string
+		g          *Gauge
+	}{
+		{"capmand_queue_depth", "Jobs waiting in the FIFO queue.", &m.QueueDepth},
+		{"capmand_workers_busy", "Workers currently executing a job.", &m.WorkersBusy},
+		{"capmand_workers", "Size of the worker pool.", &m.Workers},
+	}
+	for _, g := range gauges {
+		if err := writeMetric(w, g.name, g.help, "gauge", float64(g.g.Value())); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w,
+		"# HELP capmand_job_wall_seconds Wall-clock time spent executing jobs.\n"+
+			"# TYPE capmand_job_wall_seconds summary\n"+
+			"capmand_job_wall_seconds_sum %g\n"+
+			"capmand_job_wall_seconds_count %d\n",
+		m.JobWallSeconds.Sum(), m.JobWallSeconds.Count()); err != nil {
+		return err
+	}
+	return nil
+}
+
+func writeMetric(w io.Writer, name, help, typ string, v float64) error {
+	_, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", name, help, name, typ, name, v)
+	return err
+}

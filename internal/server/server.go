@@ -1,0 +1,144 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+)
+
+// Config assembles a Server; zero values defer to ExecutorConfig defaults.
+type Config struct {
+	Executor ExecutorConfig
+}
+
+// Server is capmand's HTTP surface:
+//
+//	POST   /v1/jobs       submit a JobSpec, returns the job view (202; 200 on cache hit)
+//	GET    /v1/jobs       list known jobs, newest first
+//	GET    /v1/jobs/{id}  poll a job's status and, once done, its outcome
+//	DELETE /v1/jobs/{id}  cancel a queued or running job
+//	GET    /v1/registry   enumerate registered workloads and policies
+//	GET    /healthz       liveness probe
+//	GET    /metrics       Prometheus text-format metrics
+type Server struct {
+	exec    *Executor
+	metrics *Metrics
+	mux     *http.ServeMux
+}
+
+// New builds the service and starts its worker pool.
+func New(cfg Config) *Server {
+	ecfg := cfg.Executor.withDefaults()
+	s := &Server{
+		exec:    NewExecutor(ecfg),
+		metrics: ecfg.Metrics,
+		mux:     http.NewServeMux(),
+	}
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	s.mux.HandleFunc("GET /v1/registry", s.handleRegistry)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the HTTP handler tree.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Executor exposes the job engine (tests and embedders).
+func (s *Server) Executor() *Executor { return s.exec }
+
+// Drain gracefully stops the job engine; see Executor.Drain.
+func (s *Server) Drain(ctx context.Context) error { return s.exec.Drain(ctx) }
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode job spec: %w", err))
+		return
+	}
+	view, err := s.exec.Submit(spec)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	status := http.StatusAccepted
+	if view.State.Terminal() {
+		status = http.StatusOK // served from cache
+	}
+	writeJSON(w, status, view)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.exec.List()})
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	view, err := s.exec.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	view, err := s.exec.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+func (s *Server) handleRegistry(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"workloads": s.exec.registry.Workloads(),
+		"policies":  s.exec.registry.Policies(),
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":     "ok",
+		"queueDepth": s.exec.QueueDepth(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.metrics.WritePrometheus(w); err != nil {
+		// Headers are gone; nothing useful left to do.
+		return
+	}
+}
+
+// statusFor maps executor errors onto HTTP statuses.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, ErrBadSpec):
+		return http.StatusBadRequest
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDraining):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

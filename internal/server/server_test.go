@@ -1,0 +1,287 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fastSpec finishes in well under a second of wall time: a short simulated
+// span at the default step.
+func fastSpec() JobSpec {
+	return JobSpec{
+		Workload: "video", Policy: "dual", Seed: 7,
+		BigMAh: 300, LittleMAh: 300, MaxTimeS: 2000,
+	}
+}
+
+// slowSpec needs minutes of wall time (a tiny step over a huge span), so
+// tests can reliably observe and cancel it mid-run.
+func slowSpec(seed int64) JobSpec {
+	return JobSpec{
+		Workload: "geekbench", Policy: "dual", Seed: seed,
+		BigMAh: 2500, LittleMAh: 2500, DT: 0.001, MaxTimeS: 1e6,
+	}
+}
+
+func newTestServer(t *testing.T, ecfg ExecutorConfig) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(Config{Executor: ecfg})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := contextWithTimeout(2 * time.Second)
+		defer cancel()
+		_ = s.Drain(ctx)
+	})
+	return s, ts
+}
+
+func submit(t *testing.T, ts *httptest.Server, spec JobSpec) (View, int) {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/jobs: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		io.Copy(io.Discard, resp.Body)
+		return View{}, resp.StatusCode
+	}
+	var v View
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatalf("decode submit response: %v", err)
+	}
+	return v, resp.StatusCode
+}
+
+func getJob(t *testing.T, ts *httptest.Server, id string) View {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatalf("GET job: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET job %s: status %d", id, resp.StatusCode)
+	}
+	var v View
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatalf("decode job view: %v", err)
+	}
+	return v
+}
+
+func awaitJob(t *testing.T, ts *httptest.Server, id string, pred func(View) bool, what string) View {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		v := getJob(t, ts, id)
+		if pred(v) {
+			return v
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s never became %s", id, what)
+	return View{}
+}
+
+func TestEndToEndSubmitPollResult(t *testing.T) {
+	_, ts := newTestServer(t, ExecutorConfig{Workers: 2})
+
+	v, status := submit(t, ts, fastSpec())
+	if status != http.StatusAccepted {
+		t.Fatalf("submit status %d, want 202", status)
+	}
+	if v.State != StateQueued && v.State != StateRunning {
+		t.Fatalf("fresh job state %q", v.State)
+	}
+	done := awaitJob(t, ts, v.ID, func(v View) bool { return v.State.Terminal() }, "terminal")
+	if done.State != StateDone {
+		t.Fatalf("job ended %q (err %q), want done", done.State, done.Error)
+	}
+	if done.Outcome == nil || done.Outcome.Run == nil {
+		t.Fatal("done job has no single-run outcome")
+	}
+	if done.Outcome.Run.ServiceTimeS <= 0 || done.Outcome.Run.Steps <= 0 {
+		t.Errorf("degenerate result: serviceTime=%v steps=%d",
+			done.Outcome.Run.ServiceTimeS, done.Outcome.Run.Steps)
+	}
+	if done.Outcome.Run.Policy != "Dual" && done.Outcome.Run.Policy == "" {
+		t.Errorf("unexpected policy name %q", done.Outcome.Run.Policy)
+	}
+}
+
+func TestCancelRunningJobObservesContextCanceled(t *testing.T) {
+	_, ts := newTestServer(t, ExecutorConfig{Workers: 1})
+
+	v, status := submit(t, ts, slowSpec(1))
+	if status != http.StatusAccepted {
+		t.Fatalf("submit status %d", status)
+	}
+	awaitJob(t, ts, v.ID, func(v View) bool { return v.State == StateRunning }, "running")
+
+	req, err := http.NewRequest(http.MethodDelete, ts.URL+"/v1/jobs/"+v.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("DELETE job: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE status %d", resp.StatusCode)
+	}
+
+	done := awaitJob(t, ts, v.ID, func(v View) bool { return v.State.Terminal() }, "terminal")
+	if done.State != StateCancelled {
+		t.Fatalf("cancelled job ended %q (err %q)", done.State, done.Error)
+	}
+	if !strings.Contains(done.Error, "context canceled") {
+		t.Errorf("cancelled job error %q does not mention context canceled", done.Error)
+	}
+}
+
+func TestDuplicateSubmissionIsCacheHit(t *testing.T) {
+	_, ts := newTestServer(t, ExecutorConfig{Workers: 2})
+
+	first, _ := submit(t, ts, fastSpec())
+	awaitJob(t, ts, first.ID, func(v View) bool { return v.State == StateDone }, "done")
+
+	second, status := submit(t, ts, fastSpec())
+	if status != http.StatusOK {
+		t.Fatalf("duplicate submit status %d, want 200", status)
+	}
+	if second.State != StateDone || !second.CacheHit {
+		t.Fatalf("duplicate not served from cache: state=%q cacheHit=%v", second.State, second.CacheHit)
+	}
+	if second.ID == first.ID {
+		t.Error("cache hit should mint a fresh job ID")
+	}
+	if second.Hash != first.Hash {
+		t.Errorf("identical specs hashed differently: %s vs %s", first.Hash, second.Hash)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	metrics := string(raw)
+	if !strings.Contains(metrics, "capmand_cache_hits_total 1") {
+		t.Errorf("metrics missing cache hit:\n%s", metrics)
+	}
+	if !strings.Contains(metrics, "capmand_jobs_completed_total 1") {
+		t.Errorf("metrics missing completion:\n%s", metrics)
+	}
+	if !strings.Contains(metrics, "capmand_jobs_submitted_total 2") {
+		t.Errorf("metrics missing submissions:\n%s", metrics)
+	}
+}
+
+func TestConcurrentIdenticalSubmissionsCoalesce(t *testing.T) {
+	_, ts := newTestServer(t, ExecutorConfig{Workers: 1})
+
+	first, _ := submit(t, ts, slowSpec(2))
+	second, status := submit(t, ts, slowSpec(2))
+	if status != http.StatusAccepted {
+		t.Fatalf("coalesced submit status %d", status)
+	}
+	if second.ID != first.ID {
+		t.Errorf("identical in-flight submissions got distinct jobs %s vs %s", first.ID, second.ID)
+	}
+}
+
+func TestSubmitRejectsBadSpecs(t *testing.T) {
+	_, ts := newTestServer(t, ExecutorConfig{Workers: 1})
+	bad := []JobSpec{
+		{Workload: "nope", Policy: "dual"},
+		{Workload: "video", Policy: "nope"},
+		{Workload: "video", Policy: "dual", Profile: "Pixel"},
+		{Workload: "video", Policy: "dual", DT: -1},
+		{Workload: "video", Policy: "dual", BigChemistry: "Unobtainium"},
+		{Workload: "eta", Eta: 7, Policy: "dual"},
+		{Workload: "video", Policy: "dual", Cycles: -2},
+	}
+	for i, spec := range bad {
+		if _, status := submit(t, ts, spec); status != http.StatusBadRequest {
+			t.Errorf("bad spec %d accepted with status %d", i, status)
+		}
+	}
+	// Unknown JSON fields are rejected too.
+	resp, err := http.Post(ts.URL+"/v1/jobs", "application/json",
+		strings.NewReader(`{"workload":"video","policy":"dual","frobnicate":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown field accepted with status %d", resp.StatusCode)
+	}
+}
+
+func TestHealthzRegistryAndList(t *testing.T) {
+	_, ts := newTestServer(t, ExecutorConfig{Workers: 1})
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("healthz status %d", resp.StatusCode)
+	}
+
+	resp, err = http.Get(ts.URL + "/v1/registry")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reg struct {
+		Workloads []string `json:"workloads"`
+		Policies  []string `json:"policies"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&reg); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(reg.Workloads) < 6 || len(reg.Policies) < 5 {
+		t.Errorf("registry too small: %v / %v", reg.Workloads, reg.Policies)
+	}
+
+	v, _ := submit(t, ts, fastSpec())
+	awaitJob(t, ts, v.ID, func(v View) bool { return v.State.Terminal() }, "terminal")
+	resp, err = http.Get(ts.URL + "/v1/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list struct {
+		Jobs []View `json:"jobs"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(list.Jobs) != 1 || list.Jobs[0].ID != v.ID {
+		t.Errorf("job list %+v missing %s", list.Jobs, v.ID)
+	}
+
+	if resp, err := http.Get(ts.URL + "/v1/jobs/j99999999"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("missing job status %d, want 404", resp.StatusCode)
+		}
+	}
+}

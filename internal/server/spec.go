@@ -1,0 +1,139 @@
+// Package server is capmand: the simulator exposed as a long-running
+// HTTP JSON service. Its four layers are a declarative job API backed by a
+// registry of named factories (spec.go, registry.go), a bounded worker-pool
+// executor with FIFO queueing and cooperative cancellation (executor.go,
+// job.go), a content-addressed result cache with single-flight coalescing
+// (cache.go), and stdlib Prometheus-format observability (metrics.go). The
+// HTTP surface lives in server.go; cmd/capman-serve is the binary.
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+)
+
+// JobSpec is the declarative description of one simulation job, the wire
+// payload of POST /v1/jobs. Unlike sim.Config it carries no code — every
+// component is named and resolved through a Registry — so a spec can be
+// validated, canonicalized, and hashed for the result cache.
+type JobSpec struct {
+	// Profile names the phone under test (Nexus, Honor, Lenovo).
+	Profile string `json:"profile"`
+
+	// Workload names a registered workload factory (idle, geekbench,
+	// pcmark, video, eta, onoff, ...). Seed drives its RNG; Eta and
+	// PeriodS parameterise the eta and onoff workloads and are ignored by
+	// the rest.
+	Workload string  `json:"workload"`
+	Seed     int64   `json:"seed"`
+	Eta      float64 `json:"eta,omitempty"`
+	PeriodS  float64 `json:"periodS,omitempty"`
+
+	// Policy names a registered policy factory (capman, dual, heuristic,
+	// practice, threshold). ThresholdW parameterises the threshold policy.
+	Policy     string  `json:"policy"`
+	ThresholdW float64 `json:"thresholdW,omitempty"`
+
+	// Pack geometry. Chemistries default to the paper's NCA big + LMO
+	// LITTLE; capacities default to 2500 mAh each. The practice policy
+	// replaces the pack with a single LCO cell of BigMAh.
+	BigChemistry    string  `json:"bigChemistry,omitempty"`
+	LittleChemistry string  `json:"littleChemistry,omitempty"`
+	BigMAh          float64 `json:"bigMAh,omitempty"`
+	LittleMAh       float64 `json:"littleMAh,omitempty"`
+
+	// DisableTEC removes the thermoelectric cooler (mounted by default).
+	DisableTEC bool `json:"disableTEC,omitempty"`
+
+	// Simulation knobs, defaulted as in sim.Config.
+	DT       float64 `json:"dt,omitempty"`
+	MaxTimeS float64 `json:"maxTimeS,omitempty"`
+
+	// Cycles > 1 runs a multi-cycle discharge/recharge loop instead of a
+	// single discharge cycle; 0 and 1 both mean one cycle.
+	Cycles int `json:"cycles,omitempty"`
+}
+
+// Spec errors.
+var ErrBadSpec = errors.New("server: invalid job spec")
+
+// withDefaults fills unset knobs so that two specs that resolve to the
+// same simulation canonicalize to the same bytes.
+func (s JobSpec) withDefaults() JobSpec {
+	if s.Profile == "" {
+		s.Profile = "Nexus"
+	}
+	if s.Workload == "" {
+		s.Workload = "video"
+	}
+	if s.Policy == "" {
+		s.Policy = "capman"
+	}
+	if s.BigChemistry == "" {
+		s.BigChemistry = "NCA"
+	}
+	if s.LittleChemistry == "" {
+		s.LittleChemistry = "LMO"
+	}
+	if s.BigMAh == 0 {
+		s.BigMAh = 2500
+	}
+	if s.LittleMAh == 0 {
+		s.LittleMAh = 2500
+	}
+	if s.DT == 0 {
+		s.DT = 0.25
+	}
+	if s.MaxTimeS == 0 {
+		s.MaxTimeS = 1e6
+	}
+	if s.Cycles == 0 {
+		s.Cycles = 1
+	}
+	return s
+}
+
+// Validate reports the first structural problem with the spec. Name
+// resolution (unknown profile/workload/policy) is the Registry's job;
+// Validate checks only what the spec alone can know.
+func (s JobSpec) Validate() error {
+	s = s.withDefaults()
+	switch {
+	case s.DT < 0 || s.MaxTimeS < 0:
+		return fmt.Errorf("%w: negative time knob", ErrBadSpec)
+	case s.Cycles < 0:
+		return fmt.Errorf("%w: negative cycle count %d", ErrBadSpec, s.Cycles)
+	case s.BigMAh <= 0 || s.LittleMAh <= 0:
+		return fmt.Errorf("%w: non-positive capacity", ErrBadSpec)
+	case s.ThresholdW < 0:
+		return fmt.Errorf("%w: negative threshold %v", ErrBadSpec, s.ThresholdW)
+	}
+	return nil
+}
+
+// Canonical returns the defaulted spec's canonical JSON encoding: fixed
+// field order (struct order), defaults applied, omitempty dropping unset
+// optionals. Two submissions describing the same simulation produce
+// identical canonical bytes.
+func (s JobSpec) Canonical() ([]byte, error) {
+	b, err := json.Marshal(s.withDefaults())
+	if err != nil {
+		return nil, fmt.Errorf("server: canonicalize spec: %w", err)
+	}
+	return b, nil
+}
+
+// Hash returns the hex SHA-256 of the canonical encoding — the job's
+// content address, used as the result-cache key and for single-flight
+// coalescing of concurrent identical submissions.
+func (s JobSpec) Hash() (string, error) {
+	b, err := s.Canonical()
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}

@@ -1,0 +1,170 @@
+package server
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+func TestSpecHashIgnoresDefaultedFields(t *testing.T) {
+	implicit := JobSpec{Workload: "video", Policy: "capman"}
+	explicit := JobSpec{
+		Profile: "Nexus", Workload: "video", Policy: "capman",
+		BigChemistry: "NCA", LittleChemistry: "LMO",
+		BigMAh: 2500, LittleMAh: 2500,
+		DT: 0.25, MaxTimeS: 1e6, Cycles: 1,
+	}
+	h1, err := implicit.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := explicit.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Errorf("defaulted and explicit specs hash differently:\n%s\n%s", h1, h2)
+	}
+}
+
+func TestSpecHashSeparatesDistinctJobs(t *testing.T) {
+	base := JobSpec{Workload: "video", Policy: "capman"}
+	variants := []JobSpec{
+		{Workload: "video", Policy: "capman", Seed: 1},
+		{Workload: "pcmark", Policy: "capman"},
+		{Workload: "video", Policy: "dual"},
+		{Workload: "video", Policy: "capman", BigMAh: 3000},
+		{Workload: "video", Policy: "capman", DisableTEC: true},
+		{Workload: "video", Policy: "capman", Cycles: 3},
+	}
+	h0, err := base.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]int{h0: -1}
+	for i, v := range variants {
+		h, err := v.Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev, dup := seen[h]; dup {
+			t.Errorf("variant %d collides with %d", i, prev)
+		}
+		seen[h] = i
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	bad := []JobSpec{
+		{DT: -1},
+		{MaxTimeS: -5},
+		{Cycles: -1},
+		{BigMAh: -100},
+		{ThresholdW: -0.5},
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("bad spec %d validated", i)
+		}
+	}
+	if err := (JobSpec{}).Validate(); err != nil {
+		t.Errorf("zero spec (all defaults) rejected: %v", err)
+	}
+}
+
+func TestRegistryResolveAndExtension(t *testing.T) {
+	r := DefaultRegistry()
+	cfg, err := r.Resolve(JobSpec{Workload: "video", Policy: "capman"})
+	if err != nil {
+		t.Fatalf("resolve default spec: %v", err)
+	}
+	if cfg.Policy == nil || cfg.Workload == nil || cfg.TEC == nil {
+		t.Error("resolved config missing components")
+	}
+	cfg, err = r.Resolve(JobSpec{Workload: "video", Policy: "practice"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Single == nil {
+		t.Error("practice policy did not install a single cell")
+	}
+	if _, err := r.Resolve(JobSpec{Workload: "mystery", Policy: "capman"}); err == nil ||
+		!strings.Contains(err.Error(), "mystery") {
+		t.Errorf("unknown workload error %v", err)
+	}
+
+	// Resolution picks up late registrations.
+	if err := r.RegisterPolicy("always-big", func(s JobSpec, cfg *sim.Config) error {
+		cfg.Policy = &sched.Threshold{WattThreshold: 0}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Resolve(JobSpec{Workload: "video", Policy: "always-big"}); err != nil {
+		t.Errorf("late-registered policy did not resolve: %v", err)
+	}
+	if err := r.RegisterWorkload("", nil); err == nil {
+		t.Error("empty workload registration accepted")
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := NewCache(2)
+	a, b, d := &Outcome{}, &Outcome{}, &Outcome{}
+	c.Put("a", a)
+	c.Put("b", b)
+	if _, ok := c.Get("a"); !ok { // refresh a; b is now LRU
+		t.Fatal("a missing")
+	}
+	c.Put("d", d)
+	if _, ok := c.Get("b"); ok {
+		t.Error("LRU entry b survived eviction")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Error("recently used entry a evicted")
+	}
+	if c.Len() != 2 {
+		t.Errorf("cache len %d, want 2", c.Len())
+	}
+
+	off := NewCache(-1)
+	off.Put("x", a)
+	if _, ok := off.Get("x"); ok {
+		t.Error("disabled cache stored an entry")
+	}
+}
+
+func TestMetricsExposition(t *testing.T) {
+	m := NewMetrics()
+	m.JobsSubmitted.Inc()
+	m.JobsSubmitted.Inc()
+	m.CacheHits.Inc()
+	m.QueueDepth.Set(3)
+	m.WorkersBusy.Add(2)
+	m.WorkersBusy.Add(-1)
+	m.JobWallSeconds.Observe(0.5)
+	m.JobWallSeconds.Observe(1.25)
+
+	var sb strings.Builder
+	if err := m.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"capmand_jobs_submitted_total 2",
+		"capmand_cache_hits_total 1",
+		"capmand_queue_depth 3",
+		"capmand_workers_busy 1",
+		"capmand_job_wall_seconds_sum 1.75",
+		"capmand_job_wall_seconds_count 2",
+		"# TYPE capmand_jobs_submitted_total counter",
+		"# TYPE capmand_queue_depth gauge",
+		"# TYPE capmand_job_wall_seconds summary",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -41,8 +42,16 @@ type CyclesResult struct {
 	TotalChargeS float64
 }
 
-// RunCycles executes the discharge/recharge loop on one pack.
+// RunCycles executes the discharge/recharge loop on one pack. It is
+// RunCyclesContext with a background context.
 func RunCycles(cfg CyclesConfig) (*CyclesResult, error) {
+	return RunCyclesContext(context.Background(), cfg)
+}
+
+// RunCyclesContext executes the discharge/recharge loop on one pack under a
+// context; each discharge cycle runs through RunContext, so cancellation is
+// observed at step granularity inside the current cycle.
+func RunCyclesContext(ctx context.Context, cfg CyclesConfig) (*CyclesResult, error) {
 	if cfg.Cycles <= 0 {
 		return nil, fmt.Errorf("sim: non-positive cycle count %d", cfg.Cycles)
 	}
@@ -65,7 +74,7 @@ func RunCycles(cfg CyclesConfig) (*CyclesResult, error) {
 	for cycle := 0; cycle < cfg.Cycles; cycle++ {
 		runCfg := cfg.Base
 		runCfg.Source = pack
-		run, err := Run(runCfg)
+		run, err := RunContext(ctx, runCfg)
 		if err != nil {
 			return nil, fmt.Errorf("cycle %d: %w", cycle, err)
 		}

@@ -1,24 +1,52 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 )
 
 // RunMany executes independent simulation configurations concurrently with
-// a bounded worker pool and returns results in input order. The first error
-// aborts nothing already running but is reported; remaining results for
-// successful runs are still returned. Configurations must not share mutable
-// state (each needs its own Policy instance and Workload factory).
+// a bounded worker pool and returns results in input order. It is
+// RunManyContext with a background context.
 func RunMany(cfgs []Config, workers int) ([]*Result, error) {
+	return RunManyContext(context.Background(), cfgs, workers)
+}
+
+// RunManyContext executes independent simulation configurations
+// concurrently with a bounded worker pool and returns results in input
+// order. Configurations must not share mutable state (each needs its own
+// Policy instance and Workload factory).
+//
+// The contract:
+//
+//   - len(cfgs) == 0 returns an empty, non-nil slice and a nil error
+//     without spawning any workers.
+//   - An already-cancelled context returns a slice of len(cfgs) nil
+//     results and the context's error; no run is started.
+//   - Per-run failures do not abort the other runs. Every failure is
+//     reported: the returned error is an errors.Join of one error per
+//     failed run, each prefixed "run %d (%s)", and the results slice still
+//     carries every successful run at its input index.
+//   - Cancellation mid-sweep is cooperative: runs in flight abort at step
+//     granularity (see RunContext) and surface as per-run errors wrapping
+//     the context error.
+func RunManyContext(ctx context.Context, cfgs []Config, workers int) ([]*Result, error) {
+	results := make([]*Result, len(cfgs))
+	if len(cfgs) == 0 {
+		return results, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return results, fmt.Errorf("sim: sweep not started: %w", err)
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > len(cfgs) {
 		workers = len(cfgs)
 	}
-	results := make([]*Result, len(cfgs))
 	errs := make([]error, len(cfgs))
 
 	var wg sync.WaitGroup
@@ -28,7 +56,7 @@ func RunMany(cfgs []Config, workers int) ([]*Result, error) {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				results[i], errs[i] = Run(cfgs[i])
+				results[i], errs[i] = RunContext(ctx, cfgs[i])
 			}
 		}()
 	}
@@ -38,12 +66,13 @@ func RunMany(cfgs []Config, workers int) ([]*Result, error) {
 	close(jobs)
 	wg.Wait()
 
+	var failures []error
 	for i, err := range errs {
 		if err != nil {
-			return results, fmt.Errorf("run %d (%s): %w", i, describe(cfgs[i]), err)
+			failures = append(failures, fmt.Errorf("run %d (%s): %w", i, describe(cfgs[i]), err))
 		}
 	}
-	return results, nil
+	return results, errors.Join(failures...)
 }
 
 // describe names a configuration for error messages without invoking the

@@ -1,7 +1,11 @@
 package sim
 
 import (
+	"context"
+	"errors"
+	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/sched"
 	"repro/internal/workload"
@@ -38,6 +42,73 @@ func TestRunManyPropagatesErrors(t *testing.T) {
 	bad.Policy = nil
 	if _, err := RunMany([]Config{bad}, 2); err == nil {
 		t.Error("invalid config accepted")
+	}
+}
+
+func TestRunManyAggregatesEveryError(t *testing.T) {
+	good := quickConfig(sched.NewDual(), videoWL())
+	badPolicy := quickConfig(sched.NewDual(), videoWL())
+	badPolicy.Policy = nil
+	badWorkload := quickConfig(sched.NewHeuristic(), nil)
+
+	res, err := RunMany([]Config{badPolicy, good, badWorkload}, 3)
+	if err == nil {
+		t.Fatal("two invalid configs produced no error")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "run 0 (") || !strings.Contains(msg, "run 2 (") {
+		t.Errorf("error lost a failure: %v", err)
+	}
+	if strings.Contains(msg, "run 1 (") {
+		t.Errorf("successful run reported as failed: %v", err)
+	}
+	if res[1] == nil || res[0] != nil || res[2] != nil {
+		t.Errorf("results misplaced: %v", res)
+	}
+}
+
+func TestRunManyEmptyInput(t *testing.T) {
+	res, err := RunMany(nil, 4)
+	if err != nil {
+		t.Fatalf("empty sweep errored: %v", err)
+	}
+	if res == nil || len(res) != 0 {
+		t.Errorf("empty sweep returned %v, want empty non-nil slice", res)
+	}
+}
+
+func TestRunManyContextAlreadyCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cfgs := []Config{quickConfig(sched.NewDual(), videoWL())}
+	res, err := RunManyContext(ctx, cfgs, 1)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled sweep error %v, want context.Canceled", err)
+	}
+	if len(res) != 1 || res[0] != nil {
+		t.Errorf("cancelled sweep results %v, want one nil slot", res)
+	}
+}
+
+func TestRunContextCancellationMidRun(t *testing.T) {
+	cfg := quickConfig(sched.NewDual(), func() workload.Generator { return workload.NewGeekbench(1) })
+	cfg.DT = 0.001
+	cfg.MaxTimeS = 1e6
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := RunContext(ctx, cfg)
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled run error %v, want context.Canceled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancelled run did not return")
 	}
 }
 

@@ -7,6 +7,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -144,8 +145,17 @@ func (r *Result) LittleRatio() float64 {
 	return r.LittleActiveS / tot
 }
 
-// Run simulates one discharge cycle.
+// Run simulates one discharge cycle. It is RunContext with a background
+// context — it can never be cancelled mid-run.
 func Run(cfg Config) (*Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext simulates one discharge cycle under a context. Cancellation is
+// cooperative at step granularity: the loop checks ctx.Err() once per
+// simulated step, so a cancel or deadline aborts within one dt of simulated
+// time and the error wraps context.Canceled / context.DeadlineExceeded.
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -202,6 +212,9 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	for now < cfg.MaxTimeS {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("sim: aborted at t=%.1fs: %w", now, err)
+		}
 		step := gen.Next(now, dt)
 		if cfg.RecordDemands {
 			res.Demands = append(res.Demands, trace.DemandRecord{

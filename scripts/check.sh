@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Local CI gate: formatting, vet, build, and the race-enabled test suite.
+# Run from anywhere; it operates on the repository root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "all checks passed"
