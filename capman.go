@@ -36,6 +36,7 @@ import (
 	"repro/internal/battery"
 	"repro/internal/core"
 	"repro/internal/device"
+	"repro/internal/fault"
 	"repro/internal/sched"
 	"repro/internal/server"
 	"repro/internal/sim"
@@ -87,6 +88,18 @@ type (
 	TECDevice = tec.Device
 	// ThermalConfig sizes the phone's thermal network.
 	ThermalConfig = thermal.PhoneConfig
+
+	// FaultPlan composes failure modes for injection into a run (set
+	// SimConfig.Faults); same seed, same plan → identical Results.
+	FaultPlan = fault.Plan
+	// FaultCounts tallies the fault events a run injected.
+	FaultCounts = fault.Counts
+	// Health tells a policy how trustworthy its readings are.
+	Health = sched.Health
+	// GuardConfig tunes the graceful-degradation guard thresholds.
+	GuardConfig = sched.GuardConfig
+	// DegradeEvent records one degraded-mode transition in a Result.
+	DegradeEvent = sched.DegradeEvent
 
 	// JobSpec is the declarative simulation job accepted by capmand's
 	// POST /v1/jobs (and by Server.Executor().Submit in process).
@@ -166,6 +179,15 @@ func NewServer(cfg ServeConfig) *Server { return server.New(cfg) }
 // accepts. Extend it with RegisterWorkload/RegisterPolicy before passing
 // it in ExecutorConfig.Registry.
 func DefaultJobRegistry() *JobRegistry { return server.DefaultRegistry() }
+
+// FaultPlans lists the named fault-injection plans, sorted.
+func FaultPlans() []string { return fault.Plans() }
+
+// FaultPlanByName builds a library fault plan seeded for a run; "" and
+// "none" return (nil, nil), meaning fault-free.
+func FaultPlanByName(name string, seed int64) (*FaultPlan, error) {
+	return fault.ByName(name, seed)
+}
 
 // TuneOracle performs the offline threshold search behind the Oracle
 // baseline and returns the best threshold with its run.

@@ -19,6 +19,7 @@ import (
 	"repro/internal/battery"
 	"repro/internal/core"
 	"repro/internal/device"
+	"repro/internal/fault"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/tec"
@@ -43,6 +44,7 @@ func run(args []string) error {
 	dt := fs.Float64("dt", 0.25, "simulation step in seconds")
 	maxTime := fs.Float64("max-time", 1e6, "simulated time cap in seconds")
 	noTEC := fs.Bool("no-tec", false, "disable the thermoelectric cooler")
+	faults := fs.String("faults", "", "fault-injection plan: "+strings.Join(fault.Plans(), "|")+" (empty = none)")
 	samples := fs.String("samples", "", "write a sampled trace (JSON) to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -67,6 +69,11 @@ func run(args []string) error {
 		dev := tec.ATE31()
 		cfg.TEC = &dev
 	}
+	plan, err := fault.ByName(*faults, *seed)
+	if err != nil {
+		return err
+	}
+	cfg.Faults = plan
 	if *samples != "" {
 		cfg.SampleEveryS = 10
 	}
@@ -213,6 +220,20 @@ func report(r *sim.Result) {
 		r.MaxCPUTempC, r.MeanCPUTempC, r.TimeAbove45S, r.TECOnTimeS, r.TECEnergyJ, r.TECFlips)
 	fmt.Printf("pack: %d switches, big active %.0fs, LITTLE active %.0fs (ratio %.2f), final SoC big %.2f LITTLE %.2f\n",
 		r.Switches, r.BigActiveS, r.LittleActiveS, r.LittleRatio(), r.FinalSoCBig, r.FinalSoCLittle)
+	if r.FaultPlan != "" {
+		c := r.FaultCounts
+		fmt.Printf("faults: plan=%s injected %d (switch stuck %d latency %d, tec dropout %d derate %d, sensor noise %d stale %d, spikes %d)\n",
+			r.FaultPlan, c.Total(), c.SwitchStuck, c.SwitchLatency,
+			c.TECDropout, c.TECDerate, c.SensorNoise, c.SensorStale, c.PowerSpike)
+		for _, ev := range r.Degradations {
+			verb := "entered"
+			if ev.Recovered {
+				verb = "recovered from"
+			}
+			fmt.Printf("degradation: t=%.0fs %s %s (%s)\n", ev.At, verb, ev.Mode, ev.Detail)
+		}
+		fmt.Printf("degraded mode: %.0fs total\n", r.DegradedTimeS)
+	}
 }
 
 func safeDiv(a, b float64) float64 {

@@ -69,7 +69,16 @@ type Pack struct {
 	bigActiveS    float64
 	littleActiveS float64
 	signal        []SignalEdge
+	gate          SwitchGate
 }
+
+// SwitchGate vets a flip that is otherwise about to happen: it is called
+// after every internal check (latency, depletion) has passed, so returning
+// false is exactly one denied flip — the physical switch failing to
+// acknowledge the control edge. forced marks the pack's internal emergency
+// fallback, which a truly stuck switch must also deny. A nil gate allows
+// everything; the fault layer installs one to inject actuator failures.
+type SwitchGate func(now float64, to Selection, forced bool) bool
 
 // SignalEdge records one battery-switch control edge (the paper's Figure 9
 // signal trace).
@@ -107,6 +116,9 @@ func NewPack(cfg PackConfig) (*Pack, error) {
 
 // Active returns the currently selected cell.
 func (p *Pack) Active() Selection { return p.active }
+
+// SetSwitchGate installs (or clears, with nil) the flip gate.
+func (p *Pack) SetSwitchGate(g SwitchGate) { p.gate = g }
 
 // Cell returns the named cell for observation.
 func (p *Pack) Cell(sel Selection) *Cell {
@@ -167,6 +179,9 @@ func (p *Pack) selectCell(sel Selection, force bool) bool {
 		return false
 	}
 	if !force && p.now-p.lastFlipAt < p.cfg.Switch.LatencyS {
+		return false
+	}
+	if p.gate != nil && !p.gate(p.now, sel, force) {
 		return false
 	}
 	p.active = sel

@@ -228,3 +228,69 @@ func TestCellStateReporting(t *testing.T) {
 		t.Error("big cell state shows no energy drawn")
 	}
 }
+
+// TestPackSwitchGate: a gate denies flips — including the internal forced
+// fallback — without disturbing any other pack accounting.
+func TestPackSwitchGate(t *testing.T) {
+	p := newTestPack(t)
+	var calls []bool // forced flags seen
+	open := true
+	p.SetSwitchGate(func(now float64, to Selection, forced bool) bool {
+		calls = append(calls, forced)
+		return open
+	})
+	if !p.Select(SelectLittle) {
+		t.Fatal("open gate refused a flip")
+	}
+	if _, err := p.Step(1, 25, 1); err != nil {
+		t.Fatal(err)
+	}
+	open = false
+	if p.Select(SelectBig) {
+		t.Error("closed gate let a flip through")
+	}
+	if p.Active() != SelectLittle || p.Switches() != 1 {
+		t.Errorf("denied flip changed state: active %v switches %d", p.Active(), p.Switches())
+	}
+	if len(calls) != 2 || calls[0] || calls[1] {
+		t.Errorf("gate calls (forced flags) = %v, want two unforced", calls)
+	}
+	p.SetSwitchGate(nil)
+	if !p.Select(SelectBig) {
+		t.Error("cleared gate still blocking flips")
+	}
+}
+
+// TestPackGateBlocksForcedFallback: with the gate closed, the emergency
+// fallback cannot flip either, so the pack surfaces the supply failure.
+func TestPackGateBlocksForcedFallback(t *testing.T) {
+	cfg := DefaultPackConfig()
+	cfg.Big = MustParams(NCA, 30)
+	cfg.Little = MustParams(LMO, 2500)
+	cfg.Supercap = nil
+	p, err := NewPack(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawForced := false
+	p.SetSwitchGate(func(now float64, to Selection, forced bool) bool {
+		sawForced = sawForced || forced
+		return false
+	})
+	failed := false
+	for i := 0; i < 5000; i++ {
+		if _, err := p.Step(2, 25, 1); err != nil {
+			failed = true
+			break
+		}
+	}
+	if !failed {
+		t.Fatal("pack with a stuck switch served a dead big cell forever")
+	}
+	if !sawForced {
+		t.Error("forced fallback never reached the gate")
+	}
+	if p.Active() != SelectBig {
+		t.Errorf("stuck switch still flipped: active %v", p.Active())
+	}
+}

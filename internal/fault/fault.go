@@ -1,0 +1,276 @@
+// Package fault is the testbed's failure-mode layer: a deterministic,
+// seedable fault-injection engine for the simulated CAPMAN prototype. The
+// paper's hardware is fragile in ways the perfect simulation hides — the
+// TTL/MOS battery switch can stick or slow down, the ATE TEC can drop out
+// or derate, thermistor and fuel-gauge readings can go noisy or stale, and
+// the rail can see transient load spikes. A Plan composes any subset of
+// those modes over time windows; an Injector executes the plan with a
+// seeded RNG so two runs of the same plan are bit-for-bit identical.
+//
+// The package is self-contained (stdlib only); internal/sim wires an
+// Injector into the step loop through Config.Faults, and internal/sched's
+// Guard turns the resulting sensor staleness and missing switch acks into
+// graceful degradation instead of wrong decisions.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Window bounds a fault mode in simulated time. The zero value is the
+// always-active window; ToS <= 0 means open-ended.
+type Window struct {
+	FromS float64 `json:"fromS,omitempty"`
+	ToS   float64 `json:"toS,omitempty"`
+}
+
+// Contains reports whether the window covers simulated time t.
+func (w Window) Contains(t float64) bool {
+	if t < w.FromS {
+		return false
+	}
+	return w.ToS <= 0 || t < w.ToS
+}
+
+// validate rejects inverted windows.
+func (w Window) validate() error {
+	if w.FromS < 0 {
+		return fmt.Errorf("window starts at %v s", w.FromS)
+	}
+	if w.ToS > 0 && w.ToS <= w.FromS {
+		return fmt.Errorf("window [%v, %v) is empty", w.FromS, w.ToS)
+	}
+	return nil
+}
+
+// SwitchFault degrades the battery-switch actuator (the paper's LM339AD
+// comparator + MOS pair).
+type SwitchFault struct {
+	Window Window `json:"window"`
+	// StuckAt denies every flip inside the window: the switch stops
+	// acknowledging, including the pack's internal emergency fallback.
+	StuckAt bool `json:"stuckAt,omitempty"`
+	// ExtraLatencyS adds to the minimum interval between flips (the
+	// oscillator slowing down), enforced on top of the pack's own latency.
+	ExtraLatencyS float64 `json:"extraLatencyS,omitempty"`
+}
+
+// TECFault degrades the thermoelectric cooler.
+type TECFault struct {
+	Window Window `json:"window"`
+	// Dropout forces the TEC off inside the window regardless of the
+	// controller's decision.
+	Dropout bool `json:"dropout,omitempty"`
+	// DerateFactor in (0, 1) scales the module's pumped heat (ageing or a
+	// failing fan on the hot face); 0 and 1 both mean nominal.
+	DerateFactor float64 `json:"derateFactor,omitempty"`
+}
+
+// Sensor names a faultable measurement channel.
+type Sensor string
+
+// Faultable sensors.
+const (
+	SensorTemp Sensor = "temp" // CPU thermistor feeding the 45 degC gate
+	SensorSoC  Sensor = "soc"  // per-cell fuel gauge
+)
+
+// SensorFault corrupts one measurement channel. Faults affect only what the
+// policy and TEC controller observe — the physics keeps integrating the
+// true values.
+type SensorFault struct {
+	Window Window `json:"window"`
+	Sensor Sensor `json:"sensor"`
+	// NoiseStd adds zero-mean Gaussian noise with this standard deviation
+	// (degC for temp, SoC fraction for soc).
+	NoiseStd float64 `json:"noiseStd,omitempty"`
+	// HoldS makes the channel sample-and-hold: a fresh reading is taken at
+	// most every HoldS seconds and served stale in between.
+	HoldS float64 `json:"holdS,omitempty"`
+	// DropoutProb is the per-step probability that the refresh is lost, so
+	// the last reading is served again and its age keeps growing.
+	DropoutProb float64 `json:"dropoutProb,omitempty"`
+}
+
+// SpikeFault injects transient per-step power spikes on the rail.
+type SpikeFault struct {
+	Window Window `json:"window"`
+	// Prob is the per-step probability of a spike.
+	Prob float64 `json:"prob,omitempty"`
+	// MagnitudeW is the spike's base amplitude.
+	MagnitudeW float64 `json:"magnitudeW,omitempty"`
+	// JitterW widens the amplitude uniformly in [-JitterW, +JitterW].
+	JitterW float64 `json:"jitterW,omitempty"`
+}
+
+// Plan is a composable set of failure modes. The zero value (and a nil
+// *Plan) injects nothing and reproduces a fault-free run bit-for-bit.
+type Plan struct {
+	// Name labels the plan in results and logs.
+	Name string `json:"name,omitempty"`
+	// Seed drives every stochastic mode; the same seed replays the same
+	// faults.
+	Seed int64 `json:"seed,omitempty"`
+
+	Switch  []SwitchFault `json:"switch,omitempty"`
+	TEC     []TECFault    `json:"tec,omitempty"`
+	Sensors []SensorFault `json:"sensors,omitempty"`
+	Spikes  []SpikeFault  `json:"spikes,omitempty"`
+}
+
+// ErrBadPlan tags plan validation failures.
+var ErrBadPlan = errors.New("fault: invalid plan")
+
+// Validate reports the first problem with the plan. A nil plan is valid.
+func (p *Plan) Validate() error {
+	if p == nil {
+		return nil
+	}
+	for i, f := range p.Switch {
+		if err := f.Window.validate(); err != nil {
+			return fmt.Errorf("%w: switch[%d]: %v", ErrBadPlan, i, err)
+		}
+		if f.ExtraLatencyS < 0 {
+			return fmt.Errorf("%w: switch[%d]: negative extra latency", ErrBadPlan, i)
+		}
+	}
+	for i, f := range p.TEC {
+		if err := f.Window.validate(); err != nil {
+			return fmt.Errorf("%w: tec[%d]: %v", ErrBadPlan, i, err)
+		}
+		if f.DerateFactor < 0 || f.DerateFactor > 1 {
+			return fmt.Errorf("%w: tec[%d]: derate factor %v outside [0, 1]", ErrBadPlan, i, f.DerateFactor)
+		}
+	}
+	for i, f := range p.Sensors {
+		if err := f.Window.validate(); err != nil {
+			return fmt.Errorf("%w: sensors[%d]: %v", ErrBadPlan, i, err)
+		}
+		if f.Sensor != SensorTemp && f.Sensor != SensorSoC {
+			return fmt.Errorf("%w: sensors[%d]: unknown sensor %q", ErrBadPlan, i, f.Sensor)
+		}
+		if f.NoiseStd < 0 || f.HoldS < 0 {
+			return fmt.Errorf("%w: sensors[%d]: negative noise or hold", ErrBadPlan, i)
+		}
+		if f.DropoutProb < 0 || f.DropoutProb > 1 {
+			return fmt.Errorf("%w: sensors[%d]: dropout probability %v outside [0, 1]", ErrBadPlan, i, f.DropoutProb)
+		}
+	}
+	for i, f := range p.Spikes {
+		if err := f.Window.validate(); err != nil {
+			return fmt.Errorf("%w: spikes[%d]: %v", ErrBadPlan, i, err)
+		}
+		if f.Prob < 0 || f.Prob > 1 {
+			return fmt.Errorf("%w: spikes[%d]: probability %v outside [0, 1]", ErrBadPlan, i, f.Prob)
+		}
+		if f.MagnitudeW < 0 || f.JitterW < 0 {
+			return fmt.Errorf("%w: spikes[%d]: negative magnitude or jitter", ErrBadPlan, i)
+		}
+	}
+	return nil
+}
+
+// Empty reports whether the plan injects nothing.
+func (p *Plan) Empty() bool {
+	return p == nil ||
+		len(p.Switch)+len(p.TEC)+len(p.Sensors)+len(p.Spikes) == 0
+}
+
+// Counts tallies injected fault events by mode. An event is one simulation
+// step on which the mode actually perturbed the run (a denied flip, a
+// forced-off TEC step, a stale or noisy reading, a spike).
+type Counts struct {
+	SwitchStuck   int `json:"switchStuck,omitempty"`
+	SwitchLatency int `json:"switchLatency,omitempty"`
+	TECDropout    int `json:"tecDropout,omitempty"`
+	TECDerate     int `json:"tecDerate,omitempty"`
+	SensorNoise   int `json:"sensorNoise,omitempty"`
+	SensorStale   int `json:"sensorStale,omitempty"`
+	PowerSpike    int `json:"powerSpike,omitempty"`
+}
+
+// Total sums every mode's event count.
+func (c Counts) Total() int {
+	return c.SwitchStuck + c.SwitchLatency + c.TECDropout + c.TECDerate +
+		c.SensorNoise + c.SensorStale + c.PowerSpike
+}
+
+// ErrUnknownPlan tags ByName misses.
+var ErrUnknownPlan = errors.New("fault: unknown plan")
+
+// library holds the named plans a JobSpec or CLI flag may reference. Times
+// are chosen for the evaluation's discharge cycles (hours of simulated
+// time): faults begin a few minutes in so every run first establishes a
+// healthy baseline.
+var library = map[string]func(seed int64) *Plan{
+	"stuck-switch": func(seed int64) *Plan {
+		return &Plan{Name: "stuck-switch", Seed: seed, Switch: []SwitchFault{
+			{Window: Window{FromS: 600}, StuckAt: true},
+		}}
+	},
+	"slow-switch": func(seed int64) *Plan {
+		return &Plan{Name: "slow-switch", Seed: seed, Switch: []SwitchFault{
+			{Window: Window{FromS: 300}, ExtraLatencyS: 30},
+		}}
+	},
+	"tec-dropout": func(seed int64) *Plan {
+		return &Plan{Name: "tec-dropout", Seed: seed, TEC: []TECFault{
+			{Window: Window{FromS: 300}, Dropout: true},
+		}}
+	},
+	"tec-derate": func(seed int64) *Plan {
+		return &Plan{Name: "tec-derate", Seed: seed, TEC: []TECFault{
+			{Window: Window{FromS: 300}, DerateFactor: 0.4},
+		}}
+	},
+	"stale-sensors": func(seed int64) *Plan {
+		return &Plan{Name: "stale-sensors", Seed: seed, Sensors: []SensorFault{
+			{Window: Window{FromS: 600}, Sensor: SensorTemp, HoldS: 30, DropoutProb: 0.5},
+			{Window: Window{FromS: 600}, Sensor: SensorSoC, HoldS: 30, DropoutProb: 0.5},
+		}}
+	},
+	"noisy-sensors": func(seed int64) *Plan {
+		return &Plan{Name: "noisy-sensors", Seed: seed, Sensors: []SensorFault{
+			{Window: Window{FromS: 300}, Sensor: SensorTemp, NoiseStd: 1.5},
+			{Window: Window{FromS: 300}, Sensor: SensorSoC, NoiseStd: 0.02},
+		}}
+	},
+	"power-spikes": func(seed int64) *Plan {
+		return &Plan{Name: "power-spikes", Seed: seed, Spikes: []SpikeFault{
+			{Window: Window{FromS: 300}, Prob: 0.02, MagnitudeW: 3, JitterW: 1},
+		}}
+	},
+	"chaos": func(seed int64) *Plan {
+		return &Plan{Name: "chaos", Seed: seed,
+			Switch:  []SwitchFault{{Window: Window{FromS: 1200}, StuckAt: true}},
+			TEC:     []TECFault{{Window: Window{FromS: 600}, DerateFactor: 0.5}},
+			Sensors: []SensorFault{{Window: Window{FromS: 300}, Sensor: SensorTemp, NoiseStd: 1, HoldS: 10, DropoutProb: 0.2}},
+			Spikes:  []SpikeFault{{Window: Window{FromS: 300}, Prob: 0.01, MagnitudeW: 2, JitterW: 1}},
+		}
+	},
+}
+
+// Plans lists the named plans, sorted.
+func Plans() []string {
+	names := make([]string, 0, len(library))
+	for name := range library {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ByName builds a named plan seeded with seed. The empty name and "none"
+// both return nil (no faults).
+func ByName(name string, seed int64) (*Plan, error) {
+	if name == "" || name == "none" {
+		return nil, nil
+	}
+	build, ok := library[name]
+	if !ok {
+		return nil, fmt.Errorf("%w %q (have %v)", ErrUnknownPlan, name, Plans())
+	}
+	return build(seed), nil
+}

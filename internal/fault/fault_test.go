@@ -1,0 +1,191 @@
+package fault
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestWindowContains(t *testing.T) {
+	cases := []struct {
+		w    Window
+		t    float64
+		want bool
+	}{
+		{Window{}, 0, true},
+		{Window{}, 1e9, true},
+		{Window{FromS: 10}, 9.99, false},
+		{Window{FromS: 10}, 10, true},
+		{Window{FromS: 10, ToS: 20}, 19.99, true},
+		{Window{FromS: 10, ToS: 20}, 20, false},
+	}
+	for _, c := range cases {
+		if got := c.w.Contains(c.t); got != c.want {
+			t.Errorf("%+v.Contains(%v) = %v, want %v", c.w, c.t, got, c.want)
+		}
+	}
+}
+
+func TestPlanValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		plan *Plan
+		ok   bool
+	}{
+		{"nil", nil, true},
+		{"zero", &Plan{}, true},
+		{"good", &Plan{Switch: []SwitchFault{{StuckAt: true}}}, true},
+		{"inverted window", &Plan{Switch: []SwitchFault{{Window: Window{FromS: 5, ToS: 5}}}}, false},
+		{"negative latency", &Plan{Switch: []SwitchFault{{ExtraLatencyS: -1}}}, false},
+		{"derate out of range", &Plan{TEC: []TECFault{{DerateFactor: 1.5}}}, false},
+		{"unknown sensor", &Plan{Sensors: []SensorFault{{Sensor: "rpm"}}}, false},
+		{"bad dropout prob", &Plan{Sensors: []SensorFault{{Sensor: SensorTemp, DropoutProb: 2}}}, false},
+		{"bad spike prob", &Plan{Spikes: []SpikeFault{{Prob: -0.1}}}, false},
+	}
+	for _, c := range cases {
+		err := c.plan.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestNilInjectorPassesThrough(t *testing.T) {
+	var in *Injector
+	if !in.AllowFlip(1) {
+		t.Error("nil injector denied a flip")
+	}
+	if off, derate := in.TECCondition(1); off || derate != 1 {
+		t.Errorf("nil injector TEC condition = (%v, %v)", off, derate)
+	}
+	if r, s := in.Temperature(1, 42.5); r != 42.5 || s != 0 {
+		t.Errorf("nil injector temp = (%v, %v)", r, s)
+	}
+	if r, s := in.SoCBig(1, 0.8); r != 0.8 || s != 0 {
+		t.Errorf("nil injector big soc = (%v, %v)", r, s)
+	}
+	if r, s := in.SoCLittle(1, 0.6); r != 0.6 || s != 0 {
+		t.Errorf("nil injector LITTLE soc = (%v, %v)", r, s)
+	}
+	if w := in.SpikeW(1); w != 0 {
+		t.Errorf("nil injector spike = %v", w)
+	}
+	if c := in.Counts(); c.Total() != 0 {
+		t.Errorf("nil injector counted %d events", c.Total())
+	}
+}
+
+// TestInjectorDeterminism replays a stochastic plan twice with the same
+// seed and expects identical readings, spikes, and counts.
+func TestInjectorDeterminism(t *testing.T) {
+	plan, err := ByName("chaos", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() ([]float64, Counts) {
+		in, err := NewInjector(plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var trace []float64
+		for i := 0; i < 4000; i++ {
+			now := float64(i)
+			r, s := in.Temperature(now, 40+float64(i%10))
+			trace = append(trace, r, s, in.SpikeW(now))
+			if !in.AllowFlip(now) {
+				trace = append(trace, -1)
+			}
+		}
+		return trace, in.Counts()
+	}
+	t1, c1 := run()
+	t2, c2 := run()
+	if !reflect.DeepEqual(t1, t2) {
+		t.Fatal("same-seed replays diverged")
+	}
+	if c1 != c2 {
+		t.Fatalf("same-seed counts diverged: %+v vs %+v", c1, c2)
+	}
+	if c1.Total() == 0 {
+		t.Fatal("chaos plan injected nothing in 4000 steps")
+	}
+}
+
+func TestSwitchStuckWindow(t *testing.T) {
+	in, err := NewInjector(&Plan{Switch: []SwitchFault{
+		{Window: Window{FromS: 10, ToS: 20}, StuckAt: true},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in.AllowFlip(5) {
+		t.Error("flip before the window denied")
+	}
+	if in.AllowFlip(15) {
+		t.Error("flip inside the stuck window allowed")
+	}
+	if !in.AllowFlip(25) {
+		t.Error("flip after the window denied")
+	}
+	if c := in.Counts(); c.SwitchStuck != 1 {
+		t.Errorf("SwitchStuck = %d, want 1", c.SwitchStuck)
+	}
+}
+
+func TestSensorHoldServesStaleReading(t *testing.T) {
+	in, err := NewInjector(&Plan{Sensors: []SensorFault{
+		{Sensor: SensorTemp, HoldS: 10},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r, s := in.Temperature(0, 40); r != 40 || s != 0 {
+		t.Fatalf("first reading = (%v, %v), want fresh 40", r, s)
+	}
+	if r, s := in.Temperature(5, 50); r != 40 || s != 5 {
+		t.Fatalf("held reading = (%v, %v), want (40, 5)", r, s)
+	}
+	if r, s := in.Temperature(12, 55); r != 55 || s != 0 {
+		t.Fatalf("refreshed reading = (%v, %v), want fresh 55", r, s)
+	}
+}
+
+func TestTECConditionComposes(t *testing.T) {
+	in, err := NewInjector(&Plan{TEC: []TECFault{
+		{Window: Window{FromS: 0, ToS: 10}, Dropout: true},
+		{Window: Window{FromS: 0}, DerateFactor: 0.5},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off, _ := in.TECCondition(5); !off {
+		t.Error("dropout window not applied")
+	}
+	if off, derate := in.TECCondition(15); off || derate != 0.5 {
+		t.Errorf("after dropout window: (%v, %v), want derate 0.5", off, derate)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range Plans() {
+		p, err := ByName(name, 42)
+		if err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+			continue
+		}
+		if p.Empty() {
+			t.Errorf("named plan %q is empty", name)
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("named plan %q invalid: %v", name, err)
+		}
+	}
+	if p, err := ByName("", 1); p != nil || err != nil {
+		t.Errorf("ByName(\"\") = (%v, %v), want nil, nil", p, err)
+	}
+	if p, err := ByName("none", 1); p != nil || err != nil {
+		t.Errorf("ByName(none) = (%v, %v), want nil, nil", p, err)
+	}
+	if _, err := ByName("nope", 1); err == nil {
+		t.Error("unknown plan name accepted")
+	}
+}

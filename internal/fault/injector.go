@@ -1,0 +1,204 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Injector executes a Plan over one run. It owns a seeded RNG, so every
+// stochastic decision replays identically for the same plan and seed; it is
+// single-goroutine like the simulation loop that drives it and must not be
+// shared across runs.
+type Injector struct {
+	plan   Plan
+	rng    *rand.Rand
+	counts Counts
+
+	lastFlipAt float64 // last allowed flip, for ExtraLatencyS
+	anyFlip    bool
+
+	temp      sensorState
+	socBig    sensorState
+	socLittle sensorState
+}
+
+// sensorState is the sample-and-hold memory of one measurement channel.
+type sensorState struct {
+	have    bool
+	value   float64
+	takenAt float64
+}
+
+// NewInjector validates the plan and builds an injector. A nil plan
+// returns a nil injector, which every method treats as "inject nothing".
+func NewInjector(p *Plan) (*Injector, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if p == nil {
+		return nil, nil
+	}
+	return &Injector{
+		plan:       *p,
+		rng:        rand.New(rand.NewSource(p.Seed)),
+		lastFlipAt: -1e18,
+	}, nil
+}
+
+// Plan returns the executed plan (zero value for a nil injector).
+func (in *Injector) Plan() Plan {
+	if in == nil {
+		return Plan{}
+	}
+	return in.plan
+}
+
+// Counts returns the fault events injected so far.
+func (in *Injector) Counts() Counts {
+	if in == nil {
+		return Counts{}
+	}
+	return in.counts
+}
+
+// AllowFlip vets one battery-switch flip at simulated time now. It is
+// called by the pack's switch gate only when the flip would otherwise
+// happen, so a false return is exactly one denied (unacknowledged) flip.
+func (in *Injector) AllowFlip(now float64) bool {
+	if in == nil {
+		return true
+	}
+	for _, f := range in.plan.Switch {
+		if !f.Window.Contains(now) {
+			continue
+		}
+		if f.StuckAt {
+			in.counts.SwitchStuck++
+			return false
+		}
+		if f.ExtraLatencyS > 0 && in.anyFlip && now-in.lastFlipAt < f.ExtraLatencyS {
+			in.counts.SwitchLatency++
+			return false
+		}
+	}
+	in.lastFlipAt = now
+	in.anyFlip = true
+	return true
+}
+
+// TECCondition reports how the TEC is degraded at time now: forcedOff
+// disables it outright, derate in (0, 1) scales its pumped heat, 1 is
+// nominal.
+func (in *Injector) TECCondition(now float64) (forcedOff bool, derate float64) {
+	derate = 1
+	if in == nil {
+		return false, 1
+	}
+	for _, f := range in.plan.TEC {
+		if !f.Window.Contains(now) {
+			continue
+		}
+		if f.Dropout {
+			forcedOff = true
+		}
+		if f.DerateFactor > 0 && f.DerateFactor < 1 {
+			derate *= f.DerateFactor
+		}
+	}
+	if forcedOff {
+		in.counts.TECDropout++
+	} else if derate < 1 {
+		in.counts.TECDerate++
+	}
+	return forcedOff, derate
+}
+
+// Temperature filters the CPU temperature reading at time now and returns
+// the observed value plus its staleness age in seconds (0 = fresh).
+func (in *Injector) Temperature(now, actual float64) (reading, staleS float64) {
+	if in == nil {
+		return actual, 0
+	}
+	return in.observe(&in.temp, SensorTemp, now, actual)
+}
+
+// SoCBig filters the big cell's fuel-gauge reading. The two cells share
+// the SensorSoC fault configuration but hold state independently; the call
+// order (big then LITTLE each step) must stay fixed for determinism.
+func (in *Injector) SoCBig(now, actual float64) (reading, staleS float64) {
+	if in == nil {
+		return actual, 0
+	}
+	return in.observe(&in.socBig, SensorSoC, now, actual)
+}
+
+// SoCLittle filters the LITTLE cell's fuel-gauge reading.
+func (in *Injector) SoCLittle(now, actual float64) (reading, staleS float64) {
+	if in == nil {
+		return actual, 0
+	}
+	return in.observe(&in.socLittle, SensorSoC, now, actual)
+}
+
+// observe applies every matching sensor fault to one channel.
+func (in *Injector) observe(st *sensorState, which Sensor, now, actual float64) (float64, float64) {
+	value := actual
+	hold := false
+	for _, f := range in.plan.Sensors {
+		if f.Sensor != which || !f.Window.Contains(now) {
+			continue
+		}
+		if f.NoiseStd > 0 {
+			value += in.rng.NormFloat64() * f.NoiseStd
+			in.counts.SensorNoise++
+		}
+		if f.HoldS > 0 && st.have && now-st.takenAt < f.HoldS {
+			hold = true
+		}
+		if f.DropoutProb > 0 && in.rng.Float64() < f.DropoutProb {
+			hold = true
+		}
+	}
+	if hold && st.have {
+		in.counts.SensorStale++
+		return st.value, now - st.takenAt
+	}
+	st.have = true
+	st.value = value
+	st.takenAt = now
+	return value, 0
+}
+
+// SpikeW returns the transient extra demand injected this step (0 almost
+// always).
+func (in *Injector) SpikeW(now float64) float64 {
+	if in == nil {
+		return 0
+	}
+	var spike float64
+	for _, f := range in.plan.Spikes {
+		if !f.Window.Contains(now) || f.Prob <= 0 {
+			continue
+		}
+		if in.rng.Float64() < f.Prob {
+			w := f.MagnitudeW
+			if f.JitterW > 0 {
+				w += (in.rng.Float64()*2 - 1) * f.JitterW
+			}
+			if w < 0 {
+				w = 0
+			}
+			spike += w
+			in.counts.PowerSpike++
+		}
+	}
+	return spike
+}
+
+// String summarises the plan for logs.
+func (in *Injector) String() string {
+	if in == nil {
+		return "fault: none"
+	}
+	return fmt.Sprintf("fault: plan %q seed %d", in.plan.Name, in.plan.Seed)
+}

@@ -1,0 +1,115 @@
+package sched
+
+import (
+	"testing"
+
+	"repro/internal/battery"
+	"repro/internal/mdp"
+)
+
+// guardCtx builds a context in which the policy would switch away from the
+// currently active big cell.
+func guardCtx(now float64, h Health) Context {
+	return Context{
+		Now: now, DT: 0.25,
+		State:     mdp.StateVec{Battery: battery.SelectBig},
+		CanBig:    true,
+		CanLittle: true,
+		Health:    h,
+	}
+}
+
+// TestGuardFallback drives the guard through each fault mode's health
+// signature and checks the conservative fallback: hold the active battery,
+// disallow the TEC, and record the degradation event.
+func TestGuardFallback(t *testing.T) {
+	cases := []struct {
+		name     string
+		health   Health
+		wantMode string // "" = stay healthy
+	}{
+		{"healthy", Health{}, ""},
+		{"fresh readings, few unacked", Health{TempStaleS: 5, SwitchUnacked: 3}, ""},
+		{"stale temp", Health{TempStaleS: 45}, DegradeStaleSensors},
+		{"stale soc", Health{SoCStaleS: 30}, DegradeStaleSensors},
+		{"stuck switch", Health{SwitchUnacked: 8, LastSwitchAckAgeS: 12}, DegradeStuckSwitch},
+		{"stuck switch wins over stale temp", Health{TempStaleS: 60, SwitchUnacked: 20}, DegradeStuckSwitch},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			g := NewGuard(GuardConfig{})
+			want := Decision{Battery: battery.SelectLittle} // policy asks to flip
+			got := g.Review(guardCtx(10, c.health), want)
+
+			degraded, mode := g.Degraded()
+			if degraded != (c.wantMode != "") || mode != c.wantMode {
+				t.Fatalf("mode = (%v, %q), want %q", degraded, mode, c.wantMode)
+			}
+			if c.wantMode == "" {
+				if got != want {
+					t.Errorf("healthy guard overrode decision: %+v", got)
+				}
+				if !g.TECAllowed() {
+					t.Error("healthy guard disallowed TEC")
+				}
+				if len(g.Events()) != 0 {
+					t.Errorf("healthy guard recorded events: %v", g.Events())
+				}
+				return
+			}
+			if got.Battery != battery.SelectBig {
+				t.Errorf("degraded guard let the flip through: %+v", got)
+			}
+			if g.TECAllowed() {
+				t.Error("degraded guard allowed TEC")
+			}
+			evs := g.Events()
+			if len(evs) != 1 || evs[0].Mode != c.wantMode || evs[0].Recovered {
+				t.Errorf("events = %+v, want one entry into %q", evs, c.wantMode)
+			}
+		})
+	}
+}
+
+// TestGuardRecovery enters a degraded mode, then feeds healthy readings and
+// expects the guard to hand control back and log the recovery.
+func TestGuardRecovery(t *testing.T) {
+	g := NewGuard(GuardConfig{MaxSensorStaleS: 10})
+	want := Decision{Battery: battery.SelectLittle}
+
+	if got := g.Review(guardCtx(0, Health{TempStaleS: 30}), want); got.Battery != battery.SelectBig {
+		t.Fatalf("guard did not degrade: %+v", got)
+	}
+	g.Review(guardCtx(1, Health{TempStaleS: 31}), want)
+
+	if got := g.Review(guardCtx(2, Health{}), want); got != want {
+		t.Fatalf("recovered guard still overriding: %+v", got)
+	}
+	if ok := g.TECAllowed(); !ok {
+		t.Error("recovered guard still disallows TEC")
+	}
+	evs := g.Events()
+	if len(evs) != 2 || !evs[1].Recovered {
+		t.Fatalf("events = %+v, want entry + recovery", evs)
+	}
+	if g.DegradedTimeS() <= 0 {
+		t.Error("no degraded time accumulated")
+	}
+}
+
+// TestGuardModeTransition checks that moving between two degradation modes
+// logs a recovery from the first and an entry into the second.
+func TestGuardModeTransition(t *testing.T) {
+	g := NewGuard(GuardConfig{})
+	want := Decision{Battery: battery.SelectLittle}
+	g.Review(guardCtx(0, Health{TempStaleS: 60}), want)
+	g.Review(guardCtx(1, Health{SwitchUnacked: 50}), want)
+	evs := g.Events()
+	if len(evs) != 3 {
+		t.Fatalf("events = %+v, want 3", evs)
+	}
+	if evs[0].Mode != DegradeStaleSensors || evs[1].Mode != DegradeStaleSensors || !evs[1].Recovered ||
+		evs[2].Mode != DegradeStuckSwitch || evs[2].Recovered {
+		t.Fatalf("unexpected transition log: %+v", evs)
+	}
+}

@@ -38,6 +38,11 @@ type Context struct {
 	// CanBig and CanLittle report per-cell feasibility at DemandW.
 	CanBig    bool
 	CanLittle bool
+
+	// Health reports how trustworthy the readings above are (sensor
+	// staleness, switch acknowledgements). All-zero on a healthy testbed;
+	// the degradation Guard consumes it (see guard.go).
+	Health Health
 }
 
 // Feasible returns the requested selection if that cell can serve the

@@ -1,0 +1,123 @@
+package server
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// fakeClock drives the breaker's now seam.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newClockedSet(cfg BreakerConfig) (*breakerSet, *fakeClock) {
+	s := newBreakerSet(cfg)
+	clk := &fakeClock{t: time.Unix(1_000_000, 0)}
+	s.now = clk.now
+	return s, clk
+}
+
+func TestBreakerLifecycle(t *testing.T) {
+	s, clk := newClockedSet(BreakerConfig{Threshold: 3, Cooldown: time.Minute})
+	const key = "video/dual"
+
+	// Closed: everything admitted, failures below threshold don't trip.
+	for i := 0; i < 2; i++ {
+		if err := s.Admit(key); err != nil {
+			t.Fatalf("closed Admit #%d: %v", i, err)
+		}
+		if s.Record(key, true) {
+			t.Fatalf("breaker tripped after %d failures, threshold 3", i+1)
+		}
+	}
+	// A success resets the consecutive-failure count.
+	s.Record(key, false)
+	s.Record(key, true)
+	s.Record(key, true)
+	if s.Record(key, true) != true {
+		t.Fatal("third consecutive failure did not trip the breaker")
+	}
+	if got := s.States()[key]; got != "open" {
+		t.Fatalf("state %q after trip, want open", got)
+	}
+	if s.OpenCount() != 1 {
+		t.Fatalf("OpenCount = %d", s.OpenCount())
+	}
+
+	// Open: submissions shed until the cooldown elapses.
+	if err := s.Admit(key); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("open Admit error %v, want ErrBreakerOpen", err)
+	}
+	clk.advance(61 * time.Second)
+
+	// Half-open: exactly one probe through; a second waits on its verdict.
+	if err := s.Admit(key); err != nil {
+		t.Fatalf("probe Admit: %v", err)
+	}
+	if err := s.Admit(key); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("second probe Admit error %v, want ErrBreakerOpen", err)
+	}
+	if got := s.States()[key]; got != "half-open" {
+		t.Fatalf("state %q during probe, want half-open", got)
+	}
+
+	// A failed probe reopens immediately.
+	if !s.Record(key, true) {
+		t.Fatal("failed probe did not reopen the breaker")
+	}
+	clk.advance(61 * time.Second)
+	if err := s.Admit(key); err != nil {
+		t.Fatalf("second probe Admit: %v", err)
+	}
+	// A successful probe closes the breaker for good.
+	if s.Record(key, false) {
+		t.Fatal("successful probe reported a trip")
+	}
+	if got := s.States()[key]; got != "closed" {
+		t.Fatalf("state %q after successful probe, want closed", got)
+	}
+	if err := s.Admit(key); err != nil {
+		t.Fatalf("post-recovery Admit: %v", err)
+	}
+}
+
+func TestBreakerAbortProbeFreesSlot(t *testing.T) {
+	s, clk := newClockedSet(BreakerConfig{Threshold: 1, Cooldown: time.Second})
+	const key = "video/dual"
+	s.Record(key, true) // trips at threshold 1
+	clk.advance(2 * time.Second)
+
+	if err := s.Admit(key); err != nil {
+		t.Fatalf("probe Admit: %v", err)
+	}
+	// The caller could not enqueue (queue full): the slot must free up.
+	s.AbortProbe(key)
+	if err := s.Admit(key); err != nil {
+		t.Fatalf("Admit after AbortProbe: %v", err)
+	}
+}
+
+func TestBreakerDisabled(t *testing.T) {
+	s := newBreakerSet(BreakerConfig{Threshold: -1})
+	const key = "video/dual"
+	for i := 0; i < 50; i++ {
+		if s.Record(key, true) {
+			t.Fatal("disabled breaker tripped")
+		}
+	}
+	if err := s.Admit(key); err != nil {
+		t.Fatalf("disabled Admit: %v", err)
+	}
+}
+
+func TestBreakerSeparatesEntries(t *testing.T) {
+	s, _ := newClockedSet(BreakerConfig{Threshold: 1, Cooldown: time.Minute})
+	s.Record("video/dual", true)
+	if err := s.Admit("video/dual"); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("tripped entry Admit error %v, want ErrBreakerOpen", err)
+	}
+	if err := s.Admit("video/capman"); err != nil {
+		t.Fatalf("healthy entry rejected: %v", err)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"runtime"
 	"sync"
 	"time"
@@ -18,6 +19,24 @@ var (
 	ErrDraining  = errors.New("server: draining, not accepting jobs")
 )
 
+// ErrRetryable marks transient job failures: a job whose error wraps it
+// (or implements Retryable() bool) is re-run with backoff up to
+// ExecutorConfig.MaxRetries times before the failure is published.
+var ErrRetryable = errors.New("server: retryable failure")
+
+// isRetryable classifies a job error. Cancellations and timeouts are
+// never retryable — the caller asked the job to stop.
+func isRetryable(err error) bool {
+	if err == nil || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	if errors.Is(err, ErrRetryable) {
+		return true
+	}
+	var r interface{ Retryable() bool }
+	return errors.As(err, &r) && r.Retryable()
+}
+
 // ExecutorConfig sizes the worker pool.
 type ExecutorConfig struct {
 	// Workers is the pool size (default GOMAXPROCS).
@@ -26,8 +45,21 @@ type ExecutorConfig struct {
 	// rejects submissions with ErrQueueFull rather than blocking.
 	QueueDepth int
 	// JobTimeout caps each job's wall-clock execution; zero means no
-	// timeout. A timed-out job fails with context.DeadlineExceeded.
+	// timeout. A timed-out job fails with context.DeadlineExceeded. The
+	// clock starts when a worker dequeues the job, not at submission —
+	// time spent queued is reported separately as queue_wait_seconds —
+	// and it spans every retry attempt of that job.
 	JobTimeout time.Duration
+	// MaxRetries bounds how many times a job that fails with a retryable
+	// error (see ErrRetryable) is re-run before the failure is published
+	// (default 2; negative disables retries).
+	MaxRetries int
+	// RetryBaseDelay seeds the exponential backoff between retry attempts
+	// (default 50ms); each attempt doubles it and adds random jitter.
+	RetryBaseDelay time.Duration
+	// Breaker tunes the per-registry-entry circuit breakers that shed
+	// load after consecutive failures (see BreakerConfig for defaults).
+	Breaker BreakerConfig
 	// CacheSize bounds the content-addressed result cache (default 256;
 	// negative disables caching).
 	CacheSize int
@@ -48,6 +80,15 @@ func (c ExecutorConfig) withDefaults() ExecutorConfig {
 	if c.CacheSize == 0 {
 		c.CacheSize = 256
 	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 2
+	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = -1 // any negative value means "no retries"
+	}
+	if c.RetryBaseDelay <= 0 {
+		c.RetryBaseDelay = 50 * time.Millisecond
+	}
 	if c.Registry == nil {
 		c.Registry = DefaultRegistry()
 	}
@@ -62,10 +103,14 @@ func (c ExecutorConfig) withDefaults() ExecutorConfig {
 // job (single flight), and finished outcomes are served from the
 // content-addressed cache.
 type Executor struct {
-	registry *Registry
-	metrics  *Metrics
-	cache    *Cache
-	timeout  time.Duration
+	registry   *Registry
+	metrics    *Metrics
+	cache      *Cache
+	timeout    time.Duration
+	maxRetries int
+	retryBase  time.Duration
+	breakers   *breakerSet
+	runFn      func(context.Context, JobSpec, sim.Config) (*Outcome, error) // test seam
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
@@ -81,15 +126,23 @@ type Executor struct {
 func NewExecutor(cfg ExecutorConfig) *Executor {
 	cfg = cfg.withDefaults()
 	e := &Executor{
-		registry: cfg.Registry,
-		metrics:  cfg.Metrics,
-		cache:    NewCache(cfg.CacheSize),
-		timeout:  cfg.JobTimeout,
-		jobs:     make(map[string]*Job),
-		inflight: make(map[string]*Job),
-		queue:    make(chan *Job, cfg.QueueDepth),
+		registry:   cfg.Registry,
+		metrics:    cfg.Metrics,
+		cache:      NewCache(cfg.CacheSize),
+		timeout:    cfg.JobTimeout,
+		maxRetries: cfg.MaxRetries,
+		retryBase:  cfg.RetryBaseDelay,
+		breakers:   newBreakerSet(cfg.Breaker),
+		runFn:      runJob,
+		jobs:       make(map[string]*Job),
+		inflight:   make(map[string]*Job),
+		queue:      make(chan *Job, cfg.QueueDepth),
+	}
+	if e.maxRetries < 0 {
+		e.maxRetries = 0
 	}
 	e.metrics.Workers.Set(int64(cfg.Workers))
+	e.metrics.BreakerStates = e.breakers.States
 	for w := 0; w < cfg.Workers; w++ {
 		e.wg.Add(1)
 		go e.worker()
@@ -100,7 +153,9 @@ func NewExecutor(cfg ExecutorConfig) *Executor {
 // Submit validates and enqueues one job, returning its snapshot. A spec
 // whose outcome is already cached returns an immediately-done job marked
 // as a cache hit; a spec identical to a queued or running job coalesces
-// onto that job instead of enqueueing a duplicate.
+// onto that job instead of enqueueing a duplicate. A registry entry whose
+// recent jobs kept failing is shed with ErrBreakerOpen — but cache hits
+// and coalesced submissions still succeed, since they run nothing.
 func (e *Executor) Submit(spec JobSpec) (View, error) {
 	cfg, err := e.registry.Resolve(spec)
 	if err != nil {
@@ -134,6 +189,10 @@ func (e *Executor) Submit(spec JobSpec) (View, error) {
 		e.metrics.CacheHits.Inc()
 		return job.view(), nil
 	}
+	key := breakerKey(spec)
+	if err := e.breakers.Admit(key); err != nil {
+		return View{}, err
+	}
 	e.metrics.CacheMisses.Inc()
 
 	job := &Job{
@@ -143,6 +202,7 @@ func (e *Executor) Submit(spec JobSpec) (View, error) {
 	select {
 	case e.queue <- job:
 	default:
+		e.breakers.AbortProbe(key) // don't leak a half-open probe slot
 		e.metrics.JobsFailed.Inc()
 		return View{}, fmt.Errorf("%w (depth %d)", ErrQueueFull, cap(e.queue))
 	}
@@ -229,6 +289,9 @@ func (e *Executor) worker() {
 			e.mu.Unlock()
 			continue
 		}
+		// The job timeout starts here, at dequeue: time spent waiting in
+		// the queue never counts against JobTimeout and is recorded
+		// separately as the queue_wait_seconds summary.
 		ctx := context.Background()
 		var cancel context.CancelFunc
 		if e.timeout > 0 {
@@ -240,14 +303,16 @@ func (e *Executor) worker() {
 		job.StartedAt = time.Now()
 		job.cancel = cancel
 		spec, cfg := job.Spec, job.cfg
+		e.metrics.QueueWaitSeconds.Observe(job.StartedAt.Sub(job.SubmittedAt).Seconds())
 		e.mu.Unlock()
 
 		e.metrics.WorkersBusy.Add(1)
-		out, err := runJob(ctx, spec, cfg)
+		out, attempts, err := e.runWithRetries(ctx, spec, cfg)
 		cancel()
 		e.metrics.WorkersBusy.Add(-1)
 
 		e.mu.Lock()
+		job.Attempts = attempts
 		job.FinishedAt = time.Now()
 		delete(e.inflight, job.Hash)
 		switch {
@@ -265,8 +330,77 @@ func (e *Executor) worker() {
 			job.Err = err.Error()
 			e.metrics.JobsFailed.Inc()
 		}
+		state := job.State
 		e.metrics.JobWallSeconds.Observe(job.FinishedAt.Sub(job.StartedAt).Seconds())
 		e.mu.Unlock()
+
+		// Feed the breaker outside the job lock; a cancellation says
+		// nothing about the registry entry's health, so skip it.
+		if state != StateCancelled {
+			if e.breakers.Record(breakerKey(spec), state == StateFailed) {
+				e.metrics.BreakerTrips.Inc()
+			}
+		}
+		if out != nil && out.Run != nil {
+			e.metrics.FaultsInjected.Add(uint64(out.Run.FaultCounts.Total()))
+			e.metrics.Degradations.Add(uint64(len(out.Run.Degradations)))
+		}
+	}
+}
+
+// runWithRetries executes one job, re-running retryable failures (see
+// isRetryable) with exponential backoff until an attempt succeeds, the
+// retry budget is spent, or ctx — which carries the job timeout and
+// cancellation — expires. It reports how many attempts ran (at least 1).
+func (e *Executor) runWithRetries(ctx context.Context, spec JobSpec, cfg sim.Config) (*Outcome, int, error) {
+	attempts := 0
+	for {
+		attempts++
+		out, err := e.runRecovered(ctx, spec, cfg)
+		if err == nil || attempts > e.maxRetries || !isRetryable(err) {
+			return out, attempts, err
+		}
+		e.metrics.JobRetries.Inc()
+		if !sleepCtx(ctx, backoff(e.retryBase, attempts)) {
+			return nil, attempts, err // timeout or cancel during backoff
+		}
+	}
+}
+
+// runRecovered invokes the run function with panic isolation: a panic in
+// a policy or workload becomes this job's error, so the worker goroutine
+// — and with it the pool — survives.
+func (e *Executor) runRecovered(ctx context.Context, spec JobSpec, cfg sim.Config) (out *Outcome, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.metrics.JobPanics.Inc()
+			out, err = nil, fmt.Errorf("server: job panicked: %v", r)
+		}
+	}()
+	return e.runFn(ctx, spec, cfg)
+}
+
+// backoff is the delay before retrying after attempt n (1-based): the
+// base doubled per attempt, capped at 5s, plus up to 50% random jitter to
+// decorrelate retry storms.
+func backoff(base time.Duration, attempt int) time.Duration {
+	d := base << (attempt - 1)
+	if d > 5*time.Second || d <= 0 { // <= 0: shift overflow
+		d = 5 * time.Second
+	}
+	return d + time.Duration(rand.Int63n(int64(d)/2+1))
+}
+
+// sleepCtx waits for d or until ctx is done, reporting whether the full
+// delay elapsed.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
 	}
 }
 

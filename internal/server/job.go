@@ -46,6 +46,7 @@ type Job struct {
 	Err      string
 	Outcome  *Outcome
 	CacheHit bool
+	Attempts int // execution attempts, counting retries (0 until dequeued)
 
 	SubmittedAt time.Time
 	StartedAt   time.Time
@@ -64,11 +65,15 @@ type View struct {
 	Error    string   `json:"error,omitempty"`
 	Outcome  *Outcome `json:"outcome,omitempty"`
 	CacheHit bool     `json:"cacheHit"`
+	Attempts int      `json:"attempts,omitempty"`
 
 	SubmittedAt time.Time  `json:"submittedAt"`
 	StartedAt   *time.Time `json:"startedAt,omitempty"`
 	FinishedAt  *time.Time `json:"finishedAt,omitempty"`
-	WallS       float64    `json:"wallS,omitempty"`
+	// QueueWaitS is submit→dequeue; WallS is dequeue→finish. The job
+	// timeout covers only the latter.
+	QueueWaitS float64 `json:"queueWaitS,omitempty"`
+	WallS      float64 `json:"wallS,omitempty"`
 }
 
 // view snapshots the job; callers must hold the executor lock.
@@ -81,11 +86,13 @@ func (j *Job) view() View {
 		Error:       j.Err,
 		Outcome:     j.Outcome,
 		CacheHit:    j.CacheHit,
+		Attempts:    j.Attempts,
 		SubmittedAt: j.SubmittedAt,
 	}
 	if !j.StartedAt.IsZero() {
 		t := j.StartedAt
 		v.StartedAt = &t
+		v.QueueWaitS = j.StartedAt.Sub(j.SubmittedAt).Seconds()
 	}
 	if !j.FinishedAt.IsZero() {
 		t := j.FinishedAt

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sort"
 	"sync/atomic"
 )
 
@@ -14,6 +15,9 @@ type Counter struct {
 
 // Inc adds one.
 func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add moves the counter forward by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
 
 // Value returns the current count.
 func (c *Counter) Value() uint64 { return c.v.Load() }
@@ -69,11 +73,26 @@ type Metrics struct {
 	CacheHits     Counter
 	CacheMisses   Counter
 
+	// Robustness instrumentation: worker panics turned into job errors,
+	// retry attempts, circuit-breaker trips, and the fault-injection /
+	// degradation totals reported by finished simulations.
+	JobPanics      Counter
+	JobRetries     Counter
+	BreakerTrips   Counter
+	FaultsInjected Counter
+	Degradations   Counter
+
 	QueueDepth  Gauge
 	WorkersBusy Gauge
 	Workers     Gauge
 
-	JobWallSeconds Summary
+	JobWallSeconds   Summary
+	QueueWaitSeconds Summary
+
+	// BreakerStates, when set (the executor installs it), enumerates the
+	// per-registry-entry circuit breakers for the labeled breaker_state
+	// gauge: 0 closed, 1 half-open, 2 open.
+	BreakerStates func() map[string]string
 }
 
 // NewMetrics returns a zeroed instrument panel.
@@ -91,6 +110,11 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 		{"capmand_jobs_cancelled_total", "Jobs cancelled before completion.", &m.JobsCancelled},
 		{"capmand_cache_hits_total", "Submissions served from the result cache or coalesced onto an in-flight job.", &m.CacheHits},
 		{"capmand_cache_misses_total", "Submissions that had to run the simulator.", &m.CacheMisses},
+		{"capmand_job_panics_total", "Worker panics recovered into job failures.", &m.JobPanics},
+		{"capmand_job_retries_total", "Retry attempts for jobs that failed with retryable errors.", &m.JobRetries},
+		{"capmand_breaker_trips_total", "Circuit breakers tripped open by consecutive failures.", &m.BreakerTrips},
+		{"capmand_faults_injected_total", "Fault events injected by finished simulations.", &m.FaultsInjected},
+		{"capmand_degradations_total", "Graceful-degradation transitions reported by finished simulations.", &m.Degradations},
 	}
 	for _, c := range counters {
 		if err := writeMetric(w, c.name, c.help, "counter", float64(c.c.Value())); err != nil {
@@ -110,13 +134,44 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 			return err
 		}
 	}
-	if _, err := fmt.Fprintf(w,
-		"# HELP capmand_job_wall_seconds Wall-clock time spent executing jobs.\n"+
-			"# TYPE capmand_job_wall_seconds summary\n"+
-			"capmand_job_wall_seconds_sum %g\n"+
-			"capmand_job_wall_seconds_count %d\n",
-		m.JobWallSeconds.Sum(), m.JobWallSeconds.Count()); err != nil {
-		return err
+	summaries := []struct {
+		name, help string
+		s          *Summary
+	}{
+		{"capmand_job_wall_seconds", "Wall-clock time spent executing jobs.", &m.JobWallSeconds},
+		{"capmand_queue_wait_seconds", "Time jobs spent queued between submit and dequeue; the per-job timeout starts at dequeue, after this wait.", &m.QueueWaitSeconds},
+	}
+	for _, s := range summaries {
+		if _, err := fmt.Fprintf(w,
+			"# HELP %s %s\n# TYPE %s summary\n%s_sum %g\n%s_count %d\n",
+			s.name, s.help, s.name, s.name, s.s.Sum(), s.name, s.s.Count()); err != nil {
+			return err
+		}
+	}
+	if m.BreakerStates != nil {
+		states := m.BreakerStates()
+		entries := make([]string, 0, len(states))
+		for entry := range states {
+			entries = append(entries, entry)
+		}
+		sort.Strings(entries)
+		if _, err := fmt.Fprintf(w,
+			"# HELP capmand_breaker_state Per-registry-entry circuit breaker state (0 closed, 1 half-open, 2 open).\n"+
+				"# TYPE capmand_breaker_state gauge\n"); err != nil {
+			return err
+		}
+		for _, entry := range entries {
+			v := 0
+			switch states[entry] {
+			case "half-open":
+				v = 1
+			case "open":
+				v = 2
+			}
+			if _, err := fmt.Fprintf(w, "capmand_breaker_state{entry=%q} %d\n", entry, v); err != nil {
+				return err
+			}
+		}
 	}
 	return nil
 }

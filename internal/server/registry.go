@@ -8,6 +8,7 @@ import (
 	"repro/internal/battery"
 	"repro/internal/core"
 	"repro/internal/device"
+	"repro/internal/fault"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/tec"
@@ -150,6 +151,11 @@ func (r *Registry) Resolve(spec JobSpec) (sim.Config, error) {
 		dev := tec.ATE31()
 		cfg.TEC = &dev
 	}
+	plan, err := fault.ByName(spec.FaultPlan, spec.Seed)
+	if err != nil {
+		return sim.Config{}, fmt.Errorf("%w: %v", ErrBadSpec, err)
+	}
+	cfg.Faults = plan
 	if err := pf(spec, &cfg); err != nil {
 		return sim.Config{}, fmt.Errorf("%w: policy %q: %v", ErrBadSpec, spec.Policy, err)
 	}

@@ -1,0 +1,298 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// bombGen panics after a few steps — a stand-in for a buggy workload.
+type bombGen struct {
+	inner workload.Generator
+	fuse  int
+}
+
+func (g *bombGen) Name() string { return "bomb" }
+func (g *bombGen) Next(now, dt float64) workload.Step {
+	g.fuse--
+	if g.fuse <= 0 {
+		panic("injected workload panic")
+	}
+	return g.inner.Next(now, dt)
+}
+
+// registryWithBomb is the default registry plus a panicking workload.
+func registryWithBomb(t *testing.T) *Registry {
+	t.Helper()
+	r := DefaultRegistry()
+	err := r.RegisterWorkload("bomb", func(s JobSpec) (func() workload.Generator, error) {
+		return func() workload.Generator {
+			return &bombGen{inner: workload.NewVideo(s.Seed), fuse: 10}
+		}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestExecutorRecoversWorkerPanic is the headline robustness demo for the
+// service: a job that panics mid-simulation fails cleanly, the worker
+// pool stays at capacity, and the next job on the same pool completes.
+func TestExecutorRecoversWorkerPanic(t *testing.T) {
+	metrics := NewMetrics()
+	e := newTestExecutor(t, ExecutorConfig{
+		Workers: 1, Registry: registryWithBomb(t), Metrics: metrics,
+	})
+
+	spec := fastSpec()
+	spec.Workload = "bomb"
+	v, err := e.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := awaitExec(t, e, v.ID, func(v View) bool { return v.State.Terminal() }, "terminal")
+	if done.State != StateFailed {
+		t.Fatalf("panicked job ended %q, want failed", done.State)
+	}
+	if !strings.Contains(done.Error, "panicked") {
+		t.Errorf("job error %q does not mention the panic", done.Error)
+	}
+	if got := metrics.JobPanics.Value(); got == 0 {
+		t.Error("job_panics_total not incremented")
+	}
+
+	// The single worker survived: a healthy job still runs to completion.
+	v2, err := e.Submit(fastSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := awaitExec(t, e, v2.ID, func(v View) bool { return v.State.Terminal() }, "terminal")
+	if after.State != StateDone {
+		t.Fatalf("post-panic job ended %q (err %q), want done", after.State, after.Error)
+	}
+}
+
+// flakyRun fails with a retryable error until `failures` attempts have
+// been consumed, then delegates to the real runner.
+func flakyRun(failures int) (func(context.Context, JobSpec, sim.Config) (*Outcome, error), *atomic.Int32) {
+	var calls atomic.Int32
+	return func(ctx context.Context, spec JobSpec, cfg sim.Config) (*Outcome, error) {
+		if int(calls.Add(1)) <= failures {
+			return nil, fmt.Errorf("%w: transient resolver hiccup", ErrRetryable)
+		}
+		return runJob(ctx, spec, cfg)
+	}, &calls
+}
+
+func TestExecutorRetriesRetryableFailures(t *testing.T) {
+	metrics := NewMetrics()
+	e := newTestExecutor(t, ExecutorConfig{
+		Workers: 1, Metrics: metrics, RetryBaseDelay: time.Millisecond,
+	})
+	run, calls := flakyRun(2) // default MaxRetries 2 → third attempt wins
+	e.runFn = run
+
+	v, err := e.Submit(fastSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := awaitExec(t, e, v.ID, func(v View) bool { return v.State.Terminal() }, "terminal")
+	if done.State != StateDone {
+		t.Fatalf("flaky job ended %q (err %q), want done after retries", done.State, done.Error)
+	}
+	if done.Attempts != 3 {
+		t.Errorf("Attempts = %d, want 3", done.Attempts)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("runner called %d times, want 3", got)
+	}
+	if got := metrics.JobRetries.Value(); got != 2 {
+		t.Errorf("job_retries_total = %d, want 2", got)
+	}
+}
+
+func TestExecutorRetryBudgetExhausted(t *testing.T) {
+	metrics := NewMetrics()
+	e := newTestExecutor(t, ExecutorConfig{
+		Workers: 1, Metrics: metrics, MaxRetries: 1, RetryBaseDelay: time.Millisecond,
+	})
+	run, calls := flakyRun(100) // never recovers within budget
+	e.runFn = run
+
+	v, err := e.Submit(fastSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := awaitExec(t, e, v.ID, func(v View) bool { return v.State.Terminal() }, "terminal")
+	if done.State != StateFailed {
+		t.Fatalf("job ended %q, want failed after retry budget", done.State)
+	}
+	if done.Attempts != 2 {
+		t.Errorf("Attempts = %d, want 2 (1 try + 1 retry)", done.Attempts)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Errorf("runner called %d times, want 2", got)
+	}
+}
+
+func TestExecutorDoesNotRetryNonRetryable(t *testing.T) {
+	e := newTestExecutor(t, ExecutorConfig{Workers: 1, RetryBaseDelay: time.Millisecond})
+	var calls atomic.Int32
+	e.runFn = func(ctx context.Context, spec JobSpec, cfg sim.Config) (*Outcome, error) {
+		calls.Add(1)
+		return nil, errors.New("deterministic config problem")
+	}
+
+	v, err := e.Submit(fastSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := awaitExec(t, e, v.ID, func(v View) bool { return v.State.Terminal() }, "terminal")
+	if done.State != StateFailed {
+		t.Fatalf("job ended %q, want failed", done.State)
+	}
+	if done.Attempts != 1 || calls.Load() != 1 {
+		t.Errorf("Attempts = %d, calls = %d; non-retryable errors must not retry",
+			done.Attempts, calls.Load())
+	}
+}
+
+// TestExecutorBreakerShedsAndRecovers drives the breaker end to end:
+// consecutive failures open it, submissions shed with ErrBreakerOpen,
+// the cooldown admits one probe, and a successful probe closes it.
+func TestExecutorBreakerShedsAndRecovers(t *testing.T) {
+	metrics := NewMetrics()
+	e := newTestExecutor(t, ExecutorConfig{
+		Workers: 1, Metrics: metrics, MaxRetries: -1,
+		Breaker: BreakerConfig{Threshold: 2, Cooldown: 50 * time.Millisecond},
+	})
+	var fail atomic.Bool
+	fail.Store(true)
+	e.runFn = func(ctx context.Context, spec JobSpec, cfg sim.Config) (*Outcome, error) {
+		if fail.Load() {
+			return nil, errors.New("entry is broken")
+		}
+		return runJob(ctx, spec, cfg)
+	}
+
+	// Two failures on the same workload/policy entry trip the breaker.
+	for seed := int64(0); seed < 2; seed++ {
+		spec := fastSpec()
+		spec.Seed = seed // distinct hashes: no cache coalescing
+		v, err := e.Submit(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		awaitExec(t, e, v.ID, func(v View) bool { return v.State.Terminal() }, "terminal")
+	}
+	if got := metrics.BreakerTrips.Value(); got != 1 {
+		t.Fatalf("breaker_trips_total = %d, want 1", got)
+	}
+
+	spec := fastSpec()
+	spec.Seed = 3
+	if _, err := e.Submit(spec); !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("submit on open breaker: %v, want ErrBreakerOpen", err)
+	}
+	// A different registry entry is unaffected.
+	other := fastSpec()
+	other.Policy = "heuristic"
+	if v, err := e.Submit(other); err != nil {
+		t.Fatalf("healthy entry rejected: %v", err)
+	} else {
+		awaitExec(t, e, v.ID, func(v View) bool { return v.State.Terminal() }, "terminal")
+	}
+
+	// After the cooldown one probe goes through; let it succeed.
+	fail.Store(false)
+	time.Sleep(80 * time.Millisecond)
+	spec.Seed = 4
+	v, err := e.Submit(spec)
+	if err != nil {
+		t.Fatalf("probe submit: %v", err)
+	}
+	done := awaitExec(t, e, v.ID, func(v View) bool { return v.State.Terminal() }, "terminal")
+	if done.State != StateDone {
+		t.Fatalf("probe ended %q (err %q), want done", done.State, done.Error)
+	}
+	spec.Seed = 5
+	if _, err := e.Submit(spec); err != nil {
+		t.Fatalf("submit after recovery: %v", err)
+	}
+}
+
+// TestExecutorTimeoutStartsAtDequeue pins the documented semantics: a job
+// that waits in the queue longer than JobTimeout still gets its full
+// execution budget, because the clock starts when a worker picks it up.
+func TestExecutorTimeoutStartsAtDequeue(t *testing.T) {
+	metrics := NewMetrics()
+	e := newTestExecutor(t, ExecutorConfig{
+		Workers: 1, Metrics: metrics, JobTimeout: 400 * time.Millisecond,
+	})
+
+	// The slow job occupies the only worker until its timeout fires.
+	slow, err := e.Submit(slowSpec(60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The fast job queues behind it for roughly the full timeout.
+	fast, err := e.Submit(fastSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	slowDone := awaitExec(t, e, slow.ID, func(v View) bool { return v.State.Terminal() }, "terminal")
+	if slowDone.State != StateFailed || !strings.Contains(slowDone.Error, context.DeadlineExceeded.Error()) {
+		t.Fatalf("slow job ended %q (err %q), want a timeout failure", slowDone.State, slowDone.Error)
+	}
+
+	fastDone := awaitExec(t, e, fast.ID, func(v View) bool { return v.State.Terminal() }, "terminal")
+	if fastDone.State != StateDone {
+		t.Fatalf("queued job ended %q (err %q); queue wait must not consume its timeout",
+			fastDone.State, fastDone.Error)
+	}
+	if fastDone.QueueWaitS <= 0 {
+		t.Errorf("QueueWaitS = %v, want > 0 for a job that queued", fastDone.QueueWaitS)
+	}
+	if got := metrics.QueueWaitSeconds.Count(); got != 2 {
+		t.Errorf("queue_wait_seconds count = %d, want 2", got)
+	}
+}
+
+// TestMetricsExposeRobustnessPanel checks the new series render in the
+// Prometheus text format, including the labeled breaker gauge.
+func TestMetricsExposeRobustnessPanel(t *testing.T) {
+	m := NewMetrics()
+	m.JobRetries.Inc()
+	m.FaultsInjected.Add(7)
+	m.BreakerStates = func() map[string]string {
+		return map[string]string{"video/dual": "open", "video/capman": "closed"}
+	}
+	var sb strings.Builder
+	if err := m.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		"capmand_job_panics_total 0",
+		"capmand_job_retries_total 1",
+		"capmand_breaker_trips_total 0",
+		"capmand_faults_injected_total 7",
+		"capmand_degradations_total 0",
+		"capmand_queue_wait_seconds_count 0",
+		`capmand_breaker_state{entry="video/capman"} 0`,
+		`capmand_breaker_state{entry="video/dual"} 2`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+}

@@ -13,6 +13,8 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+
+	"repro/internal/fault"
 )
 
 // JobSpec is the declarative description of one simulation job, the wire
@@ -55,6 +57,12 @@ type JobSpec struct {
 	// Cycles > 1 runs a multi-cycle discharge/recharge loop instead of a
 	// single discharge cycle; 0 and 1 both mean one cycle.
 	Cycles int `json:"cycles,omitempty"`
+
+	// FaultPlan names a fault-injection plan from the fault package's
+	// library (stuck-switch, tec-dropout, chaos, ...); empty or "none"
+	// runs fault-free. The plan's RNG is seeded from Seed, so a job spec
+	// remains a complete, reproducible description of its run.
+	FaultPlan string `json:"faultPlan,omitempty"`
 }
 
 // Spec errors.
@@ -93,6 +101,9 @@ func (s JobSpec) withDefaults() JobSpec {
 	if s.Cycles == 0 {
 		s.Cycles = 1
 	}
+	if s.FaultPlan == "none" {
+		s.FaultPlan = "" // canonicalize: both spellings mean fault-free
+	}
 	return s
 }
 
@@ -110,6 +121,9 @@ func (s JobSpec) Validate() error {
 		return fmt.Errorf("%w: non-positive capacity", ErrBadSpec)
 	case s.ThresholdW < 0:
 		return fmt.Errorf("%w: negative threshold %v", ErrBadSpec, s.ThresholdW)
+	}
+	if _, err := fault.ByName(s.FaultPlan, s.Seed); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadSpec, err)
 	}
 	return nil
 }

@@ -1,0 +1,231 @@
+package sim
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/battery"
+	"repro/internal/device"
+	"repro/internal/fault"
+	"repro/internal/sched"
+	"repro/internal/tec"
+	"repro/internal/workload"
+)
+
+// smallConfig is a fast cycle (small cells, short span) for fault tests.
+func smallConfig(p sched.Policy) Config {
+	dev := tec.ATE31()
+	pack := battery.DefaultPackConfig()
+	pack.Big = battery.MustParams(battery.NCA, 300)
+	pack.Little = battery.MustParams(battery.LMO, 300)
+	return Config{
+		Profile:  device.Nexus(),
+		Workload: func() workload.Generator { return workload.NewVideo(42) },
+		Policy:   p,
+		Pack:     pack,
+		TEC:      &dev,
+		DT:       0.25,
+		MaxTimeS: 20_000,
+	}
+}
+
+// TestFaultFreePlanMatchesBaseline: the zero-value plan (and the guard it
+// mounts) must reproduce today's outputs bit-for-bit.
+func TestFaultFreePlanMatchesBaseline(t *testing.T) {
+	base, err := Run(smallConfig(sched.NewDual()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallConfig(sched.NewDual())
+	cfg.Faults = &fault.Plan{}
+	faulted, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(base, faulted) {
+		t.Fatalf("zero-value fault plan changed the result:\nclean:  %+v\nfaulted: %+v", base, faulted)
+	}
+}
+
+// TestSeededFaultPlanDeterministic: two runs of the same seeded plan are
+// identical, Result for Result.
+func TestSeededFaultPlanDeterministic(t *testing.T) {
+	run := func() *Result {
+		plan, err := fault.ByName("chaos", 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := smallConfig(sched.NewDual())
+		cfg.Faults = plan
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same-seed fault runs diverged:\n%+v\n%+v", a, b)
+	}
+	if a.FaultCounts.Total() == 0 {
+		t.Error("chaos plan injected nothing")
+	}
+	if a.FaultPlan != "chaos" {
+		t.Errorf("FaultPlan = %q", a.FaultPlan)
+	}
+}
+
+// TestStuckSwitchDegradesGracefully is the headline demo: the switch sticks
+// at t=0, the Dual policy's flip requests to the LITTLE cell go unacked,
+// the guard detects the missing acks and degrades to single-battery mode,
+// and the run completes on the big cell instead of erroring.
+func TestStuckSwitchDegradesGracefully(t *testing.T) {
+	cfg := smallConfig(sched.NewDual())
+	cfg.Faults = &fault.Plan{
+		Name:   "stuck-from-start",
+		Switch: []fault.SwitchFault{{StuckAt: true}},
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("run with a stuck switch errored instead of degrading: %v", err)
+	}
+	if res.EndReason == "" || res.EndReason == EndMaxTime {
+		t.Errorf("end reason %q, want a battery-driven completion", res.EndReason)
+	}
+	if res.Switches != 0 || res.LittleActiveS != 0 {
+		t.Errorf("stuck switch still flipped: %d switches, LITTLE active %.0fs",
+			res.Switches, res.LittleActiveS)
+	}
+	if res.FaultCounts.SwitchStuck == 0 {
+		t.Error("no stuck-switch events counted")
+	}
+	var entered bool
+	for _, ev := range res.Degradations {
+		if ev.Mode == sched.DegradeStuckSwitch && !ev.Recovered {
+			entered = true
+		}
+	}
+	if !entered {
+		t.Fatalf("no stuck-switch degradation recorded: %+v", res.Degradations)
+	}
+	if res.DegradedTimeS <= 0 {
+		t.Error("no degraded time accumulated")
+	}
+}
+
+// TestFallbackPerFaultMode drives one run per fault mode and checks the
+// expected degradation signature end to end.
+func TestFallbackPerFaultMode(t *testing.T) {
+	cases := []struct {
+		name     string
+		policy   sched.Policy // default Dual
+		plan     *fault.Plan
+		wantMode string // degradation mode expected in Result ("" = none)
+		check    func(t *testing.T, res *Result)
+	}{
+		{
+			name: "stale temp",
+			plan: &fault.Plan{Name: "stale-temp", Sensors: []fault.SensorFault{
+				{Window: fault.Window{FromS: 100}, Sensor: fault.SensorTemp, HoldS: 60},
+			}},
+			wantMode: sched.DegradeStaleSensors,
+			check: func(t *testing.T, res *Result) {
+				if res.FaultCounts.SensorStale == 0 {
+					t.Error("no stale readings counted")
+				}
+			},
+		},
+		{
+			name: "stuck switch",
+			// The threshold policy toggles cells with the demand, so its
+			// flip requests keep hitting the stuck switch while both
+			// cells are still alive.
+			policy: &sched.Threshold{WattThreshold: 1.5},
+			plan: &fault.Plan{Name: "stuck", Switch: []fault.SwitchFault{
+				{Window: fault.Window{FromS: 100}, StuckAt: true},
+			}},
+			wantMode: sched.DegradeStuckSwitch,
+			check: func(t *testing.T, res *Result) {
+				if res.FaultCounts.SwitchStuck == 0 {
+					t.Error("no denied flips counted")
+				}
+			},
+		},
+		{
+			name: "tec dropout",
+			plan: &fault.Plan{Name: "tec-out", TEC: []fault.TECFault{
+				{Window: fault.Window{FromS: 100}, Dropout: true},
+			}},
+			wantMode: "", // actuator loss, not a sensing/ack failure
+			check: func(t *testing.T, res *Result) {
+				if res.FaultCounts.TECDropout == 0 {
+					t.Error("no TEC dropout steps counted")
+				}
+			},
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			policy := c.policy
+			if policy == nil {
+				policy = sched.NewDual()
+			}
+			cfg := smallConfig(policy)
+			cfg.Faults = c.plan
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("faulted run errored: %v", err)
+			}
+			var gotMode string
+			for _, ev := range res.Degradations {
+				if !ev.Recovered {
+					gotMode = ev.Mode
+					break
+				}
+			}
+			if gotMode != c.wantMode {
+				t.Errorf("degradation mode %q, want %q (events %+v)", gotMode, c.wantMode, res.Degradations)
+			}
+			c.check(t, res)
+		})
+	}
+}
+
+// panicGen is a workload that blows up mid-run.
+type panicGen struct {
+	inner workload.Generator
+	after int
+}
+
+func (p *panicGen) Name() string { return "panicky" }
+func (p *panicGen) Next(now, dt float64) workload.Step {
+	p.after--
+	if p.after <= 0 {
+		panic("injected workload panic")
+	}
+	return p.inner.Next(now, dt)
+}
+
+// TestRunManyRecoversPanic: one panicking run must not take down its
+// sibling goroutines; it surfaces through the errors.Join aggregate.
+func TestRunManyRecoversPanic(t *testing.T) {
+	good := smallConfig(sched.NewDual())
+	bad := smallConfig(sched.NewDual())
+	bad.Workload = func() workload.Generator {
+		return &panicGen{inner: workload.NewVideo(42), after: 10}
+	}
+	results, err := RunMany([]Config{good, bad, good}, 3)
+	if err == nil {
+		t.Fatal("panicking run reported no error")
+	}
+	if !strings.Contains(err.Error(), "panicked") {
+		t.Errorf("aggregate error %q does not mention the panic", err)
+	}
+	if results[0] == nil || results[2] == nil {
+		t.Error("sibling runs did not complete")
+	}
+	if results[1] != nil {
+		t.Error("panicked run produced a result")
+	}
+}

@@ -30,6 +30,9 @@ func RunMany(cfgs []Config, workers int) ([]*Result, error) {
 //     reported: the returned error is an errors.Join of one error per
 //     failed run, each prefixed "run %d (%s)", and the results slice still
 //     carries every successful run at its input index.
+//   - A panic inside one run (a buggy policy or workload) is recovered in
+//     the worker and reported as that run's error, so it cannot take down
+//     sibling goroutines or the caller.
 //   - Cancellation mid-sweep is cooperative: runs in flight abort at step
 //     granularity (see RunContext) and surface as per-run errors wrapping
 //     the context error.
@@ -56,7 +59,7 @@ func RunManyContext(ctx context.Context, cfgs []Config, workers int) ([]*Result,
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				results[i], errs[i] = RunContext(ctx, cfgs[i])
+				results[i], errs[i] = runRecovered(ctx, cfgs[i])
 			}
 		}()
 	}
@@ -73,6 +76,17 @@ func RunManyContext(ctx context.Context, cfgs []Config, workers int) ([]*Result,
 		}
 	}
 	return results, errors.Join(failures...)
+}
+
+// runRecovered is RunContext with panic isolation: a panicking run becomes
+// that run's error instead of crashing the whole sweep.
+func runRecovered(ctx context.Context, cfg Config) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("sim: run panicked: %v", r)
+		}
+	}()
+	return RunContext(ctx, cfg)
 }
 
 // describe names a configuration for error messages without invoking the

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/battery"
 	"repro/internal/device"
+	"repro/internal/fault"
 	"repro/internal/mdp"
 	"repro/internal/sched"
 	"repro/internal/tec"
@@ -47,6 +48,19 @@ type Config struct {
 	TEC            *tec.Device
 	TECThresholdC  float64
 	TECHysteresisC float64
+
+	// Faults, when non-nil, injects the plan's failure modes into the run:
+	// battery-switch stuck-at/latency faults, TEC dropout and derating,
+	// sensor noise/staleness/dropout, and transient power spikes. A nil or
+	// empty plan reproduces a fault-free run bit-for-bit. Setting Faults
+	// also mounts the graceful-degradation guard (see Guard).
+	Faults *fault.Plan
+	// Guard overrides the degradation guard's thresholds. The guard is
+	// mounted whenever Faults or Guard is non-nil; it falls back to a
+	// conservative hold-current-battery / no-TEC mode when readings go
+	// stale or the switch stops acknowledging, and records every
+	// transition in Result.Degradations.
+	Guard *sched.GuardConfig
 
 	// DT is the simulation step in seconds (default 0.25).
 	DT float64
@@ -85,6 +99,9 @@ func (c Config) Validate() error {
 		return errors.New("sim: nil policy")
 	case c.DT < 0 || c.MaxTimeS < 0 || c.SampleEveryS < 0:
 		return errors.New("sim: negative time knob")
+	}
+	if err := c.Faults.Validate(); err != nil {
+		return err
 	}
 	return c.Profile.Validate()
 }
@@ -133,6 +150,16 @@ type Result struct {
 	// Signal is the battery-switch control trace (Figure 9); empty for
 	// single-cell sources.
 	Signal []battery.SignalEdge
+
+	// FaultPlan names the injected fault plan; empty for clean runs.
+	FaultPlan string
+	// FaultCounts tallies the fault events actually injected.
+	FaultCounts fault.Counts
+	// Degradations records every guard transition into and out of the
+	// conservative fallback mode.
+	Degradations []sched.DegradeEvent
+	// DegradedTimeS is the simulated time spent in the fallback mode.
+	DegradedTimeS float64
 }
 
 // LittleRatio returns the fraction of active time spent on the LITTLE
@@ -190,6 +217,25 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 			return nil, fmt.Errorf("tec: %w", err)
 		}
 	}
+	inj, err := fault.NewInjector(cfg.Faults)
+	if err != nil {
+		return nil, err
+	}
+	var guard *sched.Guard
+	if cfg.Faults != nil || cfg.Guard != nil {
+		gc := sched.DefaultGuardConfig()
+		if cfg.Guard != nil {
+			gc = *cfg.Guard
+		}
+		guard = sched.NewGuard(gc)
+	}
+	if p, ok := source.(*battery.Pack); ok && inj != nil {
+		p.SetSwitchGate(func(now float64, to battery.Selection, forced bool) bool {
+			return inj.AllowFlip(now)
+		})
+		// Multi-cycle runs reuse the pack; don't leak this run's gate.
+		defer p.SetSwitchGate(nil)
+	}
 	gen := cfg.Workload()
 
 	res := &Result{
@@ -202,6 +248,11 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	now := 0.0
 	nextSample := 0.0
 	var tempAccum, awakeEnergyJ, awakeS float64
+	// Switch-acknowledgement tracking for the Health view: how many
+	// consecutive flip requests went unacknowledged, and when the switch
+	// last acked one.
+	switchUnacked := 0
+	lastAckAt := 0.0
 	// pending carries the previous step's transition until its successor
 	// state is known at the next tick.
 	var pending struct {
@@ -230,12 +281,44 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		battTemp := net.Temperature(thermal.NodeBattery)
 		spreaderTemp := net.Temperature(thermal.NodeSpreader)
 
+		// Sensing faults corrupt what the controller and policy observe;
+		// the physics below keeps integrating the true temperatures.
+		obsCPUTemp, tempStaleS := cpuTemp, 0.0
+		if inj != nil {
+			obsCPUTemp, tempStaleS = inj.Temperature(now, cpuTemp)
+		}
+
 		var tecOut tec.Output
 		if cooler != nil {
-			tecOut = cooler.Step(cpuTemp, spreaderTemp, dt)
+			var cond tec.Condition
+			if inj != nil {
+				cond.ForcedOff, cond.Derate = inj.TECCondition(now)
+			}
+			if guard != nil && !guard.TECAllowed() {
+				cond.ForcedOff = true
+			}
+			tecOut = cooler.StepUnder(obsCPUTemp, spreaderTemp, dt, cond)
 		}
 		breakdown := phone.Power()
 		demandW := breakdown.Total() + tecOut.PowerW
+		if inj != nil {
+			if spike := inj.SpikeW(now); spike > 0 {
+				demandW += spike
+			}
+		}
+
+		bigState := source.CellState(battery.SelectBig)
+		littleState := source.CellState(battery.SelectLittle)
+		socStaleS := 0.0
+		if inj != nil {
+			var sb, sl float64
+			bigState.SoC, sb = inj.SoCBig(now, bigState.SoC)
+			littleState.SoC, sl = inj.SoCLittle(now, littleState.SoC)
+			socStaleS = sb
+			if sl > socStaleS {
+				socStaleS = sl
+			}
+		}
 
 		ctx := sched.Context{
 			Now: now,
@@ -251,12 +334,18 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 			Event:       step.Action,
 			DemandW:     demandW,
 			Utilization: phone.Utilization(),
-			CPUTempC:    cpuTemp,
+			CPUTempC:    obsCPUTemp,
 			BodyTempC:   bodyTemp,
-			Big:         source.CellState(battery.SelectBig),
-			Little:      source.CellState(battery.SelectLittle),
+			Big:         bigState,
+			Little:      littleState,
 			CanBig:      source.CanSupplyCell(battery.SelectBig, demandW, battTemp),
 			CanLittle:   source.CanSupplyCell(battery.SelectLittle, demandW, battTemp),
+			Health: sched.Health{
+				TempStaleS:        tempStaleS,
+				SoCStaleS:         socStaleS,
+				SwitchUnacked:     switchUnacked,
+				LastSwitchAckAgeS: now - lastAckAt,
+			},
 		}
 		// Close the previous transition now that its successor state is
 		// known.
@@ -265,7 +354,17 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		}
 
 		dec := cfg.Policy.Decide(ctx)
-		source.Select(dec.Battery)
+		if guard != nil {
+			dec = guard.Review(ctx, dec)
+		}
+		wantFlip := dec.Battery != ctx.State.Battery &&
+			(dec.Battery == battery.SelectBig || dec.Battery == battery.SelectLittle)
+		if source.Select(dec.Battery) {
+			switchUnacked = 0
+			lastAckAt = now
+		} else if wantFlip {
+			switchUnacked++
+		}
 
 		stepRes, err := source.Step(demandW, battTemp, dt)
 		if err != nil {
@@ -361,5 +460,15 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	}
 	res.FinalSoCBig = source.CellState(battery.SelectBig).SoC
 	res.FinalSoCLittle = source.CellState(battery.SelectLittle).SoC
+	if inj != nil {
+		res.FaultPlan = inj.Plan().Name
+		res.FaultCounts = inj.Counts()
+	}
+	if guard != nil {
+		if evs := guard.Events(); len(evs) > 0 {
+			res.Degradations = evs
+		}
+		res.DegradedTimeS = guard.DegradedTimeS()
+	}
 	return res, nil
 }

@@ -64,10 +64,31 @@ type Output struct {
 	RejectedHeatW float64
 }
 
+// Condition describes how healthy the module is for one step. The zero
+// value (with Derate 0 or 1) is nominal; the fault layer produces degraded
+// conditions.
+type Condition struct {
+	// ForcedOff keeps the TEC unpowered regardless of the threshold
+	// decision (supply dropout). The controller's hysteresis state still
+	// tracks the temperature, so the module resumes cleanly when power
+	// returns.
+	ForcedOff bool
+	// Derate in (0, 1) scales the heat actually pumped off the cold face
+	// (an ageing module); the electrical draw stays at the rated point, so
+	// a derated TEC wastes energy — exactly the regime a policy should
+	// notice. 0 and 1 both mean nominal.
+	Derate float64
+}
+
 // Step updates the on/off state from the monitored cold-face temperature
 // and returns the TEC's effect over the next dt seconds. hotC is the
-// hot-face (body) temperature.
+// hot-face (body) temperature. It is StepUnder with a nominal condition.
 func (c *Controller) Step(coldC, hotC, dt float64) Output {
+	return c.StepUnder(coldC, hotC, dt, Condition{})
+}
+
+// StepUnder is Step under an explicit health condition.
+func (c *Controller) StepUnder(coldC, hotC, dt float64, cond Condition) Output {
 	prev := c.on
 	switch {
 	case coldC >= c.thresholdC:
@@ -78,13 +99,16 @@ func (c *Controller) Step(coldC, hotC, dt float64) Output {
 	if c.on != prev {
 		c.flips++
 	}
-	if !c.on {
+	if !c.on || cond.ForcedOff {
 		return Output{}
 	}
 	i := c.device.RatedCurrentA(coldC)
 	pumped := c.device.HeatPumpedW(i, coldC, hotC)
 	if pumped < 0 {
 		pumped = 0
+	}
+	if cond.Derate > 0 && cond.Derate < 1 {
+		pumped *= cond.Derate
 	}
 	power := c.device.PowerW(i, coldC, hotC)
 	c.onTimeS += dt

@@ -170,3 +170,66 @@ func TestControllerValidation(t *testing.T) {
 		t.Error("negative hysteresis accepted")
 	}
 }
+
+// TestStepUnderForcedOff: a dropout keeps the module unpowered while the
+// hysteresis state keeps tracking, so cooling resumes when power returns.
+func TestStepUnderForcedOff(t *testing.T) {
+	c, err := NewController(ATE31(), 45, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := c.StepUnder(50, 40, 1, Condition{ForcedOff: true})
+	if out.On || out.PowerW != 0 || out.CPUCoolingW != 0 {
+		t.Errorf("forced-off output %+v", out)
+	}
+	if c.EnergyJ() != 0 || c.OnTimeS() != 0 {
+		t.Errorf("forced-off step accounted energy %v on-time %v", c.EnergyJ(), c.OnTimeS())
+	}
+	out = c.StepUnder(50, 40, 1, Condition{})
+	if !out.On || out.CPUCoolingW <= 0 {
+		t.Errorf("module did not resume after dropout: %+v", out)
+	}
+}
+
+// TestStepUnderDerate: a derated module pumps less heat for the same
+// electrical draw.
+func TestStepUnderDerate(t *testing.T) {
+	nominal, err := NewController(ATE31(), 45, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	derated, err := NewController(ATE31(), 45, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := nominal.StepUnder(50, 40, 1, Condition{})
+	d := derated.StepUnder(50, 40, 1, Condition{Derate: 0.5})
+	if d.PowerW != n.PowerW {
+		t.Errorf("derate changed electrical draw: %v vs %v", d.PowerW, n.PowerW)
+	}
+	if n.CPUCoolingW <= 0 || d.CPUCoolingW != 0.5*n.CPUCoolingW {
+		t.Errorf("derated cooling %v, want half of %v", d.CPUCoolingW, n.CPUCoolingW)
+	}
+}
+
+// TestStepMatchesStepUnderNominal: Step must stay bit-identical to
+// StepUnder with a nominal condition.
+func TestStepMatchesStepUnderNominal(t *testing.T) {
+	a, err := NewController(ATE31(), 45, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewController(ATE31(), 45, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	temps := []float64{30, 44, 46, 50, 43, 41, 39, 47}
+	for _, temp := range temps {
+		if got, want := b.StepUnder(temp, temp-5, 0.25, Condition{Derate: 1}), a.Step(temp, temp-5, 0.25); got != want {
+			t.Fatalf("at %v degC: StepUnder %+v != Step %+v", temp, got, want)
+		}
+	}
+	if a.EnergyJ() != b.EnergyJ() || a.Flips() != b.Flips() {
+		t.Errorf("accounting diverged: %v/%v vs %v/%v", a.EnergyJ(), a.Flips(), b.EnergyJ(), b.Flips())
+	}
+}

@@ -18,6 +18,12 @@ go vet ./...
 echo "== go build =="
 go build ./...
 
+# Fast-fail on the robustness layer (fault injection + capmand) before the
+# full suite: these packages carry the concurrency-heavy code paths.
+echo "== robustness focus: vet + race on fault/server =="
+go vet ./internal/fault ./internal/server
+go test -race ./internal/fault ./internal/server
+
 echo "== go test -race =="
 go test -race ./...
 
