@@ -37,6 +37,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/server"
 	"repro/internal/sim"
@@ -118,6 +119,26 @@ type (
 	ServeConfig = server.Config
 	// ExecutorConfig sizes the server's worker pool, queue and cache.
 	ExecutorConfig = server.ExecutorConfig
+	// JobTimeline is a job's bounded lifecycle event log, served by the
+	// API at GET /v1/jobs/{id}/events.
+	JobTimeline = server.Timeline
+	// JobEvent is one entry in a JobTimeline.
+	JobEvent = server.Event
+
+	// Recorder collects span trees when attached to a run (set
+	// SimConfig.Recorder or use WithRecorder on the run's context).
+	Recorder = obs.Recorder
+	// Span is one timed region in a Recorder's tree.
+	Span = obs.Span
+	// Histogram is the lock-free fixed-bucket histogram behind the
+	// latency metrics.
+	Histogram = obs.Histogram
+	// HistogramSnapshot is a Histogram's point-in-time copy, with
+	// Mean/Quantile helpers.
+	HistogramSnapshot = obs.HistogramSnapshot
+	// Timing is the per-phase step-cost breakdown a traced Run attaches
+	// to its Result.
+	Timing = sim.Timing
 )
 
 // Re-exported chemistry constants.
@@ -179,6 +200,22 @@ func NewServer(cfg ServeConfig) *Server { return server.New(cfg) }
 // accepts. Extend it with RegisterWorkload/RegisterPolicy before passing
 // it in ExecutorConfig.Registry.
 func DefaultJobRegistry() *JobRegistry { return server.DefaultRegistry() }
+
+// NewRecorder builds a span recorder; limit ≤ 0 uses the default bound.
+func NewRecorder(limit int) *Recorder { return obs.NewRecorder(limit) }
+
+// WithRecorder attaches a span recorder to a context, enabling tracing in
+// RunContext without touching the SimConfig.
+func WithRecorder(ctx context.Context, rec *Recorder) context.Context {
+	return obs.WithRecorder(ctx, rec)
+}
+
+// NewLogger builds a structured slog logger in "text" or "json" format;
+// parse the level with ParseLogLevel.
+var NewLogger = obs.NewLogger
+
+// ParseLogLevel parses debug|info|warn|error ("" means info).
+var ParseLogLevel = obs.ParseLevel
 
 // FaultPlans lists the named fault-injection plans, sorted.
 func FaultPlans() []string { return fault.Plans() }

@@ -5,9 +5,11 @@
 // Usage:
 //
 //	capman-serve -addr :8080 -workers 8 -queue 128 -job-timeout 5m
+//	capman-serve -log-format json -log-level debug -pprof
 //
 // Submit work with POST /v1/jobs, poll GET /v1/jobs/{id}, cancel with
-// DELETE /v1/jobs/{id}; see /metrics and /healthz for observability. On
+// DELETE /v1/jobs/{id}; see /metrics, /healthz, /v1/jobs/{id}/events, and
+// /debug/buildinfo for observability (-pprof adds /debug/pprof/). On
 // SIGTERM or SIGINT the server stops accepting work, drains in-flight
 // jobs (up to -drain-timeout), and exits.
 package main
@@ -17,6 +19,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -24,6 +27,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -49,34 +53,63 @@ func run(ctx context.Context, args []string, out *os.File) error {
 	retries := fs.Int("retries", 0, "max retries for retryable job failures (0 = default 2, -1 disables)")
 	breakerThreshold := fs.Int("breaker-threshold", 0, "consecutive failures that open an entry's circuit breaker (0 = default 5, -1 disables)")
 	breakerCooldown := fs.Duration("breaker-cooldown", 0, "how long an open breaker sheds load before probing (0 = default 30s)")
+	queueWaitWarn := fs.Duration("queue-wait-warn", 0, "warn when a job's queue wait exceeds this (0 = default 30s, -1ns disables)")
+	logLevel := fs.String("log-level", "info", "log level: debug|info|warn|error")
+	logFormat := fs.String("log-format", obs.FormatText, "log format: text|json")
+	enablePprof := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
-	srv := server.New(server.Config{Executor: server.ExecutorConfig{
-		Workers:    *workers,
-		QueueDepth: *queue,
-		CacheSize:  *cache,
-		JobTimeout: *jobTimeout,
-		MaxRetries: *retries,
-		Breaker: server.BreakerConfig{
-			Threshold: *breakerThreshold,
-			Cooldown:  *breakerCooldown,
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	logger, err := obs.NewLogger(out, level, *logFormat)
+	if err != nil {
+		return err
+	}
+
+	srv := server.New(server.Config{
+		Logger:      logger,
+		EnablePprof: *enablePprof,
+		Executor: server.ExecutorConfig{
+			Workers:       *workers,
+			QueueDepth:    *queue,
+			CacheSize:     *cache,
+			JobTimeout:    *jobTimeout,
+			MaxRetries:    *retries,
+			QueueWaitWarn: *queueWaitWarn,
+			Breaker: server.BreakerConfig{
+				Threshold: *breakerThreshold,
+				Cooldown:  *breakerCooldown,
+			},
 		},
-	}})
+	})
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err
 	}
+	logger.Info("capmand listening",
+		"addr", ln.Addr().String(),
+		"workers", *workers,
+		"queue", *queue,
+		"cache", *cache,
+		"job_timeout", jobTimeout.String(),
+		"drain_timeout", drainTimeout.String(),
+		"queue_wait_warn", queueWaitWarn.String(),
+		"pprof", *enablePprof,
+		"log_level", level.String(),
+		"log_format", *logFormat)
 	fmt.Fprintf(out, "capmand listening on %s\n", ln.Addr())
-	return serve(ctx, ln, srv, *drainTimeout, out)
+	return serve(ctx, ln, srv, *drainTimeout, out, logger)
 }
 
 // serve runs the HTTP server on ln until ctx is cancelled, then performs
 // the graceful drain: stop accepting connections, let in-flight jobs
 // finish within the drain budget, cancel whatever remains.
-func serve(ctx context.Context, ln net.Listener, srv *server.Server, drainTimeout time.Duration, out *os.File) error {
+func serve(ctx context.Context, ln net.Listener, srv *server.Server, drainTimeout time.Duration, out *os.File, logger *slog.Logger) error {
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
@@ -88,6 +121,8 @@ func serve(ctx context.Context, ln net.Listener, srv *server.Server, drainTimeou
 	}
 
 	fmt.Fprintln(out, "capmand draining...")
+	logger.Info("shutdown signal received; draining", "budget", drainTimeout.String())
+	start := time.Now()
 	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 	defer cancel()
 	drainErr := srv.Drain(drainCtx)
@@ -96,7 +131,14 @@ func serve(ctx context.Context, ln net.Listener, srv *server.Server, drainTimeou
 	}
 	<-errc // Serve has returned http.ErrServerClosed
 	if drainErr != nil && !errors.Is(drainErr, context.DeadlineExceeded) {
+		logger.Error("drain failed", "err", drainErr, "elapsed", time.Since(start).String())
 		return drainErr
+	}
+	if errors.Is(drainErr, context.DeadlineExceeded) {
+		logger.Warn("drain budget exhausted; remaining jobs were cancelled",
+			"elapsed", time.Since(start).String())
+	} else {
+		logger.Info("drain complete", "elapsed", time.Since(start).String())
 	}
 	fmt.Fprintln(out, "capmand stopped")
 	return nil

@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -25,7 +26,7 @@ func TestServeLifecycle(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	done := make(chan error, 1)
-	go func() { done <- serve(ctx, ln, srv, 60*time.Second, os.Stdout) }()
+	go func() { done <- serve(ctx, ln, srv, 60*time.Second, os.Stdout, obs.Nop()) }()
 
 	base := "http://" + ln.Addr().String()
 	waitHealthy(t, base)

@@ -7,9 +7,11 @@
 //
 //	capman-sim -workload video -policy capman -phone Nexus -mah 2500
 //	capman-sim -workload eta:0.8 -policy oracle -seed 7 -samples out.json
+//	capman-sim -policy capman -trace spans.json -log-level debug
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -20,6 +22,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/tec"
@@ -46,9 +49,22 @@ func run(args []string) error {
 	noTEC := fs.Bool("no-tec", false, "disable the thermoelectric cooler")
 	faults := fs.String("faults", "", "fault-injection plan: "+strings.Join(fault.Plans(), "|")+" (empty = none)")
 	samples := fs.String("samples", "", "write a sampled trace (JSON) to this file")
+	traceOut := fs.String("trace", "", "enable span tracing and write the span tree (JSON) to this file; also prints a timing breakdown")
+	logLevel := fs.String("log-level", "warn", "log level: debug|info|warn|error")
+	logFormat := fs.String("log-format", obs.FormatText, "log format: text|json")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		return err
+	}
+	logger, err := obs.NewLogger(os.Stderr, level, *logFormat)
+	if err != nil {
+		return err
+	}
+	ctx := obs.WithLogger(context.Background(), logger)
 
 	profile, err := device.ProfileByName(*phone)
 	if err != nil {
@@ -118,11 +134,19 @@ func run(args []string) error {
 		return fmt.Errorf("unknown policy %q", *pol)
 	}
 
-	res, err := sim.Run(cfg)
+	var rec *obs.Recorder
+	if *traceOut != "" {
+		rec = obs.NewRecorder(0)
+		cfg.Recorder = rec
+	}
+	res, err := sim.RunContext(ctx, cfg)
 	if err != nil {
 		return err
 	}
 	report(res)
+	if res.Timing != nil {
+		reportTiming(res.Timing)
+	}
 	if c, ok := cfg.Policy.(*core.Scheduler); ok {
 		st := c.Stats()
 		fmt.Printf("scheduler: %d decisions, %d refreshes, %d similarity runs, %d clusters, %.1fus/decision\n",
@@ -144,7 +168,28 @@ func run(args []string) error {
 		}
 		fmt.Printf("wrote %d samples to %s\n", len(res.Samples), *samples)
 	}
+	if rec != nil {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := rec.WriteJSON(f); err != nil {
+			return err
+		}
+		fmt.Printf("wrote span tree to %s\n", *traceOut)
+	}
 	return nil
+}
+
+// reportTiming prints the per-phase step-cost breakdown and the policy
+// decision-latency distribution collected by the sim's instrumentation.
+func reportTiming(tm *sim.Timing) {
+	fmt.Printf("step cost: workload %.3fs, policy %.3fs, battery %.3fs, thermal %.3fs, tec %.3fs\n",
+		tm.WorkloadS, tm.PolicyS, tm.BatteryS, tm.ThermalS, tm.TECS)
+	d := tm.DecisionLatency
+	fmt.Printf("decision latency: n=%d mean %.1fus p50 %.1fus p95 %.1fus p99 %.1fus\n",
+		d.Count, d.Mean()*1e6, d.Quantile(0.50)*1e6, d.Quantile(0.95)*1e6, d.Quantile(0.99)*1e6)
 }
 
 func workloadFactory(spec string, seed int64) (func() workload.Generator, error) {

@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanTreeStructure(t *testing.T) {
+	rec := NewRecorder(0)
+	ctx := WithRecorder(context.Background(), rec)
+
+	ctx, run := StartSpan(ctx, "run")
+	_, step := StartSpan(ctx, "step")
+	step.SetAttr("i", 1)
+	time.Sleep(time.Millisecond)
+	step.End()
+	run.Aggregate("phase:policy", 250*time.Millisecond, 40)
+	run.End()
+
+	tree := rec.Tree()
+	if len(tree) != 1 {
+		t.Fatalf("roots = %d, want 1", len(tree))
+	}
+	root := tree[0]
+	if root.Name != "run" || root.InProgress {
+		t.Errorf("root = %+v", root)
+	}
+	if len(root.Children) != 2 {
+		t.Fatalf("children = %d, want 2", len(root.Children))
+	}
+	var gotStep, gotAgg bool
+	for _, c := range root.Children {
+		switch c.Name {
+		case "step":
+			gotStep = true
+			if c.DurationMS <= 0 {
+				t.Errorf("step duration %v, want > 0", c.DurationMS)
+			}
+			if c.Attrs["i"] != 1 {
+				t.Errorf("step attrs = %v", c.Attrs)
+			}
+		case "phase:policy":
+			gotAgg = true
+			if got := c.DurationMS; got < 249 || got > 251 {
+				t.Errorf("aggregate duration %vms, want 250", got)
+			}
+			if c.Attrs["count"] != 40 {
+				t.Errorf("aggregate attrs = %v", c.Attrs)
+			}
+		}
+	}
+	if !gotStep || !gotAgg {
+		t.Errorf("children missing: step=%v aggregate=%v", gotStep, gotAgg)
+	}
+	if root.DurationMS < 1 {
+		t.Errorf("root duration %vms, want >= the child sleep", root.DurationMS)
+	}
+}
+
+func TestSpanJSONDump(t *testing.T) {
+	rec := NewRecorder(0)
+	ctx, span := rec.StartSpan(context.Background(), "outer")
+	_, inner := rec.StartSpan(ctx, "inner")
+	inner.End()
+	span.End()
+
+	var sb strings.Builder
+	if err := rec.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var payload struct {
+		Spans   []SpanNode `json:"spans"`
+		Dropped int        `json:"dropped"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &payload); err != nil {
+		t.Fatalf("dump does not parse: %v", err)
+	}
+	if len(payload.Spans) != 1 || payload.Spans[0].Name != "outer" ||
+		len(payload.Spans[0].Children) != 1 || payload.Spans[0].Children[0].Name != "inner" {
+		t.Errorf("dump tree = %+v", payload.Spans)
+	}
+}
+
+func TestSpanNilSafety(t *testing.T) {
+	var rec *Recorder
+	ctx, span := rec.StartSpan(context.Background(), "ignored")
+	if span != nil {
+		t.Error("nil recorder produced a span")
+	}
+	if ctx == nil {
+		t.Error("nil recorder dropped the context")
+	}
+	// All span methods must be no-ops on nil.
+	span.End()
+	span.SetAttr("k", "v")
+	span.Aggregate("a", time.Second, 1)
+	if d := span.Duration(); d != 0 {
+		t.Errorf("nil span duration %v", d)
+	}
+	if rec.Tree() != nil || rec.Dropped() != 0 {
+		t.Error("nil recorder reported recorded state")
+	}
+	// A context without a recorder records nothing either.
+	if _, s := StartSpan(context.Background(), "x"); s != nil {
+		t.Error("recorder-less context produced a span")
+	}
+	if RecorderFrom(context.Background()) != nil {
+		t.Error("bare context carries a recorder")
+	}
+}
+
+func TestRecorderLimit(t *testing.T) {
+	rec := NewRecorder(2)
+	ctx := context.Background()
+	_, a := rec.StartSpan(ctx, "a")
+	_, b := rec.StartSpan(ctx, "b")
+	_, c := rec.StartSpan(ctx, "c")
+	if a == nil || b == nil {
+		t.Fatal("spans under the limit were dropped")
+	}
+	if c != nil {
+		t.Error("span past the limit was recorded")
+	}
+	if got := rec.Dropped(); got != 1 {
+		t.Errorf("Dropped = %d, want 1", got)
+	}
+	if got := len(rec.Tree()); got != 2 {
+		t.Errorf("tree roots = %d, want 2", got)
+	}
+}
+
+func TestSpanConcurrentChildren(t *testing.T) {
+	rec := NewRecorder(0)
+	ctx, root := rec.StartSpan(context.Background(), "root")
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, s := rec.StartSpan(ctx, "child")
+			s.SetAttr("k", "v")
+			s.End()
+		}()
+	}
+	wg.Wait()
+	root.End()
+	if got := len(rec.Tree()[0].Children); got != 16 {
+		t.Errorf("children = %d, want 16", got)
+	}
+}

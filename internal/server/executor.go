@@ -4,11 +4,13 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"runtime"
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -63,11 +65,18 @@ type ExecutorConfig struct {
 	// CacheSize bounds the content-addressed result cache (default 256;
 	// negative disables caching).
 	CacheSize int
+	// QueueWaitWarn is the queue-wait threshold above which a dequeued
+	// job logs a warning (with its request ID) and increments
+	// capmand_queue_wait_warnings_total (default 30s; negative disables).
+	QueueWaitWarn time.Duration
 	// Registry resolves job specs (default DefaultRegistry()).
 	Registry *Registry
 	// Metrics receives the executor's instrumentation (default a fresh
 	// panel; share one with the Server to expose it over /metrics).
 	Metrics *Metrics
+	// Logger receives job lifecycle logs, each line tagged with the
+	// submission's request ID (default: discard).
+	Logger *slog.Logger
 }
 
 func (c ExecutorConfig) withDefaults() ExecutorConfig {
@@ -89,11 +98,20 @@ func (c ExecutorConfig) withDefaults() ExecutorConfig {
 	if c.RetryBaseDelay <= 0 {
 		c.RetryBaseDelay = 50 * time.Millisecond
 	}
+	if c.QueueWaitWarn == 0 {
+		c.QueueWaitWarn = 30 * time.Second
+	}
+	if c.QueueWaitWarn < 0 {
+		c.QueueWaitWarn = 0 // any negative value means "never warn"
+	}
 	if c.Registry == nil {
 		c.Registry = DefaultRegistry()
 	}
 	if c.Metrics == nil {
 		c.Metrics = NewMetrics()
+	}
+	if c.Logger == nil {
+		c.Logger = obs.Nop()
 	}
 	return c
 }
@@ -109,7 +127,9 @@ type Executor struct {
 	timeout    time.Duration
 	maxRetries int
 	retryBase  time.Duration
+	queueWarn  time.Duration
 	breakers   *breakerSet
+	logger     *slog.Logger
 	runFn      func(context.Context, JobSpec, sim.Config) (*Outcome, error) // test seam
 
 	mu       sync.Mutex
@@ -132,7 +152,9 @@ func NewExecutor(cfg ExecutorConfig) *Executor {
 		timeout:    cfg.JobTimeout,
 		maxRetries: cfg.MaxRetries,
 		retryBase:  cfg.RetryBaseDelay,
+		queueWarn:  cfg.QueueWaitWarn,
 		breakers:   newBreakerSet(cfg.Breaker),
+		logger:     cfg.Logger,
 		runFn:      runJob,
 		jobs:       make(map[string]*Job),
 		inflight:   make(map[string]*Job),
@@ -166,6 +188,8 @@ func (e *Executor) Submit(spec JobSpec) (View, error) {
 	if err != nil {
 		return View{}, err
 	}
+	reqID := obs.NewRequestID()
+	log := e.logger.With("request_id", reqID)
 
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -178,38 +202,59 @@ func (e *Executor) Submit(spec JobSpec) (View, error) {
 		e.metrics.CacheHits.Inc()
 		now := time.Now()
 		job := &Job{
-			ID: e.nextID(), Hash: hash, Spec: spec,
+			ID: e.nextID(), RequestID: reqID, Hash: hash, Spec: spec,
 			State: StateDone, Outcome: out, CacheHit: true,
 			SubmittedAt: now, StartedAt: now, FinishedAt: now,
 		}
+		job.timeline.add(EventSubmitted, "workload "+spec.Workload+" policy "+spec.Policy)
+		job.timeline.add(EventCacheHit, "served from result cache")
+		job.timeline.add(EventDone, "")
 		e.jobs[job.ID] = job
+		log.Info("job served from cache", "job_id", job.ID, "hash", short(hash))
 		return job.view(), nil
 	}
 	if job, ok := e.inflight[hash]; ok {
 		e.metrics.CacheHits.Inc()
+		job.timeline.add(EventCoalesced, "request "+reqID+" coalesced onto this job")
+		log.Info("submission coalesced onto in-flight job",
+			"job_id", job.ID, "job_request_id", job.RequestID, "hash", short(hash))
 		return job.view(), nil
 	}
 	key := breakerKey(spec)
 	if err := e.breakers.Admit(key); err != nil {
+		log.Warn("submission shed by open circuit breaker", "entry", key)
 		return View{}, err
 	}
 	e.metrics.CacheMisses.Inc()
 
 	job := &Job{
-		ID: e.nextID(), Hash: hash, Spec: spec,
+		ID: e.nextID(), RequestID: reqID, Hash: hash, Spec: spec,
 		State: StateQueued, SubmittedAt: time.Now(), cfg: cfg,
 	}
+	job.timeline.add(EventSubmitted, "workload "+spec.Workload+" policy "+spec.Policy)
 	select {
 	case e.queue <- job:
 	default:
 		e.breakers.AbortProbe(key) // don't leak a half-open probe slot
 		e.metrics.JobsFailed.Inc()
+		log.Warn("submission rejected: queue full", "depth", cap(e.queue))
 		return View{}, fmt.Errorf("%w (depth %d)", ErrQueueFull, cap(e.queue))
 	}
+	job.timeline.add(EventQueued, fmt.Sprintf("position %d", len(e.queue)))
 	e.jobs[job.ID] = job
 	e.inflight[hash] = job
 	e.metrics.QueueDepth.Set(int64(len(e.queue)))
+	log.Info("job submitted", "job_id", job.ID, "hash", short(hash),
+		"workload", spec.Workload, "policy", spec.Policy, "queue_depth", len(e.queue))
 	return job.view(), nil
+}
+
+// short abbreviates a content hash for log lines.
+func short(hash string) string {
+	if len(hash) > 12 {
+		return hash[:12]
+	}
+	return hash
 }
 
 // nextID mints a job identifier; callers hold the lock.
@@ -265,12 +310,32 @@ func (e *Executor) Cancel(id string) (View, error) {
 		job.State = StateCancelled
 		job.Err = context.Canceled.Error()
 		job.FinishedAt = time.Now()
+		job.timeline.add(EventCancelled, "cancelled while queued")
 		delete(e.inflight, job.Hash)
 		e.metrics.JobsCancelled.Inc()
+		e.logger.Info("job cancelled while queued",
+			"request_id", job.RequestID, "job_id", job.ID)
 	case StateRunning:
 		job.cancel() // worker publishes the terminal state
 	}
 	return job.view(), nil
+}
+
+// Events returns a job's bounded lifecycle timeline, oldest first.
+func (e *Executor) Events(id string) (Timeline, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	job, ok := e.jobs[id]
+	if !ok {
+		return Timeline{}, ErrNotFound
+	}
+	return Timeline{
+		ID:        job.ID,
+		RequestID: job.RequestID,
+		State:     job.State,
+		Events:    job.timeline.snapshot(),
+		Dropped:   job.timeline.dropped,
+	}, nil
 }
 
 // QueueDepth reports the current backlog.
@@ -291,7 +356,7 @@ func (e *Executor) worker() {
 		}
 		// The job timeout starts here, at dequeue: time spent waiting in
 		// the queue never counts against JobTimeout and is recorded
-		// separately as the queue_wait_seconds summary.
+		// separately in the queue_wait_seconds histogram.
 		ctx := context.Background()
 		var cancel context.CancelFunc
 		if e.timeout > 0 {
@@ -303,11 +368,21 @@ func (e *Executor) worker() {
 		job.StartedAt = time.Now()
 		job.cancel = cancel
 		spec, cfg := job.Spec, job.cfg
-		e.metrics.QueueWaitSeconds.Observe(job.StartedAt.Sub(job.SubmittedAt).Seconds())
+		wait := job.StartedAt.Sub(job.SubmittedAt)
+		e.metrics.QueueWaitSeconds.Observe(wait.Seconds())
+		job.timeline.add(EventRunning, fmt.Sprintf("after %.3fs queued", wait.Seconds()))
+		if e.queueWarn > 0 && wait > e.queueWarn {
+			e.metrics.QueueWaitWarnings.Inc()
+			job.timeline.add(EventQueueWaitWarning,
+				fmt.Sprintf("queued %.3fs, threshold %s", wait.Seconds(), e.queueWarn))
+			e.logger.Warn("pathological queue wait",
+				"request_id", job.RequestID, "job_id", job.ID,
+				"wait_s", wait.Seconds(), "threshold", e.queueWarn.String())
+		}
 		e.mu.Unlock()
 
 		e.metrics.WorkersBusy.Add(1)
-		out, attempts, err := e.runWithRetries(ctx, spec, cfg)
+		out, attempts, err := e.runWithRetries(ctx, job, spec, cfg)
 		cancel()
 		e.metrics.WorkersBusy.Add(-1)
 
@@ -319,20 +394,37 @@ func (e *Executor) worker() {
 		case err == nil:
 			job.State = StateDone
 			job.Outcome = out
+			job.timeline.add(EventDone, fmt.Sprintf("%d attempt(s)", attempts))
 			e.cache.Put(job.Hash, out)
 			e.metrics.JobsCompleted.Inc()
 		case errors.Is(err, context.Canceled):
 			job.State = StateCancelled
 			job.Err = err.Error()
+			job.timeline.add(EventCancelled, err.Error())
 			e.metrics.JobsCancelled.Inc()
 		default:
 			job.State = StateFailed
 			job.Err = err.Error()
+			job.timeline.add(EventFailed, err.Error())
 			e.metrics.JobsFailed.Inc()
 		}
 		state := job.State
-		e.metrics.JobWallSeconds.Observe(job.FinishedAt.Sub(job.StartedAt).Seconds())
+		wall := job.FinishedAt.Sub(job.StartedAt)
+		e.metrics.JobWallSeconds.Observe(wall.Seconds())
+		reqID, jobID := job.RequestID, job.ID
 		e.mu.Unlock()
+
+		switch state {
+		case StateDone:
+			e.logger.Info("job done", "request_id", reqID, "job_id", jobID,
+				"wall_s", wall.Seconds(), "queue_wait_s", wait.Seconds(), "attempts", attempts)
+		case StateCancelled:
+			e.logger.Info("job cancelled", "request_id", reqID, "job_id", jobID,
+				"wall_s", wall.Seconds())
+		default:
+			e.logger.Warn("job failed", "request_id", reqID, "job_id", jobID,
+				"wall_s", wall.Seconds(), "attempts", attempts, "error", err)
+		}
 
 		// Feed the breaker outside the job lock; a cancellation says
 		// nothing about the registry entry's health, so skip it.
@@ -351,8 +443,9 @@ func (e *Executor) worker() {
 // runWithRetries executes one job, re-running retryable failures (see
 // isRetryable) with exponential backoff until an attempt succeeds, the
 // retry budget is spent, or ctx — which carries the job timeout and
-// cancellation — expires. It reports how many attempts ran (at least 1).
-func (e *Executor) runWithRetries(ctx context.Context, spec JobSpec, cfg sim.Config) (*Outcome, int, error) {
+// cancellation — expires. It reports how many attempts ran (at least 1)
+// and records each retry in the job's timeline.
+func (e *Executor) runWithRetries(ctx context.Context, job *Job, spec JobSpec, cfg sim.Config) (*Outcome, int, error) {
 	attempts := 0
 	for {
 		attempts++
@@ -361,7 +454,15 @@ func (e *Executor) runWithRetries(ctx context.Context, spec JobSpec, cfg sim.Con
 			return out, attempts, err
 		}
 		e.metrics.JobRetries.Inc()
-		if !sleepCtx(ctx, backoff(e.retryBase, attempts)) {
+		delay := backoff(e.retryBase, attempts)
+		e.mu.Lock()
+		job.timeline.add(EventRetrying,
+			fmt.Sprintf("attempt %d failed (%v); backing off %s", attempts, err, delay.Round(time.Millisecond)))
+		e.mu.Unlock()
+		e.logger.Warn("job attempt failed; retrying",
+			"request_id", job.RequestID, "job_id", job.ID,
+			"attempt", attempts, "backoff", delay.String(), "error", err)
+		if !sleepCtx(ctx, delay) {
 			return nil, attempts, err // timeout or cancel during backoff
 		}
 	}
@@ -427,11 +528,21 @@ func runJob(ctx context.Context, spec JobSpec, cfg sim.Config) (*Outcome, error)
 // cancellation before returning the context's error.
 func (e *Executor) Drain(ctx context.Context) error {
 	e.mu.Lock()
+	var queued, running int
+	for _, job := range e.jobs {
+		switch job.State {
+		case StateQueued:
+			queued++
+		case StateRunning:
+			running++
+		}
+	}
 	if !e.draining {
 		e.draining = true
 		close(e.queue)
 	}
 	e.mu.Unlock()
+	e.logger.Info("drain started", "queued", queued, "running", running)
 
 	done := make(chan struct{})
 	go func() {
@@ -440,21 +551,28 @@ func (e *Executor) Drain(ctx context.Context) error {
 	}()
 	select {
 	case <-done:
+		e.logger.Info("drain complete: all jobs finished")
 		return nil
 	case <-ctx.Done():
 		e.mu.Lock()
+		var cancelled int
 		for _, job := range e.jobs {
 			if job.State == StateRunning {
 				job.cancel()
+				cancelled++
 			} else if job.State == StateQueued {
 				job.State = StateCancelled
 				job.Err = context.Canceled.Error()
 				job.FinishedAt = time.Now()
+				job.timeline.add(EventCancelled, "drain budget exhausted")
 				delete(e.inflight, job.Hash)
 				e.metrics.JobsCancelled.Inc()
+				cancelled++
 			}
 		}
 		e.mu.Unlock()
+		e.logger.Warn("drain budget exhausted; cancelling in-flight jobs",
+			"cancelled", cancelled)
 		<-done
 		return ctx.Err()
 	}

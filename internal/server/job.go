@@ -38,9 +38,13 @@ type Outcome struct {
 // owning Executor's lock; handlers read through Executor methods that
 // return immutable View snapshots.
 type Job struct {
-	ID   string
-	Hash string
-	Spec JobSpec
+	ID string
+	// RequestID identifies the submission that created the job (coalesced
+	// submissions share the job; their request IDs appear in the
+	// timeline). It tags every log line and event for the job.
+	RequestID string
+	Hash      string
+	Spec      JobSpec
 
 	State    State
 	Err      string
@@ -52,20 +56,25 @@ type Job struct {
 	StartedAt   time.Time
 	FinishedAt  time.Time
 
+	// timeline is the bounded lifecycle event log served at
+	// GET /v1/jobs/{id}/events.
+	timeline timeline
+
 	cfg    sim.Config
 	cancel context.CancelFunc
 }
 
 // View is the JSON representation of a job returned by the HTTP API.
 type View struct {
-	ID       string   `json:"id"`
-	Hash     string   `json:"hash"`
-	Spec     JobSpec  `json:"spec"`
-	State    State    `json:"state"`
-	Error    string   `json:"error,omitempty"`
-	Outcome  *Outcome `json:"outcome,omitempty"`
-	CacheHit bool     `json:"cacheHit"`
-	Attempts int      `json:"attempts,omitempty"`
+	ID        string   `json:"id"`
+	RequestID string   `json:"requestId,omitempty"`
+	Hash      string   `json:"hash"`
+	Spec      JobSpec  `json:"spec"`
+	State     State    `json:"state"`
+	Error     string   `json:"error,omitempty"`
+	Outcome   *Outcome `json:"outcome,omitempty"`
+	CacheHit  bool     `json:"cacheHit"`
+	Attempts  int      `json:"attempts,omitempty"`
 
 	SubmittedAt time.Time  `json:"submittedAt"`
 	StartedAt   *time.Time `json:"startedAt,omitempty"`
@@ -80,6 +89,7 @@ type View struct {
 func (j *Job) view() View {
 	v := View{
 		ID:          j.ID,
+		RequestID:   j.RequestID,
 		Hash:        j.Hash,
 		Spec:        j.Spec,
 		State:       j.State,

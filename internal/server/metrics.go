@@ -5,7 +5,10 @@ import (
 	"io"
 	"math"
 	"sort"
+	"strconv"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // Counter is a monotonically increasing metric.
@@ -38,7 +41,9 @@ func (g *Gauge) Value() int64 { return g.v.Load() }
 
 // Summary accumulates a sum and a count of float64 observations, exposed as
 // the Prometheus summary sum/count pair. The sum is stored as float64 bits
-// in a uint64 CAS loop so observation stays lock-free.
+// in a uint64 CAS loop so observation stays lock-free. The duration
+// metrics that used to be summaries are histograms now (obs.Histogram);
+// Summary remains part of the kit for metrics that only need a mean.
 type Summary struct {
 	sumBits atomic.Uint64
 	count   atomic.Uint64
@@ -82,12 +87,19 @@ type Metrics struct {
 	FaultsInjected Counter
 	Degradations   Counter
 
+	// QueueWaitWarnings counts jobs whose queue wait exceeded the
+	// executor's QueueWaitWarn threshold.
+	QueueWaitWarnings Counter
+
 	QueueDepth  Gauge
 	WorkersBusy Gauge
 	Workers     Gauge
 
-	JobWallSeconds   Summary
-	QueueWaitSeconds Summary
+	// JobWallSeconds and QueueWaitSeconds are fixed-bucket histograms
+	// (Prometheus histogram type with a +Inf bucket), so dashboards can
+	// read tail latencies instead of just a mean.
+	JobWallSeconds   *obs.Histogram
+	QueueWaitSeconds *obs.Histogram
 
 	// BreakerStates, when set (the executor installs it), enumerates the
 	// per-registry-entry circuit breakers for the labeled breaker_state
@@ -96,7 +108,12 @@ type Metrics struct {
 }
 
 // NewMetrics returns a zeroed instrument panel.
-func NewMetrics() *Metrics { return &Metrics{} }
+func NewMetrics() *Metrics {
+	return &Metrics{
+		JobWallSeconds:   obs.MustHistogram(obs.WallBuckets()...),
+		QueueWaitSeconds: obs.MustHistogram(obs.WallBuckets()...),
+	}
+}
 
 // WritePrometheus renders every metric in the text exposition format.
 func (m *Metrics) WritePrometheus(w io.Writer) error {
@@ -115,6 +132,7 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 		{"capmand_breaker_trips_total", "Circuit breakers tripped open by consecutive failures.", &m.BreakerTrips},
 		{"capmand_faults_injected_total", "Fault events injected by finished simulations.", &m.FaultsInjected},
 		{"capmand_degradations_total", "Graceful-degradation transitions reported by finished simulations.", &m.Degradations},
+		{"capmand_queue_wait_warnings_total", "Jobs whose queue wait exceeded the warning threshold.", &m.QueueWaitWarnings},
 	}
 	for _, c := range counters {
 		if err := writeMetric(w, c.name, c.help, "counter", float64(c.c.Value())); err != nil {
@@ -134,17 +152,15 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 			return err
 		}
 	}
-	summaries := []struct {
+	hists := []struct {
 		name, help string
-		s          *Summary
+		h          *obs.Histogram
 	}{
-		{"capmand_job_wall_seconds", "Wall-clock time spent executing jobs.", &m.JobWallSeconds},
-		{"capmand_queue_wait_seconds", "Time jobs spent queued between submit and dequeue; the per-job timeout starts at dequeue, after this wait.", &m.QueueWaitSeconds},
+		{"capmand_job_wall_seconds", "Wall-clock time spent executing jobs.", m.JobWallSeconds},
+		{"capmand_queue_wait_seconds", "Time jobs spent queued between submit and dequeue; the per-job timeout starts at dequeue, after this wait.", m.QueueWaitSeconds},
 	}
-	for _, s := range summaries {
-		if _, err := fmt.Fprintf(w,
-			"# HELP %s %s\n# TYPE %s summary\n%s_sum %g\n%s_count %d\n",
-			s.name, s.help, s.name, s.name, s.s.Sum(), s.name, s.s.Count()); err != nil {
+	for _, h := range hists {
+		if err := writeHistogram(w, h.name, h.help, h.h); err != nil {
 			return err
 		}
 	}
@@ -178,5 +194,29 @@ func (m *Metrics) WritePrometheus(w io.Writer) error {
 
 func writeMetric(w io.Writer, name, help, typ string, v float64) error {
 	_, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", name, help, name, typ, name, v)
+	return err
+}
+
+// writeHistogram renders one histogram family: cumulative le buckets
+// ending in the mandatory +Inf bucket, then the sum/count pair. A nil
+// histogram renders as empty (all-zero) so a hand-built Metrics still
+// exposes a well-formed family.
+func writeHistogram(w io.Writer, name, help string, h *obs.Histogram) error {
+	snap := h.Snapshot()
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name); err != nil {
+		return err
+	}
+	var cum uint64
+	for i, b := range snap.Bounds {
+		cum += snap.Counts[i]
+		le := strconv.FormatFloat(b, 'g', -1, 64)
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, snap.Count); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", name, snap.Sum, name, snap.Count)
 	return err
 }

@@ -5,44 +5,84 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"runtime/debug"
+	"time"
 )
 
 // Config assembles a Server; zero values defer to ExecutorConfig defaults.
 type Config struct {
 	Executor ExecutorConfig
+
+	// Logger, when set and Executor.Logger is nil, becomes the executor's
+	// lifecycle logger too.
+	Logger *slog.Logger
+
+	// EnablePprof mounts net/http/pprof under /debug/pprof/. Off by
+	// default: profiling endpoints expose heap contents and should only be
+	// reachable on operator-trusted listeners.
+	EnablePprof bool
+
+	// Version is the build identifier reported by /debug/buildinfo; when
+	// empty the binary's embedded module version is used.
+	Version string
 }
 
 // Server is capmand's HTTP surface:
 //
-//	POST   /v1/jobs       submit a JobSpec, returns the job view (202; 200 on cache hit)
-//	GET    /v1/jobs       list known jobs, newest first
-//	GET    /v1/jobs/{id}  poll a job's status and, once done, its outcome
-//	DELETE /v1/jobs/{id}  cancel a queued or running job
-//	GET    /v1/registry   enumerate registered workloads and policies
-//	GET    /healthz       liveness probe
-//	GET    /metrics       Prometheus text-format metrics
+//	POST   /v1/jobs              submit a JobSpec, returns the job view (202; 200 on cache hit)
+//	GET    /v1/jobs              list known jobs, newest first
+//	GET    /v1/jobs/{id}         poll a job's status and, once done, its outcome
+//	GET    /v1/jobs/{id}/events  the job's bounded lifecycle timeline
+//	DELETE /v1/jobs/{id}         cancel a queued or running job
+//	GET    /v1/registry          enumerate registered workloads and policies
+//	GET    /healthz              liveness probe
+//	GET    /metrics              Prometheus text-format metrics
+//	GET    /debug/buildinfo      version, Go runtime, and uptime
+//	GET    /debug/pprof/         runtime profiles (only with EnablePprof)
 type Server struct {
 	exec    *Executor
 	metrics *Metrics
 	mux     *http.ServeMux
+	version string
+	started time.Time
 }
 
 // New builds the service and starts its worker pool.
 func New(cfg Config) *Server {
+	if cfg.Executor.Logger == nil {
+		cfg.Executor.Logger = cfg.Logger
+	}
 	ecfg := cfg.Executor.withDefaults()
 	s := &Server{
 		exec:    NewExecutor(ecfg),
 		metrics: ecfg.Metrics,
 		mux:     http.NewServeMux(),
+		version: cfg.Version,
+		started: time.Now(),
+	}
+	if s.version == "" {
+		s.version = buildVersion()
 	}
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/registry", s.handleRegistry)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /debug/buildinfo", s.handleBuildInfo)
+	if cfg.EnablePprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 
@@ -88,6 +128,15 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, view)
 }
 
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	tl, err := s.exec.Events(r.PathValue("id"))
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, tl)
+}
+
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	view, err := s.exec.Cancel(r.PathValue("id"))
 	if err != nil {
@@ -117,6 +166,26 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		// Headers are gone; nothing useful left to do.
 		return
 	}
+}
+
+func (s *Server) handleBuildInfo(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"version":    s.version,
+		"goVersion":  runtime.Version(),
+		"goos":       runtime.GOOS,
+		"goarch":     runtime.GOARCH,
+		"goroutines": runtime.NumGoroutine(),
+		"uptimeS":    time.Since(s.started).Seconds(),
+	})
+}
+
+// buildVersion reads the module version stamped into the binary; "devel"
+// when built from a working tree without version metadata.
+func buildVersion() string {
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+		return bi.Main.Version
+	}
+	return "devel"
 }
 
 // statusFor maps executor errors onto HTTP statuses.

@@ -161,7 +161,8 @@ func TestMetricsExposition(t *testing.T) {
 		"capmand_job_wall_seconds_count 2",
 		"# TYPE capmand_jobs_submitted_total counter",
 		"# TYPE capmand_queue_depth gauge",
-		"# TYPE capmand_job_wall_seconds summary",
+		"# TYPE capmand_job_wall_seconds histogram",
+		`capmand_job_wall_seconds_bucket{le="+Inf"} 2`,
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("exposition missing %q:\n%s", want, out)

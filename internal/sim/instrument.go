@@ -1,0 +1,107 @@
+package sim
+
+import (
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Timing is a run's self-measured host-side cost breakdown, populated in
+// Result.Timing only when tracing is on (Config.Recorder set, or a
+// recorder attached to the context with obs.WithRecorder). The per-phase
+// totals answer "where does a simulated step spend its wall-clock", and
+// DecisionLatency is the distribution the paper's microsecond claim is
+// about: the host time of one Policy.Decide call, measured every step.
+type Timing struct {
+	// Cumulative wall-clock seconds per step phase across the whole run.
+	WorkloadS float64 `json:"workloadS"` // demand generation + device power model
+	PolicyS   float64 `json:"policyS"`   // Observe + Decide + guard review
+	BatteryS  float64 `json:"batteryS"`  // cell state reads, switch, pack step
+	ThermalS  float64 `json:"thermalS"`  // RC network reads + integration
+	TECS      float64 `json:"tecS"`      // active-cooling controller
+
+	// DecisionLatency is the per-step Policy.Decide latency histogram in
+	// seconds (microsecond-scale buckets; see obs.LatencyBuckets).
+	DecisionLatency obs.HistogramSnapshot `json:"decisionLatency"`
+}
+
+// stepTimer accumulates the per-phase cost of the hot loop. All methods
+// are nil-safe no-ops, so the untraced run pays exactly one nil check per
+// instrumentation point and stays bit-identical and benchmark-neutral.
+type stepTimer struct {
+	workload, policy, battery, thermal, tec time.Duration
+
+	decisions *obs.Histogram
+}
+
+func newStepTimer() *stepTimer {
+	return &stepTimer{decisions: obs.MustHistogram(obs.LatencyBuckets()...)}
+}
+
+// begin returns the phase start; the zero time on a nil timer.
+func (t *stepTimer) begin() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+func (t *stepTimer) lapWorkload(t0 time.Time) {
+	if t != nil {
+		t.workload += time.Since(t0)
+	}
+}
+
+func (t *stepTimer) lapPolicy(t0 time.Time) {
+	if t != nil {
+		t.policy += time.Since(t0)
+	}
+}
+
+func (t *stepTimer) lapBattery(t0 time.Time) {
+	if t != nil {
+		t.battery += time.Since(t0)
+	}
+}
+
+func (t *stepTimer) lapThermal(t0 time.Time) {
+	if t != nil {
+		t.thermal += time.Since(t0)
+	}
+}
+
+func (t *stepTimer) lapTEC(t0 time.Time) {
+	if t != nil {
+		t.tec += time.Since(t0)
+	}
+}
+
+// lapDecision records one Policy.Decide call into the latency histogram.
+// Decide time also counts toward the policy phase at the caller.
+func (t *stepTimer) lapDecision(t0 time.Time) {
+	if t != nil {
+		t.decisions.Observe(time.Since(t0).Seconds())
+	}
+}
+
+// timing exports the accumulated breakdown.
+func (t *stepTimer) timing() *Timing {
+	return &Timing{
+		WorkloadS:       t.workload.Seconds(),
+		PolicyS:         t.policy.Seconds(),
+		BatteryS:        t.battery.Seconds(),
+		ThermalS:        t.thermal.Seconds(),
+		TECS:            t.tec.Seconds(),
+		DecisionLatency: t.decisions.Snapshot(),
+	}
+}
+
+// annotate attaches the phase totals to the run span as aggregate
+// children, so the JSON span tree shows the same breakdown as Timing.
+func (t *stepTimer) annotate(span *obs.Span, steps int) {
+	span.Aggregate("phase:workload", t.workload, steps)
+	span.Aggregate("phase:policy", t.policy, steps)
+	span.Aggregate("phase:battery", t.battery, steps)
+	span.Aggregate("phase:thermal", t.thermal, steps)
+	span.Aggregate("phase:tec", t.tec, steps)
+}

@@ -15,6 +15,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/fault"
 	"repro/internal/mdp"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/tec"
 	"repro/internal/thermal"
@@ -61,6 +62,15 @@ type Config struct {
 	// stale or the switch stops acknowledging, and records every
 	// transition in Result.Degradations.
 	Guard *sched.GuardConfig
+
+	// Recorder, when non-nil, turns tracing on: the run opens a
+	// "sim.run" span, accumulates per-phase step cost, and populates
+	// Result.Timing with the phase breakdown and the per-step policy
+	// decision-latency histogram. When nil, RunContext also looks for a
+	// recorder on the context (obs.WithRecorder). Tracing never feeds
+	// back into the physics: a traced run's Result is bit-identical to an
+	// untraced one apart from the Timing field.
+	Recorder *obs.Recorder
 
 	// DT is the simulation step in seconds (default 0.25).
 	DT float64
@@ -160,6 +170,11 @@ type Result struct {
 	Degradations []sched.DegradeEvent
 	// DegradedTimeS is the simulated time spent in the fallback mode.
 	DegradedTimeS float64
+
+	// Timing carries the run's host-side cost breakdown and the policy
+	// decision-latency histogram; nil unless tracing was on (see
+	// Config.Recorder).
+	Timing *Timing `json:",omitempty"`
 }
 
 // LittleRatio returns the fraction of active time spent on the LITTLE
@@ -244,6 +259,28 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		Phone:    cfg.Profile.Name,
 	}
 
+	// Tracing is on when a recorder is reachable — explicitly via the
+	// config or ambiently via the context. Off (the default) costs one
+	// nil check per instrumentation point and changes nothing else.
+	rec := cfg.Recorder
+	if rec == nil {
+		rec = obs.RecorderFrom(ctx)
+	}
+	var timer *stepTimer
+	var runSpan *obs.Span
+	if rec != nil {
+		timer = newStepTimer()
+		_, runSpan = rec.StartSpan(ctx, "sim.run")
+		runSpan.SetAttr("policy", res.Policy)
+		runSpan.SetAttr("workload", res.Workload)
+		runSpan.SetAttr("phone", res.Phone)
+		defer runSpan.End()
+	}
+	logger := obs.Logger(ctx)
+	logger.Debug("sim: run start",
+		"policy", res.Policy, "workload", res.Workload, "phone", res.Phone,
+		"dt", cfg.DT, "maxTimeS", cfg.MaxTimeS)
+
 	dt := cfg.DT
 	now := 0.0
 	nextSample := 0.0
@@ -266,6 +303,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("sim: aborted at t=%.1fs: %w", now, err)
 		}
+		t0 := timer.begin()
 		step := gen.Next(now, dt)
 		if cfg.RecordDemands {
 			res.Demands = append(res.Demands, trace.DemandRecord{
@@ -275,11 +313,14 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		if err := phone.Apply(step.Demand); err != nil {
 			return nil, fmt.Errorf("t=%.1f apply demand: %w", now, err)
 		}
+		timer.lapWorkload(t0)
 
+		t0 = timer.begin()
 		cpuTemp := net.Temperature(thermal.NodeCPU)
 		bodyTemp := net.Temperature(thermal.NodeBody)
 		battTemp := net.Temperature(thermal.NodeBattery)
 		spreaderTemp := net.Temperature(thermal.NodeSpreader)
+		timer.lapThermal(t0)
 
 		// Sensing faults corrupt what the controller and policy observe;
 		// the physics below keeps integrating the true temperatures.
@@ -290,6 +331,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 
 		var tecOut tec.Output
 		if cooler != nil {
+			t0 = timer.begin()
 			var cond tec.Condition
 			if inj != nil {
 				cond.ForcedOff, cond.Derate = inj.TECCondition(now)
@@ -298,7 +340,9 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 				cond.ForcedOff = true
 			}
 			tecOut = cooler.StepUnder(obsCPUTemp, spreaderTemp, dt, cond)
+			timer.lapTEC(t0)
 		}
+		t0 = timer.begin()
 		breakdown := phone.Power()
 		demandW := breakdown.Total() + tecOut.PowerW
 		if inj != nil {
@@ -306,7 +350,9 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 				demandW += spike
 			}
 		}
+		timer.lapWorkload(t0)
 
+		t0 = timer.begin()
 		bigState := source.CellState(battery.SelectBig)
 		littleState := source.CellState(battery.SelectLittle)
 		socStaleS := 0.0
@@ -319,6 +365,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 				socStaleS = sl
 			}
 		}
+		timer.lapBattery(t0)
 
 		ctx := sched.Context{
 			Now: now,
@@ -349,14 +396,19 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		}
 		// Close the previous transition now that its successor state is
 		// known.
+		t0 = timer.begin()
 		if pending.valid {
 			cfg.Policy.Observe(pending.ctx, pending.applied, ctx.State, pending.reward)
 		}
 
+		tDec := timer.begin()
 		dec := cfg.Policy.Decide(ctx)
+		timer.lapDecision(tDec)
 		if guard != nil {
 			dec = guard.Review(ctx, dec)
 		}
+		timer.lapPolicy(t0)
+		t0 = timer.begin()
 		wantFlip := dec.Battery != ctx.State.Battery &&
 			(dec.Battery == battery.SelectBig || dec.Battery == battery.SelectLittle)
 		if source.Select(dec.Battery) {
@@ -367,6 +419,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		}
 
 		stepRes, err := source.Step(demandW, battTemp, dt)
+		timer.lapBattery(t0)
 		if err != nil {
 			if errors.Is(err, battery.ErrExhausted) || errors.Is(err, battery.ErrDepleted) {
 				res.EndReason = EndExhausted
@@ -381,6 +434,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		// Thermal integration: CPU heat minus TEC pumping on the hot
 		// spot, screen/WiFi into the body, battery losses at the
 		// battery node, TEC rejection at the spreader.
+		t0 = timer.begin()
 		cpuHeat, bodyHeat := phone.HeatSplit()
 		inputs := []float64{
 			thermal.NodeCPU:      cpuHeat - tecOut.CPUCoolingW,
@@ -391,6 +445,7 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		if err := net.Step(inputs, dt); err != nil {
 			return nil, fmt.Errorf("t=%.1f thermal: %w", now, err)
 		}
+		timer.lapThermal(t0)
 
 		// Reward: step energy efficiency in [0, 1].
 		useful := demandW * dt
@@ -470,5 +525,15 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		}
 		res.DegradedTimeS = guard.DegradedTimeS()
 	}
+	if timer != nil {
+		res.Timing = timer.timing()
+		timer.annotate(runSpan, res.Steps)
+		runSpan.SetAttr("steps", res.Steps)
+		runSpan.SetAttr("endReason", string(res.EndReason))
+		runSpan.SetAttr("serviceTimeS", res.ServiceTimeS)
+	}
+	logger.Debug("sim: run end",
+		"policy", res.Policy, "end", string(res.EndReason),
+		"steps", res.Steps, "serviceTimeS", res.ServiceTimeS)
 	return res, nil
 }

@@ -15,6 +15,15 @@ fi
 echo "== go vet =="
 go vet ./...
 
+# staticcheck is optional tooling: run it when installed, say so when not,
+# never fail the gate over its absence.
+echo "== staticcheck =="
+if command -v staticcheck >/dev/null 2>&1; then
+    staticcheck ./...
+else
+    echo "staticcheck not installed; skipping"
+fi
+
 echo "== go build =="
 go build ./...
 
@@ -26,5 +35,10 @@ go test -race ./internal/fault ./internal/server
 
 echo "== go test -race =="
 go test -race ./...
+
+# One iteration of every benchmark: catches benchmarks that no longer
+# compile or crash without paying for stable timings.
+echo "== benchmark smoke (1 iteration each) =="
+go test -run='^$' -bench=. -benchtime=1x ./... > /dev/null
 
 echo "all checks passed"
