@@ -9,6 +9,9 @@ package capman
 // for paper-scale numbers.
 
 import (
+	"fmt"
+	"math"
+	"math/rand"
 	"testing"
 
 	"repro/internal/battery"
@@ -232,6 +235,73 @@ func BenchmarkSimilarityIndex(b *testing.B) {
 	}
 }
 
+// benchSimGraph builds a seeded random MDP graph with n states (last
+// quarter absorbing) for the sized similarity benchmarks.
+func benchSimGraph(b *testing.B, n int) *mdp.Graph {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1234))
+	model, err := mdp.NewModel(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for s := 0; s < n-n/4; s++ {
+		for c := mdp.Control(0); c < mdp.NumControls; c++ {
+			fan := 1 + rng.Intn(3)
+			seen := map[int]bool{}
+			var ts []mdp.Transition
+			var total float64
+			for k := 0; k < fan; k++ {
+				next := rng.Intn(n)
+				if seen[next] {
+					continue
+				}
+				seen[next] = true
+				p := rng.Float64() + 0.1
+				total += p
+				ts = append(ts, mdp.Transition{Next: mdp.State(next), P: p, R: math.Round(rng.Float64()*100) / 100})
+			}
+			for i := range ts {
+				ts[i].P /= total
+			}
+			if err := model.SetTransitions(mdp.State(s), c, ts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	graph, err := mdp.BuildGraph(model, false, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return graph
+}
+
+// BenchmarkSimilarityIndexSized sweeps graph size × worker count; the
+// bench.sh trajectory derives the parallel speedup and allocation profile
+// from these runs.
+func BenchmarkSimilarityIndexSized(b *testing.B) {
+	for _, n := range []int{32, 64, 128} {
+		graph := benchSimGraph(b, n)
+		for _, workers := range []int{1, 4} {
+			cfg := simstruct.DefaultConfig(0.6)
+			cfg.Workers = workers
+			b.Run(fmt.Sprintf("n%d/workers%d", n, workers), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					res, err := simstruct.Compute(graph, cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if i == 0 {
+						b.ReportMetric(float64(res.Iterations), "sweeps")
+						b.ReportMetric(float64(res.EMDSolves), "emd-solves")
+						b.ReportMetric(float64(res.EMDSkips), "emd-skips")
+					}
+				}
+			})
+		}
+	}
+}
+
 func BenchmarkSchedulerDecision(b *testing.B) {
 	policy, err := core.New(core.DefaultConfig())
 	if err != nil {
@@ -286,9 +356,33 @@ func BenchmarkEMD(b *testing.B) {
 		}
 		return d / 20
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := simstruct.EMD(p, q, dist); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEMDSolver is BenchmarkEMD through the reusable solver form the
+// sweep engine's inner loop uses: validation hoisted, network and Dijkstra
+// scratch reused, so steady-state solves are allocation-free.
+func BenchmarkEMDSolver(b *testing.B) {
+	p := simstruct.Distribution{Points: []int{1, 5, 9, 14, 20}, Probs: []float64{0.3, 0.2, 0.2, 0.2, 0.1}}
+	q := simstruct.Distribution{Points: []int{2, 6, 11, 17}, Probs: []float64{0.4, 0.3, 0.2, 0.1}}
+	dist := func(i, j int) float64 {
+		d := float64(i - j)
+		if d < 0 {
+			d = -d
+		}
+		return d / 20
+	}
+	solver := simstruct.NewEMDSolver()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := solver.Solve(p, q, dist); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -9,15 +9,19 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
+	"time"
 
 	"repro/internal/battery"
 	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/mdp"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/simstruct"
 	"repro/internal/tec"
@@ -38,11 +42,15 @@ func run(args []string) error {
 	rho := fs.Float64("rho", 0.6, "discount factor")
 	seed := fs.Int64("seed", 42, "workload seed")
 	tau := fs.Float64("tau", 0.05, "cluster distance threshold")
+	workers := fs.Int("workers", 0, "similarity engine workers (0 = all processors)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *rho <= 0 || *rho >= 1 {
 		return fmt.Errorf("rho %v outside (0,1)", *rho)
+	}
+	if *workers < 0 {
+		return fmt.Errorf("workers %d negative", *workers)
 	}
 
 	var gen func() workload.Generator
@@ -63,6 +71,7 @@ func run(args []string) error {
 	capCfg := core.DefaultConfig()
 	capCfg.Rho = *rho
 	capCfg.Seed = *seed
+	capCfg.SimWorkers = *workers
 	scheduler, err := core.New(capCfg)
 	if err != nil {
 		return err
@@ -143,6 +152,51 @@ func run(args []string) error {
 		printBound(res, *rho)
 	} else {
 		fmt.Println("\nno similarity index yet (it refreshes every few background cycles)")
+	}
+	return printSimilarityTiming(scheduler.Model(), *rho, *workers)
+}
+
+// printSimilarityTiming reruns the Algorithm 1 precompute on the learned
+// model with tracing enabled and reports per-sweep wall clock, EMD solve
+// and dirty-skip counts, and EMD latency quantiles.
+func printSimilarityTiming(model *mdp.Model, rho float64, workers int) error {
+	graph, err := mdp.BuildGraph(model, true, mdp.StateBatteryOf)
+	if err != nil {
+		return err
+	}
+	rec := obs.NewRecorder(0)
+	hist := obs.MustHistogram(obs.LatencyBuckets()...)
+	cfg := simstruct.DefaultConfig(rho)
+	cfg.Workers = workers
+	cfg.EMDLatency = hist
+	resolved := workers
+	if resolved <= 0 {
+		resolved = runtime.GOMAXPROCS(0)
+	}
+	start := time.Now()
+	res, err := simstruct.ComputeContext(obs.WithRecorder(context.Background(), rec), graph, cfg)
+	elapsed := time.Since(start)
+	if err != nil {
+		fmt.Printf("\nsimilarity timing: precompute failed: %v\n", err)
+		return nil
+	}
+	fmt.Printf("\nsimilarity timing (workers=%d, %d states, %d actions):\n",
+		resolved, graph.NumStates, graph.NumActions())
+	fmt.Printf("  %d sweeps in %v; EMD solves %d, dirty-pair skips %d\n",
+		res.Iterations, elapsed.Round(time.Microsecond), res.EMDSolves, res.EMDSkips)
+	for _, root := range rec.Tree() {
+		if root.Name != "simstruct.compute" {
+			continue
+		}
+		for i, sweep := range root.Children {
+			delta, _ := sweep.Attrs["delta"].(float64)
+			fmt.Printf("  sweep %d: %.3fms (delta %.2e)\n", i+1, sweep.DurationMS, delta)
+		}
+	}
+	if snap := hist.Snapshot(); snap.Count > 0 {
+		fmt.Printf("  EMD latency: n=%d mean %.1fus p50 %.1fus p95 %.1fus p99 %.1fus\n",
+			snap.Count, snap.Mean()*1e6, snap.Quantile(0.5)*1e6,
+			snap.Quantile(0.95)*1e6, snap.Quantile(0.99)*1e6)
 	}
 	return nil
 }

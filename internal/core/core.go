@@ -9,6 +9,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -45,6 +46,10 @@ type Config struct {
 	// background refresh (it is the expensive part; the paper runs it
 	// "when the device is not busy").
 	SimilarityEvery int
+	// SimWorkers bounds the structural-similarity engine's worker pool;
+	// zero selects all processors (the simstruct default) and 1 forces
+	// the serial sweep. Results are identical for every worker count.
+	SimWorkers int
 	// OverheadScale multiplies measured decision-path latencies, modelling
 	// slower phones (Figure 15/16).
 	OverheadScale float64
@@ -91,6 +96,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("capman: explore half-life %v", c.ExploreHalfLifeS)
 	case c.SimilarityEvery <= 0:
 		return fmt.Errorf("capman: similarity cadence %d", c.SimilarityEvery)
+	case c.SimWorkers < 0:
+		return fmt.Errorf("capman: similarity workers %d", c.SimWorkers)
 	case c.OverheadScale <= 0:
 		return fmt.Errorf("capman: overhead scale %v", c.OverheadScale)
 	}
@@ -147,6 +154,7 @@ type Stats struct {
 type Scheduler struct {
 	cfg Config
 	rng *rand.Rand
+	ctx context.Context // bound run context; nil means background
 
 	estimator *mdp.Estimator
 	model     *mdp.Model
@@ -180,6 +188,22 @@ func New(cfg Config) (*Scheduler, error) {
 
 // Name implements sched.Policy.
 func (s *Scheduler) Name() string { return "CAPMAN" }
+
+// BindContext attaches a context to the scheduler's background refreshes:
+// the structural-similarity precompute runs under it and aborts when it is
+// cancelled, leaving the previous policy in place. The sim engine calls
+// this at run start (and with nil at run end), so cancelling a simulation
+// also stops an in-flight similarity refresh. Nil restores the background
+// context.
+func (s *Scheduler) BindContext(ctx context.Context) { s.ctx = ctx }
+
+// context returns the bound refresh context.
+func (s *Scheduler) context() context.Context {
+	if s.ctx == nil {
+		return context.Background()
+	}
+	return s.ctx
+}
 
 // Stats returns a snapshot of the scheduler's counters.
 func (s *Scheduler) Stats() Stats {
@@ -324,7 +348,9 @@ func (s *Scheduler) refreshSimilarity(model *mdp.Model) error {
 	if err != nil {
 		return fmt.Errorf("build graph: %w", err)
 	}
-	res, err := simstruct.Compute(graph, simstruct.DefaultConfig(s.cfg.Rho))
+	simCfg := simstruct.DefaultConfig(s.cfg.Rho)
+	simCfg.Workers = s.cfg.SimWorkers
+	res, err := simstruct.ComputeContext(s.context(), graph, simCfg)
 	if err != nil {
 		return fmt.Errorf("similarity: %w", err)
 	}

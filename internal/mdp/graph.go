@@ -85,6 +85,25 @@ func StateBatteryOf(s State) Control {
 	return ControlFor(v.Battery)
 }
 
+// Action returns action node i by value. The contained Out slice is shared
+// with the graph and must not be modified. i must be in [0, NumActions).
+func (g *Graph) Action(i int) ActionNode { return g.Actions[i] }
+
+// OutDegree returns the decision fan-out of state s (0 for out-of-range or
+// absorbing states).
+func (g *Graph) OutDegree(s State) int { return len(g.OutActions(s)) }
+
+// NumTransitions returns |Ψ|, the total transition-edge count across all
+// action nodes — the backing-array size the similarity engine preallocates
+// when it hoists per-action distributions.
+func (g *Graph) NumTransitions() int {
+	var t int
+	for _, a := range g.Actions {
+		t += len(a.Out)
+	}
+	return t
+}
+
 // OutActions returns the indices of state s's action nodes.
 func (g *Graph) OutActions(s State) []int {
 	if s < 0 || int(s) >= len(g.outActions) {

@@ -276,6 +276,14 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		runSpan.SetAttr("phone", res.Phone)
 		defer runSpan.End()
 	}
+	// Context-aware policies (CAPMAN's background similarity refresh) get
+	// the run context bound for the duration of the run, so cancelling the
+	// simulation also aborts a policy-internal precompute.
+	if binder, ok := cfg.Policy.(interface{ BindContext(context.Context) }); ok {
+		binder.BindContext(ctx)
+		defer binder.BindContext(nil)
+	}
+
 	logger := obs.Logger(ctx)
 	logger.Debug("sim: run start",
 		"policy", res.Policy, "workload", res.Workload, "phone", res.Phone,

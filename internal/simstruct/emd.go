@@ -38,16 +38,28 @@ func (d Distribution) Validate() error {
 // be non-negative.
 type GroundDistance func(i, j int) float64
 
-// EMD computes the Earth Mover's Distance between two distributions under
+// EMDSolver is the reusable, allocation-lean form of EMD for hot loops: it
+// owns a FlowNetwork and the successive-shortest-path scratch, both rebuilt
+// in place on every Solve, so steady-state solves allocate nothing. The
+// zero value is ready to use. A solver is not safe for concurrent use; the
+// sweep engine keeps one per worker.
+type EMDSolver struct {
+	net FlowNetwork
+	sc  flowScratch
+}
+
+// NewEMDSolver builds an empty solver (equivalent to &EMDSolver{}).
+func NewEMDSolver() *EMDSolver { return &EMDSolver{} }
+
+// Solve computes the Earth Mover's Distance between two distributions under
 // the ground distance, by reduction to a transportation min-cost flow
 // solved with successive shortest paths (Algorithm 1, Line 4).
-func EMD(p, q Distribution, dist GroundDistance) (float64, error) {
-	if err := p.Validate(); err != nil {
-		return 0, fmt.Errorf("left distribution: %w", err)
-	}
-	if err := q.Validate(); err != nil {
-		return 0, fmt.Errorf("right distribution: %w", err)
-	}
+//
+// Solve does not validate its operands: both distributions must already
+// satisfy Distribution.Validate (the sweep engine validates each one once
+// at construction instead of per call). External callers should prefer the
+// checked EMD wrapper.
+func (s *EMDSolver) Solve(p, q Distribution, dist GroundDistance) (float64, error) {
 	if dist == nil {
 		return 0, errors.New("simstruct: nil ground distance")
 	}
@@ -56,7 +68,8 @@ func EMD(p, q Distribution, dist GroundDistance) (float64, error) {
 	np, nq := len(p.Points), len(q.Points)
 	n := np + nq + 2
 	source, sink := 0, n-1
-	f := NewFlowNetwork(n)
+	f := &s.net
+	f.Reset(n)
 	var total float64
 	for i, mass := range p.Probs {
 		if mass <= 0 {
@@ -93,11 +106,25 @@ func EMD(p, q Distribution, dist GroundDistance) (float64, error) {
 			}
 		}
 	}
-	cost, err := f.MinCostFlow(source, sink, total)
+	cost, err := f.minCostFlow(source, sink, total, &s.sc)
 	if err != nil {
 		return 0, fmt.Errorf("transportation: %w", err)
 	}
 	return cost, nil
+}
+
+// EMD is the checked entry point: it validates both distributions, then
+// solves the transportation problem with a fresh solver. Hot loops that
+// can guarantee valid operands should hold an EMDSolver and call Solve.
+func EMD(p, q Distribution, dist GroundDistance) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, fmt.Errorf("left distribution: %w", err)
+	}
+	if err := q.Validate(); err != nil {
+		return 0, fmt.Errorf("right distribution: %w", err)
+	}
+	var s EMDSolver
+	return s.Solve(p, q, dist)
 }
 
 // Hausdorff computes the symmetric Hausdorff distance between two finite

@@ -207,6 +207,156 @@ func TestEMDMetricProperties(t *testing.T) {
 	}
 }
 
+// emd1DClosedForm is the exact EMD between two integer distributions under
+// the |i-j| metric: the L1 distance between their CDFs, an independent
+// brute-force oracle for the transportation solve.
+func emd1DClosedForm(p, q Distribution) float64 {
+	lo, hi := p.Points[0], p.Points[0]
+	for _, pt := range append(append([]int(nil), p.Points...), q.Points...) {
+		if pt < lo {
+			lo = pt
+		}
+		if pt > hi {
+			hi = pt
+		}
+	}
+	mass := func(d Distribution, at int) float64 {
+		var m float64
+		for i, pt := range d.Points {
+			if pt == at {
+				m += d.Probs[i]
+			}
+		}
+		return m
+	}
+	var emd, cdfP, cdfQ float64
+	for t := lo; t < hi; t++ {
+		cdfP += mass(p, t)
+		cdfQ += mass(q, t)
+		emd += math.Abs(cdfP - cdfQ)
+	}
+	return emd
+}
+
+func randomDistribution(rng *rand.Rand, maxSupport, maxPoint int) Distribution {
+	n := 1 + rng.Intn(maxSupport)
+	d := Distribution{}
+	var sum float64
+	for i := 0; i < n; i++ {
+		d.Points = append(d.Points, rng.Intn(maxPoint))
+		w := rng.Float64() + 0.01
+		d.Probs = append(d.Probs, w)
+		sum += w
+	}
+	for i := range d.Probs {
+		d.Probs[i] /= sum
+	}
+	return d
+}
+
+// TestEMDMatchesClosedForm1D checks the transportation solve against the
+// exact 1-D closed form on random distributions.
+func TestEMDMatchesClosedForm1D(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 200; trial++ {
+		p := randomDistribution(rng, 5, 12)
+		q := randomDistribution(rng, 5, 12)
+		got, err := EMD(p, q, absDist)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := emd1DClosedForm(p, q)
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("trial %d: EMD %v, closed form %v (p=%+v q=%+v)", trial, got, want, p, q)
+		}
+	}
+}
+
+// TestEMDSolverMatchesEMD: the unchecked solver form must return the same
+// bits as the checked wrapper, including when the solver is reused.
+func TestEMDSolverMatchesEMD(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	solver := NewEMDSolver()
+	for trial := 0; trial < 100; trial++ {
+		p := randomDistribution(rng, 6, 15)
+		q := randomDistribution(rng, 6, 15)
+		want, err := EMD(p, q, absDist)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := solver.Solve(p, q, absDist)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("trial %d: solver %v, EMD %v", trial, got, want)
+		}
+	}
+	if _, err := solver.Solve(uniform(0), uniform(1), nil); err == nil {
+		t.Error("nil ground distance accepted")
+	}
+}
+
+// TestEMDSolverAllocationFree: a warmed solver must not allocate per Solve
+// — the property the sweep engine's ≥10× allocs/op reduction rests on.
+func TestEMDSolverAllocationFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not exact under the race detector")
+	}
+	solver := NewEMDSolver()
+	p := uniform(1, 5, 9, 14)
+	q := uniform(2, 6, 11)
+	// Warm up so the network and scratch reach steady-state capacity.
+	if _, err := solver.Solve(p, q, absDist); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := solver.Solve(p, q, absDist); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("warm solver allocates %.1f objects per Solve, want 0", allocs)
+	}
+}
+
+// FuzzEMD cross-checks the solver against the 1-D closed form and the
+// metric axioms on fuzzer-chosen distributions.
+func FuzzEMD(f *testing.F) {
+	f.Add(int64(1))
+	f.Add(int64(42))
+	f.Add(int64(-7))
+	f.Fuzz(func(t *testing.T, seed int64) {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomDistribution(rng, 6, 20)
+		q := randomDistribution(rng, 6, 20)
+		pq, err := EMD(p, q, absDist)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pq < 0 {
+			t.Fatalf("negative EMD %v", pq)
+		}
+		if want := emd1DClosedForm(p, q); math.Abs(pq-want) > 1e-9 {
+			t.Fatalf("EMD %v, closed form %v", pq, want)
+		}
+		qp, err := EMD(q, p, absDist)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(pq-qp) > 1e-9 {
+			t.Fatalf("asymmetric: %v vs %v", pq, qp)
+		}
+		pp, err := EMD(p, p, absDist)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pp > 1e-9 {
+			t.Fatalf("EMD(p,p) = %v", pp)
+		}
+	})
+}
+
 func TestHausdorff(t *testing.T) {
 	d := func(a, b int) float64 { return math.Abs(float64(a - b)) }
 	if got := Hausdorff(nil, nil, d); got != 0 {

@@ -1,0 +1,444 @@
+// Package simstruct implements the structural-similarity approximation of
+// CAPMAN's Section III-C/D: a SimRank-style recursion over the bipartite
+// MDP graph that computes state similarities (via Hausdorff distance over
+// action neighbourhoods) and action similarities (via reward distance and
+// the Earth Mover's Distance between transition distributions). The EMD is
+// solved, as the paper prescribes, with a successive-shortest-path min-cost
+// flow.
+//
+// The recursion runs on a parallel, scratch-reusing sweep engine: per-action
+// distributions are hoisted and validated once, both similarity matrices are
+// flattened row-major and only their upper triangles are computed (the
+// recursion is symmetric), each worker owns an allocation-free EMDSolver,
+// and a dirty-pair cache skips EMDs whose ground distances have not moved
+// since their last solve. Results are bit-identical for every worker count.
+package simstruct
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/mdp"
+	"repro/internal/obs"
+)
+
+// Compute runs Algorithm 1 on the bipartite MDP graph with a background
+// context.
+func Compute(g *mdp.Graph, cfg Config) (*Result, error) {
+	return ComputeContext(context.Background(), g, cfg)
+}
+
+// ComputeContext runs Algorithm 1 under a context. Cancellation is
+// cooperative: every worker checks the context at chunk start and every few
+// hundred pairs, so a cancel aborts within a fraction of a sweep and the
+// returned error wraps the context error. When a recorder is attached to
+// the context (obs.WithRecorder), the engine records one span per sweep
+// under a simstruct.compute root.
+func ComputeContext(ctx context.Context, g *mdp.Graph, cfg Config) (*Result, error) {
+	if g == nil {
+		return nil, errors.New("simstruct: nil graph")
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	e, err := newEngine(g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return e.run(ctx)
+}
+
+// pair32 is one canonical (u < v) pair of the upper triangle.
+type pair32 struct{ u, v int32 }
+
+// cancelStride is how many pairs a worker processes between context checks.
+const cancelStride = 256
+
+// engine is one Compute invocation: the hoisted invariants, the flattened
+// sweep state, and the per-worker scratch of Algorithm 1.
+type engine struct {
+	g       *mdp.Graph
+	cfg     Config
+	n, m    int
+	workers int
+
+	// Hoisted invariants, built once and read-only during sweeps. The old
+	// engine rebuilt and re-validated every distribution m²·iter times.
+	dists   []Distribution
+	rewards []float64
+	outActs [][]int
+
+	// Sweep state. Base-case (Equation 3) entries are written into both s
+	// and nextS up front and never touched again; the pair lists cover
+	// only the entries that evolve.
+	s, nextS    *Matrix
+	a, nextA    *Matrix
+	statePairs  []pair32
+	actionPairs []pair32
+
+	// Dirty-pair EMD cache, indexed i*m+j over canonical action pairs.
+	// emdSweep is the sweep an entry was solved at (0 = never);
+	// lastChanged, indexed u*n+v over canonical state pairs, is the sweep
+	// the state similarity last drifted per the SkipEps rule.
+	emdCache    []float64
+	emdSweep    []int32
+	lastChanged []int32
+	drift       []float64 // accumulated sub-SkipEps drift; nil when SkipEps == 0
+
+	// Per-worker scratch and per-phase outputs.
+	solvers    []*EMDSolver
+	workerErr  []error
+	workerMax  []float64
+	workerSolv []int
+	workerSkip []int
+
+	totalSolves int
+	totalSkips  int
+}
+
+// newEngine hoists the invariants of one Compute call.
+func newEngine(g *mdp.Graph, cfg Config) (*engine, error) {
+	n, m := g.NumStates, g.NumActions()
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	e := &engine{
+		g:       g,
+		cfg:     cfg,
+		n:       n,
+		m:       m,
+		workers: workers,
+	}
+
+	// Per-action distributions share two backing arrays and are validated
+	// exactly once; the inner loop then goes through EMDSolver.Solve,
+	// which skips validation.
+	total := g.NumTransitions()
+	points := make([]int, 0, total)
+	probs := make([]float64, 0, total)
+	e.dists = make([]Distribution, m)
+	e.rewards = make([]float64, m)
+	for i := 0; i < m; i++ {
+		act := g.Action(i)
+		start := len(points)
+		for _, t := range act.Out {
+			points = append(points, int(t.Next))
+			probs = append(probs, t.P)
+		}
+		e.dists[i] = Distribution{
+			Points: points[start:len(points):len(points)],
+			Probs:  probs[start:len(probs):len(probs)],
+		}
+		if err := e.dists[i].Validate(); err != nil {
+			return nil, fmt.Errorf("simstruct: action %d: %w", i, err)
+		}
+		e.rewards[i] = act.MeanReward
+	}
+	e.outActs = make([][]int, n)
+	for u := 0; u < n; u++ {
+		e.outActs[u] = g.OutActions(mdp.State(u))
+	}
+
+	// Base case (Equation 3): absorbing rows and the diagonal are fixed
+	// across iterations, so they are written into both generations once
+	// and excluded from the sweep pair list.
+	absorbing := make([]bool, n)
+	for u := 0; u < n; u++ {
+		absorbing[u] = g.Absorbing(mdp.State(u))
+	}
+	e.s, e.nextS = newIdentityMatrix(n), newIdentityMatrix(n)
+	e.a, e.nextA = newIdentityMatrix(m), newIdentityMatrix(m)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			var fixed float64
+			switch {
+			case absorbing[u] && absorbing[v]:
+				d := 0.0
+				if cfg.AbsorbingDist != nil {
+					d = clamp01(cfg.AbsorbingDist(mdp.State(u), mdp.State(v)))
+				}
+				fixed = 1 - d
+			case absorbing[u] || absorbing[v]:
+				fixed = 0
+			default:
+				e.statePairs = append(e.statePairs, pair32{int32(u), int32(v)})
+				continue
+			}
+			e.s.set(u, v, fixed)
+			e.s.set(v, u, fixed)
+			e.nextS.set(u, v, fixed)
+			e.nextS.set(v, u, fixed)
+		}
+	}
+	e.actionPairs = make([]pair32, 0, m*(m-1)/2)
+	for i := 0; i < m; i++ {
+		for j := i + 1; j < m; j++ {
+			e.actionPairs = append(e.actionPairs, pair32{int32(i), int32(j)})
+		}
+	}
+
+	e.emdCache = make([]float64, m*m)
+	e.emdSweep = make([]int32, m*m)
+	e.lastChanged = make([]int32, n*n)
+	if cfg.SkipEps > 0 {
+		e.drift = make([]float64, n*n)
+	}
+
+	e.solvers = make([]*EMDSolver, workers)
+	for w := range e.solvers {
+		e.solvers[w] = NewEMDSolver()
+	}
+	e.workerErr = make([]error, workers)
+	e.workerMax = make([]float64, workers)
+	e.workerSolv = make([]int, workers)
+	e.workerSkip = make([]int, workers)
+	return e, nil
+}
+
+// run drives the sweeps to the fixed point.
+func (e *engine) run(ctx context.Context) (*Result, error) {
+	ctx, root := obs.StartSpan(ctx, "simstruct.compute")
+	if root != nil {
+		root.SetAttr("states", e.n)
+		root.SetAttr("actions", e.m)
+		root.SetAttr("workers", e.workers)
+		defer root.End()
+	}
+	for iter := 1; iter <= e.cfg.MaxIter; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("simstruct: %w", err)
+		}
+		_, span := obs.StartSpan(ctx, "simstruct.sweep")
+		deltaA, err := e.sweepActions(ctx, int32(iter))
+		if err != nil {
+			span.End()
+			return nil, err
+		}
+		deltaS, err := e.sweepStates(ctx, int32(iter))
+		if err != nil {
+			span.End()
+			return nil, err
+		}
+		delta := math.Max(deltaA, deltaS)
+		e.s, e.nextS = e.nextS, e.s
+		e.a, e.nextA = e.nextA, e.a
+		if span != nil {
+			span.SetAttr("iter", iter)
+			span.SetAttr("delta", delta)
+			span.SetAttr("emd_solves", e.totalSolves)
+			span.SetAttr("emd_skips", e.totalSkips)
+			span.End()
+		}
+		if delta < e.cfg.Eps {
+			if root != nil {
+				root.SetAttr("iterations", iter)
+				root.SetAttr("emd_solves", e.totalSolves)
+				root.SetAttr("emd_skips", e.totalSkips)
+			}
+			return &Result{
+				S:          e.s,
+				A:          e.a,
+				Iterations: iter,
+				CA:         e.cfg.CA,
+				EMDSolves:  e.totalSolves,
+				EMDSkips:   e.totalSkips,
+				graph:      e.g,
+			}, nil
+		}
+	}
+	return nil, fmt.Errorf("%w after %d sweeps", ErrNoConverge, e.cfg.MaxIter)
+}
+
+// sweepActions evaluates Equation (4) over the action-pair upper triangle
+// (Algorithm 1 lines 3-5) and returns the sup-norm change of sigma_A.
+func (e *engine) sweepActions(ctx context.Context, sweep int32) (float64, error) {
+	err := e.parallel(ctx, len(e.actionPairs), func(w, lo, hi int) error {
+		solver := e.solvers[w]
+		ground := func(u, v int) float64 { return clamp01(1 - e.s.At(u, v)) }
+		timed := e.cfg.EMDLatency != nil
+		var worst float64
+		var solves, skips int
+		for k := lo; k < hi; k++ {
+			if k%cancelStride == 0 && k != lo {
+				if err := ctx.Err(); err != nil {
+					return fmt.Errorf("simstruct: %w", err)
+				}
+			}
+			p := e.actionPairs[k]
+			i, j := int(p.u), int(p.v)
+			idx := i*e.m + j
+			var demd float64
+			if e.cacheValid(i, j, idx) {
+				demd = e.emdCache[idx]
+				skips++
+			} else {
+				var start time.Time
+				if timed {
+					start = time.Now()
+				}
+				d, err := solver.Solve(e.dists[i], e.dists[j], ground)
+				if err != nil {
+					return fmt.Errorf("action pair (%d,%d): %w", i, j, err)
+				}
+				if timed {
+					e.cfg.EMDLatency.Observe(time.Since(start).Seconds())
+				}
+				demd = d
+				e.emdCache[idx] = d
+				e.emdSweep[idx] = sweep
+				solves++
+			}
+			dr := math.Abs(e.rewards[i] - e.rewards[j])
+			sim := clamp01(1 - (1-e.cfg.CA)*dr - e.cfg.CA*demd)
+			e.nextA.set(i, j, sim)
+			e.nextA.set(j, i, sim)
+			if d := math.Abs(sim - e.a.At(i, j)); d > worst {
+				worst = d
+			}
+		}
+		e.workerMax[w] = worst
+		e.workerSolv[w] = solves
+		e.workerSkip[w] = skips
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	var delta float64
+	for w := 0; w < e.workers; w++ {
+		if e.workerMax[w] > delta {
+			delta = e.workerMax[w]
+		}
+		e.totalSolves += e.workerSolv[w]
+		e.totalSkips += e.workerSkip[w]
+	}
+	return delta, nil
+}
+
+// cacheValid reports whether the cached EMD for action pair (i, j) is still
+// exact: every state-pair similarity its ground distance read must be
+// unchanged (within the SkipEps drift budget) since the cached solve.
+func (e *engine) cacheValid(i, j, idx int) bool {
+	t0 := e.emdSweep[idx]
+	if t0 == 0 {
+		return false
+	}
+	n := e.n
+	for _, u := range e.dists[i].Points {
+		for _, v := range e.dists[j].Points {
+			a, b := u, v
+			if a == b {
+				continue // diagonal similarity is pinned at 1
+			}
+			if a > b {
+				a, b = b, a
+			}
+			if e.lastChanged[a*n+b] >= t0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// sweepStates evaluates the Hausdorff recursion over the non-fixed
+// state-pair upper triangle (Algorithm 1 lines 6-7), mirrors the results,
+// maintains the dirty-pair bookkeeping, and returns the sup-norm change of
+// sigma_S.
+func (e *engine) sweepStates(ctx context.Context, sweep int32) (float64, error) {
+	skipEps := e.cfg.SkipEps
+	err := e.parallel(ctx, len(e.statePairs), func(w, lo, hi int) error {
+		actDist := func(i, j int) float64 { return clamp01(1 - e.nextA.At(i, j)) }
+		var worst float64
+		for k := lo; k < hi; k++ {
+			if k%cancelStride == 0 && k != lo {
+				if err := ctx.Err(); err != nil {
+					return fmt.Errorf("simstruct: %w", err)
+				}
+			}
+			p := e.statePairs[k]
+			u, v := int(p.u), int(p.v)
+			h := Hausdorff(e.outActs[u], e.outActs[v], actDist)
+			sim := clamp01(e.cfg.CS * (1 - h))
+			d := math.Abs(sim - e.s.At(u, v))
+			e.nextS.set(u, v, sim)
+			e.nextS.set(v, u, sim)
+			if d > worst {
+				worst = d
+			}
+			idx := u*e.n + v
+			if skipEps > 0 {
+				e.drift[idx] += d
+				if e.drift[idx] > skipEps {
+					e.lastChanged[idx] = sweep
+					e.drift[idx] = 0
+				}
+			} else if d != 0 {
+				e.lastChanged[idx] = sweep
+			}
+		}
+		e.workerMax[w] = worst
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	var delta float64
+	for w := 0; w < e.workers; w++ {
+		if e.workerMax[w] > delta {
+			delta = e.workerMax[w]
+		}
+	}
+	return delta, nil
+}
+
+// parallel partitions [0, total) into one contiguous chunk per worker and
+// runs fn(worker, lo, hi) concurrently. Chunk boundaries depend only on
+// total and the worker count, every output slot is owned by exactly one
+// chunk, and the per-worker outputs are combined with order-independent
+// reductions (max, sum) — which is why results are bit-identical for every
+// worker count. Workers beyond the available pairs stay idle with zeroed
+// outputs.
+func (e *engine) parallel(ctx context.Context, total int, fn func(w, lo, hi int) error) error {
+	for w := 0; w < e.workers; w++ {
+		e.workerErr[w] = nil
+		e.workerMax[w] = 0
+		e.workerSolv[w] = 0
+		e.workerSkip[w] = 0
+	}
+	if total == 0 {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("simstruct: %w", err)
+		}
+		return nil
+	}
+	active := e.workers
+	if active > total {
+		active = total
+	}
+	if active == 1 {
+		return fn(0, 0, total)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < active; w++ {
+		lo, hi := total*w/active, total*(w+1)/active
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			e.workerErr[w] = fn(w, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for w := 0; w < active; w++ {
+		if e.workerErr[w] != nil {
+			return e.workerErr[w]
+		}
+	}
+	return nil
+}

@@ -1,0 +1,372 @@
+package simstruct
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/mdp"
+	"repro/internal/obs"
+)
+
+// computeReference is the pre-engine serial implementation of Algorithm 1
+// (nested [][]float64 matrices, per-pair distribution rebuilds, no caching),
+// kept verbatim as the behavioural pin for the parallel engine.
+func computeReference(g *mdp.Graph, cfg Config) ([][]float64, [][]float64, int, error) {
+	n := g.NumStates
+	m := g.NumActions()
+	identity := func(n int) [][]float64 {
+		mx := make([][]float64, n)
+		for i := range mx {
+			mx[i] = make([]float64, n)
+			mx[i][i] = 1
+		}
+		return mx
+	}
+	maxAbsDiff := func(a, b [][]float64) float64 {
+		var worst float64
+		for i := range a {
+			for j := range a[i] {
+				if d := math.Abs(a[i][j] - b[i][j]); d > worst {
+					worst = d
+				}
+			}
+		}
+		return worst
+	}
+	distributionOf := func(a mdp.ActionNode) Distribution {
+		d := Distribution{
+			Points: make([]int, 0, len(a.Out)),
+			Probs:  make([]float64, 0, len(a.Out)),
+		}
+		for _, t := range a.Out {
+			d.Points = append(d.Points, int(t.Next))
+			d.Probs = append(d.Probs, t.P)
+		}
+		return d
+	}
+
+	s := identity(n)
+	a := identity(m)
+	absorbing := make([]bool, n)
+	for u := 0; u < n; u++ {
+		absorbing[u] = g.Absorbing(mdp.State(u))
+	}
+	baseS := func(u, v int) (float64, bool) {
+		switch {
+		case u == v:
+			return 1, true
+		case absorbing[u] && absorbing[v]:
+			d := 0.0
+			if cfg.AbsorbingDist != nil {
+				d = clamp01(cfg.AbsorbingDist(mdp.State(u), mdp.State(v)))
+			}
+			return 1 - d, true
+		case absorbing[u] || absorbing[v]:
+			return 0, true
+		default:
+			return 0, false
+		}
+	}
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if sim, fixed := baseS(u, v); fixed {
+				s[u][v] = sim
+			}
+		}
+	}
+
+	nextS := identity(n)
+	nextA := identity(m)
+	for iter := 1; iter <= cfg.MaxIter; iter++ {
+		groundDist := func(i, j int) float64 { return clamp01(1 - s[i][j]) }
+		for i := 0; i < m; i++ {
+			nextA[i][i] = 1
+			for j := i + 1; j < m; j++ {
+				ai, aj := g.Action(i), g.Action(j)
+				dr := math.Abs(ai.MeanReward - aj.MeanReward)
+				demd, err := EMD(distributionOf(ai), distributionOf(aj), groundDist)
+				if err != nil {
+					return nil, nil, 0, err
+				}
+				sim := clamp01(1 - (1-cfg.CA)*dr - cfg.CA*demd)
+				nextA[i][j] = sim
+				nextA[j][i] = sim
+			}
+		}
+		actDist := func(i, j int) float64 { return clamp01(1 - nextA[i][j]) }
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if sim, fixed := baseS(u, v); fixed {
+					nextS[u][v] = sim
+					continue
+				}
+				h := Hausdorff(g.OutActions(mdp.State(u)), g.OutActions(mdp.State(v)), actDist)
+				nextS[u][v] = clamp01(cfg.CS * (1 - h))
+			}
+		}
+		delta := math.Max(maxAbsDiff(s, nextS), maxAbsDiff(a, nextA))
+		s, nextS = nextS, s
+		a, nextA = nextA, a
+		if delta < cfg.Eps {
+			return s, a, iter, nil
+		}
+	}
+	return nil, nil, 0, ErrNoConverge
+}
+
+// randomGraph builds a seeded, moderately dense MDP graph with a mix of
+// absorbing and non-absorbing states.
+func randomGraph(t testing.TB, n int, seed int64) *mdp.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	m, err := mdp.NewModel(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	absorbingFrom := n - n/4 // last quarter absorbing
+	if absorbingFrom < 1 {
+		absorbingFrom = 1
+	}
+	for s := 0; s < absorbingFrom; s++ {
+		for c := mdp.Control(0); c < mdp.NumControls; c++ {
+			if rng.Float64() < 0.2 {
+				continue // some states expose only one control
+			}
+			fan := 1 + rng.Intn(3)
+			seen := map[int]bool{}
+			var ts []mdp.Transition
+			var total float64
+			for k := 0; k < fan; k++ {
+				next := rng.Intn(n)
+				if seen[next] {
+					continue
+				}
+				seen[next] = true
+				p := rng.Float64() + 0.1
+				total += p
+				ts = append(ts, mdp.Transition{
+					Next: mdp.State(next),
+					P:    p,
+					R:    math.Round(rng.Float64()*100) / 100,
+				})
+			}
+			for i := range ts {
+				ts[i].P /= total
+			}
+			if err := m.SetTransitions(mdp.State(s), c, ts); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	g, err := mdp.BuildGraph(m, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestEngineMatchesReference pins the parallel engine bit-for-bit against
+// the pre-engine serial implementation, including greedy cluster
+// assignments at several thresholds.
+func TestEngineMatchesReference(t *testing.T) {
+	for _, seed := range []int64{1, 7, 23} {
+		g := randomGraph(t, 18, seed)
+		cfg := DefaultConfig(0.6)
+		refS, refA, refIter, err := computeReference(g, cfg)
+		if err != nil {
+			t.Fatalf("seed %d: reference: %v", seed, err)
+		}
+		res, err := Compute(g, cfg)
+		if err != nil {
+			t.Fatalf("seed %d: engine: %v", seed, err)
+		}
+		if res.Iterations != refIter {
+			t.Errorf("seed %d: iterations %d, reference %d", seed, res.Iterations, refIter)
+		}
+		for u := 0; u < g.NumStates; u++ {
+			for v := 0; v < g.NumStates; v++ {
+				if got, want := res.S.At(u, v), refS[u][v]; got != want {
+					t.Fatalf("seed %d: S[%d][%d] = %v, reference %v", seed, u, v, got, want)
+				}
+			}
+		}
+		for i := 0; i < g.NumActions(); i++ {
+			for j := 0; j < g.NumActions(); j++ {
+				if got, want := res.A.At(i, j), refA[i][j]; got != want {
+					t.Fatalf("seed %d: A[%d][%d] = %v, reference %v", seed, i, j, got, want)
+				}
+			}
+		}
+		// The greedy leader clustering over bit-identical matrices must
+		// reproduce the old assignments exactly.
+		refClusters := func(tau float64) []int {
+			cluster := make([]int, g.NumStates)
+			var leaders []int
+			for u := 0; u < g.NumStates; u++ {
+				assigned := false
+				for _, l := range leaders {
+					if clamp01(1-refS[u][l]) <= tau {
+						cluster[u] = l
+						assigned = true
+						break
+					}
+				}
+				if !assigned {
+					leaders = append(leaders, u)
+					cluster[u] = u
+				}
+			}
+			return cluster
+		}
+		for _, tau := range []float64{0, 0.05, 0.3, 1} {
+			got := res.Clusters(tau)
+			want := refClusters(tau)
+			for s := range got {
+				if got[s] != want[s] {
+					t.Fatalf("seed %d tau %v: cluster[%d] = %d, reference %d", seed, tau, s, got[s], want[s])
+				}
+			}
+		}
+	}
+}
+
+// TestComputeDeterministicAcrossWorkers asserts bit-identical matrices and
+// identical iteration/EMD counters for every worker count.
+func TestComputeDeterministicAcrossWorkers(t *testing.T) {
+	g := randomGraph(t, 24, 42)
+	base := DefaultConfig(0.6)
+	base.Workers = 1
+	ref, err := Compute(g, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 8} {
+		cfg := base
+		cfg.Workers = workers
+		res, err := Compute(g, cfg)
+		if err != nil {
+			t.Fatalf("workers %d: %v", workers, err)
+		}
+		if !res.S.Equal(ref.S) {
+			t.Errorf("workers %d: S differs from serial", workers)
+		}
+		if !res.A.Equal(ref.A) {
+			t.Errorf("workers %d: A differs from serial", workers)
+		}
+		if res.Iterations != ref.Iterations {
+			t.Errorf("workers %d: %d iterations, serial %d", workers, res.Iterations, ref.Iterations)
+		}
+		if res.EMDSolves != ref.EMDSolves || res.EMDSkips != ref.EMDSkips {
+			t.Errorf("workers %d: solves/skips %d/%d, serial %d/%d",
+				workers, res.EMDSolves, res.EMDSkips, ref.EMDSolves, ref.EMDSkips)
+		}
+	}
+}
+
+// TestDirtyPairCacheSkips: the exact dirty-pair cache must actually skip
+// re-solves on multi-sweep runs without changing the fixed point.
+func TestDirtyPairCacheSkips(t *testing.T) {
+	g := randomGraph(t, 24, 42)
+	res, err := Compute(g, DefaultConfig(0.6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations < 2 {
+		t.Skipf("converged in %d sweep(s); no reuse opportunity", res.Iterations)
+	}
+	if res.EMDSkips == 0 {
+		t.Errorf("no EMD reuse across %d sweeps (%d solves)", res.Iterations, res.EMDSolves)
+	}
+	pairs := 0
+	m := g.NumActions()
+	pairs = m * (m - 1) / 2
+	if got, want := res.EMDSolves+res.EMDSkips, pairs*res.Iterations; got != want {
+		t.Errorf("solves+skips = %d, want pairs·iterations = %d", got, want)
+	}
+}
+
+// TestSkipEpsApproximation: a positive drift budget must stay close to the
+// exact fixed point and never solve more than the exact engine.
+func TestSkipEpsApproximation(t *testing.T) {
+	g := randomGraph(t, 24, 42)
+	exactCfg := DefaultConfig(0.6)
+	exact, err := Compute(g, exactCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := exactCfg
+	cfg.SkipEps = 0.01
+	approx, err := Compute(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if approx.EMDSolves > exact.EMDSolves {
+		t.Errorf("SkipEps solved more EMDs (%d) than exact (%d)", approx.EMDSolves, exact.EMDSolves)
+	}
+	var worst float64
+	for u := 0; u < g.NumStates; u++ {
+		for v := 0; v < g.NumStates; v++ {
+			if d := math.Abs(approx.S.At(u, v) - exact.S.At(u, v)); d > worst {
+				worst = d
+			}
+		}
+	}
+	// Loose bound: per-reuse error is ~2·SkipEps, amplified by at most
+	// 1/(1-CA) through the recursion.
+	if limit := 2 * cfg.SkipEps / (1 - cfg.CA) * 2; worst > limit {
+		t.Errorf("SkipEps drifted %v from exact (limit %v)", worst, limit)
+	}
+}
+
+// TestComputeContextCancelled: a cancelled context aborts the recursion
+// with an error wrapping context.Canceled.
+func TestComputeContextCancelled(t *testing.T) {
+	g := randomGraph(t, 24, 42)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := ComputeContext(ctx, g, DefaultConfig(0.6))
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("error = %v, want context.Canceled", err)
+	}
+}
+
+// TestComputeRecordsSweepSpans: with an ambient recorder, the engine emits
+// a simstruct.compute root with one child span per sweep.
+func TestComputeRecordsSweepSpans(t *testing.T) {
+	g := randomGraph(t, 12, 3)
+	rec := obs.NewRecorder(0)
+	hist := obs.MustHistogram(obs.LatencyBuckets()...)
+	cfg := DefaultConfig(0.6)
+	cfg.EMDLatency = hist
+	res, err := ComputeContext(obs.WithRecorder(context.Background(), rec), g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree := rec.Tree()
+	if len(tree) != 1 || tree[0].Name != "simstruct.compute" {
+		t.Fatalf("span roots = %+v, want one simstruct.compute", tree)
+	}
+	if got := len(tree[0].Children); got != res.Iterations {
+		t.Errorf("%d sweep spans for %d iterations", got, res.Iterations)
+	}
+	if hist.Count() != uint64(res.EMDSolves) {
+		t.Errorf("EMD latency histogram has %d observations, want %d solves", hist.Count(), res.EMDSolves)
+	}
+}
+
+// TestComputeWorkersValidation rejects negative worker counts and SkipEps.
+func TestComputeWorkersValidation(t *testing.T) {
+	cfg := DefaultConfig(0.6)
+	cfg.Workers = -1
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative workers accepted")
+	}
+	cfg = DefaultConfig(0.6)
+	cfg.SkipEps = -0.1
+	if err := cfg.Validate(); err == nil {
+		t.Error("negative SkipEps accepted")
+	}
+}

@@ -1,10 +1,3 @@
-// Package simstruct implements the structural-similarity approximation of
-// CAPMAN's Section III-C/D: a SimRank-style recursion over the bipartite
-// MDP graph that computes state similarities (via Hausdorff distance over
-// action neighbourhoods) and action similarities (via reward distance and
-// the Earth Mover's Distance between transition distributions). The EMD is
-// solved, as the paper prescribes, with a successive-shortest-path min-cost
-// flow using Dijkstra's algorithm on a Fibonacci heap.
 package simstruct
 
 import "errors"

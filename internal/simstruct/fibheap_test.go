@@ -1,7 +1,9 @@
 package simstruct
 
 import (
+	"container/heap"
 	"errors"
+	"math"
 	"math/rand"
 	"sort"
 	"testing"
@@ -183,5 +185,122 @@ func TestFibHeapQuick(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Error(err)
+	}
+}
+
+// dijkstraEdge is one arc of the differential-test graphs.
+type dijkstraEdge struct {
+	to int
+	w  float64
+}
+
+// dijkstraFib runs Dijkstra with the FibHeap (insert/decrease-key), the
+// paper-cited structure.
+func dijkstraFib(t *testing.T, adj [][]dijkstraEdge, src int) []float64 {
+	t.Helper()
+	dist := make([]float64, len(adj))
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	h := NewFibHeap()
+	if err := h.Insert(0, src); err != nil {
+		t.Fatal(err)
+	}
+	for h.Len() > 0 {
+		d, u, err := h.ExtractMin()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d > dist[u] {
+			continue
+		}
+		for _, e := range adj[u] {
+			if nd := d + e.w; nd < dist[e.to] {
+				dist[e.to] = nd
+				if h.Contains(e.to) {
+					if err := h.DecreaseKey(e.to, nd); err != nil {
+						t.Fatal(err)
+					}
+				} else if err := h.Insert(nd, e.to); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	return dist
+}
+
+// stdHeapItem / stdHeap adapt container/heap for the reference Dijkstra.
+type stdHeapItem struct {
+	node int
+	d    float64
+}
+
+type stdHeap []stdHeapItem
+
+func (h stdHeap) Len() int            { return len(h) }
+func (h stdHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
+func (h stdHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *stdHeap) Push(x interface{}) { *h = append(*h, x.(stdHeapItem)) }
+func (h *stdHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// dijkstraStd is the reference Dijkstra over container/heap with lazy
+// deletion.
+func dijkstraStd(adj [][]dijkstraEdge, src int) []float64 {
+	dist := make([]float64, len(adj))
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	dist[src] = 0
+	h := &stdHeap{{node: src, d: 0}}
+	for h.Len() > 0 {
+		it := heap.Pop(h).(stdHeapItem)
+		if it.d > dist[it.node] {
+			continue
+		}
+		for _, e := range adj[it.node] {
+			if nd := it.d + e.w; nd < dist[e.to] {
+				dist[e.to] = nd
+				heap.Push(h, stdHeapItem{node: e.to, d: nd})
+			}
+		}
+	}
+	return dist
+}
+
+// TestFibHeapDijkstraDifferential: on random graphs, Dijkstra driven by the
+// FibHeap must produce the same shortest-path labels as Dijkstra driven by
+// container/heap.
+func TestFibHeapDijkstraDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(40)
+		adj := make([][]dijkstraEdge, n)
+		edges := n * (1 + rng.Intn(4))
+		for e := 0; e < edges; e++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			adj[u] = append(adj[u], dijkstraEdge{to: v, w: rng.Float64() * 10})
+		}
+		src := rng.Intn(n)
+		got := dijkstraFib(t, adj, src)
+		want := dijkstraStd(adj, src)
+		for v := range got {
+			if math.IsInf(got[v], 1) != math.IsInf(want[v], 1) {
+				t.Fatalf("trial %d: reachability of %d differs", trial, v)
+			}
+			if !math.IsInf(got[v], 1) && math.Abs(got[v]-want[v]) > 1e-9 {
+				t.Fatalf("trial %d: dist[%d] = %v (fib) vs %v (std)", trial, v, got[v], want[v])
+			}
+		}
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"repro/internal/mdp"
+	"repro/internal/obs"
 )
 
 // Config parameterises Algorithm 1.
@@ -22,6 +23,23 @@ type Config struct {
 	// between two absorbing states. Nil means identically zero (all
 	// target states identified).
 	AbsorbingDist func(u, v mdp.State) float64
+	// Workers bounds the sweep worker pool; zero selects
+	// runtime.GOMAXPROCS(0). Results are bit-identical for every worker
+	// count: workers own disjoint slices of the pair space and the only
+	// cross-worker combine is a max, which is order-independent.
+	Workers int
+	// SkipEps relaxes the dirty-pair EMD cache. A cached EMD is reused
+	// while every state-pair similarity its ground distance read has
+	// accumulated less than SkipEps of drift since the solve. Zero (the
+	// default) reuses only when every such similarity is exactly
+	// unchanged, which is result-preserving; positive values trade up to
+	// ~2·SkipEps of per-EMD error for fewer solves (see DESIGN.md for the
+	// soundness argument).
+	SkipEps float64
+	// EMDLatency, when non-nil, receives one observation per EMD
+	// transportation solve, in seconds. Leaving it nil keeps the inner
+	// loop free of clock reads.
+	EMDLatency *obs.Histogram
 }
 
 // DefaultConfig mirrors the paper's bound-preserving setting for discount
@@ -41,21 +59,30 @@ func (c Config) Validate() error {
 		return fmt.Errorf("simstruct: eps %v", c.Eps)
 	case c.MaxIter <= 0:
 		return fmt.Errorf("simstruct: max iterations %d", c.MaxIter)
+	case c.Workers < 0:
+		return fmt.Errorf("simstruct: negative worker count %d", c.Workers)
+	case c.SkipEps < 0:
+		return fmt.Errorf("simstruct: negative skip eps %v", c.SkipEps)
 	}
 	return nil
 }
 
 // Result holds the fixed point (sigma_S*, sigma_A*) of the recursion.
 type Result struct {
-	// S[u][v] is the state similarity sigma_S in [0, 1].
-	S [][]float64
-	// A[i][j] is the action similarity sigma_A over the graph's action
-	// node indices.
-	A [][]float64
+	// S is the state-similarity matrix: S.At(u, v) is sigma_S in [0, 1].
+	S *Matrix
+	// A is the action-similarity matrix over the graph's action node
+	// indices.
+	A *Matrix
 	// Iterations is the number of sweeps until convergence.
 	Iterations int
 	// CA is the action discount used (needed for the value bound).
 	CA float64
+	// EMDSolves and EMDSkips count the transportation problems solved
+	// versus reused from the dirty-pair cache across all sweeps. Both are
+	// deterministic for a given graph and config, independent of Workers.
+	EMDSolves int
+	EMDSkips  int
 
 	graph *mdp.Graph
 }
@@ -63,123 +90,14 @@ type Result struct {
 // Computation errors.
 var ErrNoConverge = errors.New("simstruct: similarity recursion did not converge")
 
-// Compute runs Algorithm 1 on the bipartite MDP graph.
-func Compute(g *mdp.Graph, cfg Config) (*Result, error) {
-	if g == nil {
-		return nil, errors.New("simstruct: nil graph")
-	}
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	n := g.NumStates
-	m := g.NumActions()
-
-	s := identity(n)
-	a := identity(m)
-
-	// Base case (Equation 3) for absorbing states is fixed across
-	// iterations.
-	absorbing := make([]bool, n)
-	for u := 0; u < n; u++ {
-		absorbing[u] = g.Absorbing(mdp.State(u))
-	}
-	baseS := func(u, v int) (float64, bool) {
-		switch {
-		case u == v:
-			return 1, true
-		case absorbing[u] && absorbing[v]:
-			d := 0.0
-			if cfg.AbsorbingDist != nil {
-				d = clamp01(cfg.AbsorbingDist(mdp.State(u), mdp.State(v)))
-			}
-			return 1 - d, true
-		case absorbing[u] || absorbing[v]:
-			return 0, true
-		default:
-			return 0, false
-		}
-	}
-	for u := 0; u < n; u++ {
-		for v := 0; v < n; v++ {
-			if sim, fixed := baseS(u, v); fixed {
-				s[u][v] = sim
-			}
-		}
-	}
-
-	nextS := identity(n)
-	nextA := identity(m)
-	for iter := 1; iter <= cfg.MaxIter; iter++ {
-		// Action similarities (Algorithm 1 lines 3-5).
-		groundDist := func(i, j int) float64 { return clamp01(1 - s[i][j]) }
-		for i := 0; i < m; i++ {
-			nextA[i][i] = 1
-			for j := i + 1; j < m; j++ {
-				sim, err := actionSimilarity(g.Actions[i], g.Actions[j], cfg.CA, groundDist)
-				if err != nil {
-					return nil, fmt.Errorf("action pair (%d,%d): %w", i, j, err)
-				}
-				nextA[i][j] = sim
-				nextA[j][i] = sim
-			}
-		}
-		// State similarities (Algorithm 1 lines 6-7).
-		actDist := func(i, j int) float64 { return clamp01(1 - nextA[i][j]) }
-		for u := 0; u < n; u++ {
-			for v := 0; v < n; v++ {
-				if sim, fixed := baseS(u, v); fixed {
-					nextS[u][v] = sim
-					continue
-				}
-				nu := g.OutActions(mdp.State(u))
-				nv := g.OutActions(mdp.State(v))
-				h := Hausdorff(nu, nv, actDist)
-				nextS[u][v] = clamp01(cfg.CS * (1 - h))
-			}
-		}
-		delta := math.Max(maxAbsDiff(s, nextS), maxAbsDiff(a, nextA))
-		s, nextS = nextS, s
-		a, nextA = nextA, a
-		if delta < cfg.Eps {
-			return &Result{S: s, A: a, Iterations: iter, CA: cfg.CA, graph: g}, nil
-		}
-	}
-	return nil, fmt.Errorf("%w after %d sweeps", ErrNoConverge, cfg.MaxIter)
-}
-
-// actionSimilarity evaluates Equation (4) for one action pair.
-func actionSimilarity(a, b mdp.ActionNode, ca float64, ground GroundDistance) (float64, error) {
-	dr := math.Abs(a.MeanReward - b.MeanReward)
-	pa := distributionOf(a)
-	pb := distributionOf(b)
-	demd, err := EMD(pa, pb, ground)
-	if err != nil {
-		return 0, err
-	}
-	return clamp01(1 - (1-ca)*dr - ca*demd), nil
-}
-
-// distributionOf converts an action node's fan-out into a Distribution.
-func distributionOf(a mdp.ActionNode) Distribution {
-	d := Distribution{
-		Points: make([]int, 0, len(a.Out)),
-		Probs:  make([]float64, 0, len(a.Out)),
-	}
-	for _, t := range a.Out {
-		d.Points = append(d.Points, int(t.Next))
-		d.Probs = append(d.Probs, t.P)
-	}
-	return d
-}
-
 // StateDistance returns delta_S*(u, v) = 1 - sigma_S*(u, v).
 func (r *Result) StateDistance(u, v mdp.State) float64 {
-	return clamp01(1 - r.S[u][v])
+	return clamp01(1 - r.S.At(int(u), int(v)))
 }
 
 // ActionDistance returns delta_A*(i, j) over action node indices.
 func (r *Result) ActionDistance(i, j int) float64 {
-	return clamp01(1 - r.A[i][j])
+	return clamp01(1 - r.A.At(i, j))
 }
 
 // ValueBound returns the paper's competitiveness bound on the optimal value
@@ -194,15 +112,20 @@ func (r *Result) ValueBound(u, v mdp.State, rho float64) float64 {
 // Clusters groups states whose pairwise distance is at most tau using
 // greedy leader clustering in state order. It returns, for each state, the
 // id (leader state) of its cluster — the index CAPMAN uses to share cached
-// decisions between structurally similar states.
+// decisions between structurally similar states. The leader scan reads the
+// state's flattened similarity row directly, so each probe is one array
+// load rather than a method call through the matrix.
 func (r *Result) Clusters(tau float64) []int {
-	n := len(r.S)
+	n := r.S.N()
 	cluster := make([]int, n)
 	var leaders []int
 	for u := 0; u < n; u++ {
+		row := r.S.Row(u)
 		assigned := false
 		for _, l := range leaders {
-			if r.StateDistance(mdp.State(u), mdp.State(l)) <= tau {
+			// Entries are clamped to [0,1] at write time, so 1-row[l]
+			// is already the clamped distance.
+			if 1-row[l] <= tau {
 				cluster[u] = l
 				assigned = true
 				break
@@ -214,27 +137,6 @@ func (r *Result) Clusters(tau float64) []int {
 		}
 	}
 	return cluster
-}
-
-func identity(n int) [][]float64 {
-	m := make([][]float64, n)
-	for i := range m {
-		m[i] = make([]float64, n)
-		m[i][i] = 1
-	}
-	return m
-}
-
-func maxAbsDiff(a, b [][]float64) float64 {
-	var worst float64
-	for i := range a {
-		for j := range a[i] {
-			if d := math.Abs(a[i][j] - b[i][j]); d > worst {
-				worst = d
-			}
-		}
-	}
-	return worst
 }
 
 func clamp01(x float64) float64 {

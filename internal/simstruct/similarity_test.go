@@ -87,8 +87,8 @@ func TestSimilarityIdenticalStructures(t *testing.T) {
 	}
 	// Diagonal similarity is exactly one.
 	for u := 0; u < 6; u++ {
-		if res.S[u][u] != 1 {
-			t.Errorf("S[%d][%d] = %v", u, u, res.S[u][u])
+		if res.S.At(u, u) != 1 {
+			t.Errorf("S[%d][%d] = %v", u, u, res.S.At(u, u))
 		}
 	}
 }
@@ -98,20 +98,20 @@ func TestSimilarityBounds(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for i := range res.S {
-		for j := range res.S[i] {
-			if res.S[i][j] < 0 || res.S[i][j] > 1 {
-				t.Fatalf("S[%d][%d] = %v outside [0,1]", i, j, res.S[i][j])
+	for i := 0; i < res.S.N(); i++ {
+		for j := 0; j < res.S.N(); j++ {
+			if v := res.S.At(i, j); v < 0 || v > 1 {
+				t.Fatalf("S[%d][%d] = %v outside [0,1]", i, j, v)
 			}
-			if math.Abs(res.S[i][j]-res.S[j][i]) > 1e-9 {
+			if math.Abs(res.S.At(i, j)-res.S.At(j, i)) > 1e-9 {
 				t.Fatalf("S asymmetric at (%d,%d)", i, j)
 			}
 		}
 	}
-	for i := range res.A {
-		for j := range res.A[i] {
-			if res.A[i][j] < 0 || res.A[i][j] > 1 {
-				t.Fatalf("A[%d][%d] = %v outside [0,1]", i, j, res.A[i][j])
+	for i := 0; i < res.A.N(); i++ {
+		for j := 0; j < res.A.N(); j++ {
+			if v := res.A.At(i, j); v < 0 || v > 1 {
+				t.Fatalf("A[%d][%d] = %v outside [0,1]", i, j, v)
 			}
 		}
 	}

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# bench.sh — run the structural-similarity benchmarks and write the
+# BENCH_simstruct.json trajectory (ns/op, allocs/op, parallel speedup,
+# EMD allocation ratio).
+#
+# Environment:
+#   BENCHTIME  go test -benchtime value (default 2s; use 1x for a smoke run)
+#   OUT        output path (default BENCH_simstruct.json at the repo root)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-2s}"
+OUT="${OUT:-BENCH_simstruct.json}"
+
+raw="$(mktemp)"
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench 'BenchmarkSimilarityIndexSized|BenchmarkEMD' \
+    -benchmem -benchtime "$BENCHTIME" . | tee "$raw"
+go run ./scripts/benchjson < "$raw" > "$OUT"
+echo "bench.sh: wrote $OUT"

@@ -1,0 +1,147 @@
+// Command benchjson converts `go test -bench` output on stdin into the
+// BENCH_simstruct.json trajectory format: one record per benchmark plus
+// derived metrics (parallel speedup per graph size, EMD allocation ratio).
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'BenchmarkSimilarityIndexSized|BenchmarkEMD' \
+//	    -benchmem -benchtime 2s . | go run ./scripts/benchjson > BENCH_simstruct.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// result is one parsed benchmark line.
+type result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	BytesPerOp float64            `json:"bytes_per_op,omitempty"`
+	AllocsOp   float64            `json:"allocs_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// output is the whole trajectory document.
+type output struct {
+	CPUs    int      `json:"cpus"`
+	CPUNote string   `json:"cpu_note,omitempty"`
+	Results []result `json:"results"`
+	Derived derived  `json:"derived"`
+}
+
+type derived struct {
+	// SpeedupWorkers4 maps graph size ("n64") to serial ns/op divided by
+	// 4-worker ns/op for BenchmarkSimilarityIndexSized.
+	SpeedupWorkers4 map[string]float64 `json:"speedup_workers4,omitempty"`
+	// EMDAllocsChecked/Solver are allocs/op of the checked EMD wrapper and
+	// the reusable EMDSolver; Ratio is checked / max(solver, 1).
+	EMDAllocsChecked float64 `json:"emd_allocs_checked"`
+	EMDAllocsSolver  float64 `json:"emd_allocs_solver"`
+	EMDAllocsRatio   float64 `json:"emd_allocs_ratio"`
+}
+
+// benchLine matches "BenchmarkName[-P]  <iters>  <value> <unit> ...".
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var out output
+	out.CPUs = runtime.NumCPU()
+	if out.CPUs < 4 {
+		out.CPUNote = fmt.Sprintf("only %d CPU(s) available: parallel speedup is bounded by the core count, not the engine", out.CPUs)
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		r := result{Name: m[1], Metrics: map[string]float64{}}
+		var err error
+		if r.Iterations, err = strconv.ParseInt(m[2], 10, 64); err != nil {
+			return fmt.Errorf("line %q: %w", sc.Text(), err)
+		}
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return fmt.Errorf("line %q: field %q: %w", sc.Text(), fields[i], err)
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				r.NsPerOp = v
+			case "B/op":
+				r.BytesPerOp = v
+			case "allocs/op":
+				r.AllocsOp = v
+			default:
+				r.Metrics[fields[i+1]] = v
+			}
+		}
+		if len(r.Metrics) == 0 {
+			r.Metrics = nil
+		}
+		out.Results = append(out.Results, r)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(out.Results) == 0 {
+		return fmt.Errorf("no benchmark lines on stdin")
+	}
+	out.Derived = deriveMetrics(out.Results)
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+func deriveMetrics(results []result) derived {
+	var d derived
+	byName := map[string]result{}
+	for _, r := range results {
+		byName[r.Name] = r
+	}
+	for name, r := range byName {
+		const prefix = "BenchmarkSimilarityIndexSized/"
+		if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, "/workers1") {
+			continue
+		}
+		size := strings.TrimSuffix(strings.TrimPrefix(name, prefix), "/workers1")
+		par, ok := byName[prefix+size+"/workers4"]
+		if !ok || par.NsPerOp == 0 {
+			continue
+		}
+		if d.SpeedupWorkers4 == nil {
+			d.SpeedupWorkers4 = map[string]float64{}
+		}
+		d.SpeedupWorkers4[size] = r.NsPerOp / par.NsPerOp
+	}
+	if emd, ok := byName["BenchmarkEMD"]; ok {
+		d.EMDAllocsChecked = emd.AllocsOp
+		if solver, ok := byName["BenchmarkEMDSolver"]; ok {
+			d.EMDAllocsSolver = solver.AllocsOp
+			div := solver.AllocsOp
+			if div < 1 {
+				div = 1
+			}
+			d.EMDAllocsRatio = emd.AllocsOp / div
+		}
+	}
+	return d
+}

@@ -41,4 +41,11 @@ go test -race ./...
 echo "== benchmark smoke (1 iteration each) =="
 go test -run='^$' -bench=. -benchtime=1x ./... > /dev/null
 
+# The similarity-benchmark trajectory: one-iteration run through bench.sh
+# so the go test | benchjson pipeline stays executable end to end.
+echo "== bench trajectory smoke (bench.sh) =="
+smoke_out="$(mktemp)"
+BENCHTIME=1x OUT="$smoke_out" ./scripts/bench.sh > /dev/null
+rm -f "$smoke_out"
+
 echo "all checks passed"
