@@ -38,6 +38,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/fault"
 	"repro/internal/obs"
+	"repro/internal/obs/metrics"
 	"repro/internal/sched"
 	"repro/internal/server"
 	"repro/internal/sim"
@@ -139,6 +140,38 @@ type (
 	// Timing is the per-phase step-cost breakdown a traced Run attaches
 	// to its Result.
 	Timing = sim.Timing
+
+	// MetricsSink streams a run's instrumentation (decision latency,
+	// per-phase wall clock, degradations) into external metrics without
+	// enabling tracing; set SimConfig.Metrics.
+	MetricsSink = sim.MetricsSink
+	// MetricsRegistry is the unified label-aware metrics registry behind
+	// capmand's /metrics endpoint.
+	MetricsRegistry = metrics.Registry
+	// MetricSample is one gathered (name, labels, value) triple.
+	MetricSample = metrics.Sample
+	// MetricDelta is a series' movement between two Gather snapshots.
+	MetricDelta = metrics.Delta
+	// SLOObjective is one quantile-threshold objective for the watchdog.
+	SLOObjective = metrics.Objective
+	// SLOWatchdog evaluates burn rates over latency histograms.
+	SLOWatchdog = metrics.Watchdog
+	// SLOBreach is one watchdog conviction.
+	SLOBreach = metrics.Breach
+	// SLOConfig arms capmand's built-in watchdog via ServeConfig.SLO.
+	SLOConfig = server.SLOConfig
+
+	// FlightRecorder is a bounded in-memory ring of observability
+	// breadcrumbs, attachable to a run's context with WithFlight.
+	FlightRecorder = obs.FlightRecorder
+	// FlightEvent is one breadcrumb in a FlightRecorder.
+	FlightEvent = obs.FlightEvent
+	// FlightBox is a flight recorder's snapshot — the "black box" cut
+	// when a run or job fails.
+	FlightBox = obs.FlightBox
+	// JobFlight is a failed capmand job's black box, served by the API at
+	// GET /v1/jobs/{id}/flight.
+	JobFlight = server.JobFlight
 )
 
 // Re-exported chemistry constants.
@@ -209,6 +242,21 @@ func NewRecorder(limit int) *Recorder { return obs.NewRecorder(limit) }
 func WithRecorder(ctx context.Context, rec *Recorder) context.Context {
 	return obs.WithRecorder(ctx, rec)
 }
+
+// NewFlightRecorder builds a flight recorder keeping the newest limit
+// events; limit ≤ 0 uses the default bound.
+func NewFlightRecorder(limit int) *FlightRecorder { return obs.NewFlightRecorder(limit) }
+
+// WithFlight attaches a flight recorder to a context so RunContext (and
+// the degradation guard) leave breadcrumbs in it.
+func WithFlight(ctx context.Context, f *FlightRecorder) context.Context {
+	return obs.WithFlight(ctx, f)
+}
+
+// NewMetricsRegistry builds an empty unified metrics registry. A nil
+// *MetricsRegistry is valid and disables every instrument created from it
+// at zero cost.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
 
 // NewLogger builds a structured slog logger in "text" or "json" format;
 // parse the level with ParseLogLevel.

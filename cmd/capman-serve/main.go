@@ -6,6 +6,7 @@
 //
 //	capman-serve -addr :8080 -workers 8 -queue 128 -job-timeout 5m
 //	capman-serve -log-format json -log-level debug -pprof
+//	capman-serve -slo-decision-p99 50us -slo-queue-wait-p95 5s
 //
 // Submit work with POST /v1/jobs, poll GET /v1/jobs/{id}, cancel with
 // DELETE /v1/jobs/{id}; see /metrics, /healthz, /v1/jobs/{id}/events, and
@@ -54,6 +55,11 @@ func run(ctx context.Context, args []string, out *os.File) error {
 	breakerThreshold := fs.Int("breaker-threshold", 0, "consecutive failures that open an entry's circuit breaker (0 = default 5, -1 disables)")
 	breakerCooldown := fs.Duration("breaker-cooldown", 0, "how long an open breaker sheds load before probing (0 = default 30s)")
 	queueWaitWarn := fs.Duration("queue-wait-warn", 0, "warn when a job's queue wait exceeds this (0 = default 30s, -1ns disables)")
+	sloDecisionP99 := fs.Duration("slo-decision-p99", 0, "SLO: p99 target for policy decision latency; arms the burn-rate watchdog (0 disables)")
+	sloQueueWaitP95 := fs.Duration("slo-queue-wait-p95", 0, "SLO: p95 target for job queue wait; arms the burn-rate watchdog (0 disables)")
+	sloWindow := fs.Duration("slo-window", 0, "SLO burn-rate evaluation window (0 = default 5m)")
+	sloInterval := fs.Duration("slo-interval", 0, "SLO evaluation cadence (0 = default 15s)")
+	noFlight := fs.Bool("no-flight", false, "disable per-job flight recording (failed jobs get no black box)")
 	logLevel := fs.String("log-level", "info", "log level: debug|info|warn|error")
 	logFormat := fs.String("log-format", obs.FormatText, "log format: text|json")
 	enablePprof := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
@@ -80,10 +86,17 @@ func run(ctx context.Context, args []string, out *os.File) error {
 			JobTimeout:    *jobTimeout,
 			MaxRetries:    *retries,
 			QueueWaitWarn: *queueWaitWarn,
+			DisableFlight: *noFlight,
 			Breaker: server.BreakerConfig{
 				Threshold: *breakerThreshold,
 				Cooldown:  *breakerCooldown,
 			},
+		},
+		SLO: server.SLOConfig{
+			DecisionP99:  *sloDecisionP99,
+			QueueWaitP95: *sloQueueWaitP95,
+			Window:       *sloWindow,
+			Interval:     *sloInterval,
 		},
 	})
 
@@ -99,6 +112,9 @@ func run(ctx context.Context, args []string, out *os.File) error {
 		"job_timeout", jobTimeout.String(),
 		"drain_timeout", drainTimeout.String(),
 		"queue_wait_warn", queueWaitWarn.String(),
+		"slo_decision_p99", sloDecisionP99.String(),
+		"slo_queue_wait_p95", sloQueueWaitP95.String(),
+		"flight", !*noFlight,
 		"pprof", *enablePprof,
 		"log_level", level.String(),
 		"log_format", *logFormat)

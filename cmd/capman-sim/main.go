@@ -8,12 +8,14 @@
 //	capman-sim -workload video -policy capman -phone Nexus -mah 2500
 //	capman-sim -workload eta:0.8 -policy oracle -seed 7 -samples out.json
 //	capman-sim -policy capman -trace spans.json -log-level debug
+//	capman-sim -policy heuristic -faults stuck-switch -flight box.json
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"strconv"
 	"strings"
@@ -50,6 +52,7 @@ func run(args []string) error {
 	faults := fs.String("faults", "", "fault-injection plan: "+strings.Join(fault.Plans(), "|")+" (empty = none)")
 	samples := fs.String("samples", "", "write a sampled trace (JSON) to this file")
 	traceOut := fs.String("trace", "", "enable span tracing and write the span tree (JSON) to this file; also prints a timing breakdown")
+	flightOut := fs.String("flight", "", "record a flight-recorder black box (run notes, degradations, teed logs, spans when -trace is on) and write it (JSON) to this file, even when the run fails")
 	logLevel := fs.String("log-level", "warn", "log level: debug|info|warn|error")
 	logFormat := fs.String("log-format", obs.FormatText, "log format: text|json")
 	if err := fs.Parse(args); err != nil {
@@ -64,7 +67,15 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	var fl *obs.FlightRecorder
+	if *flightOut != "" {
+		fl = obs.NewFlightRecorder(0)
+		// Tee every log record into the black box: the box keeps debug
+		// lines even when -log-level would discard them from stderr.
+		logger = slog.New(fl.TeeHandler(logger.Handler()))
+	}
 	ctx := obs.WithLogger(context.Background(), logger)
+	ctx = obs.WithFlight(ctx, fl)
 
 	profile, err := device.ProfileByName(*phone)
 	if err != nil {
@@ -140,6 +151,17 @@ func run(args []string) error {
 		cfg.Recorder = rec
 	}
 	res, err := sim.RunContext(ctx, cfg)
+	if fl != nil {
+		reason := "run completed"
+		if err != nil {
+			reason = "run failed: " + err.Error()
+		}
+		box := fl.Snapshot(reason, rec)
+		if werr := writeFlight(*flightOut, box); werr != nil {
+			return werr
+		}
+		fmt.Printf("wrote flight box (%d events) to %s\n", len(box.Events), *flightOut)
+	}
 	if err != nil {
 		return err
 	}
@@ -180,6 +202,16 @@ func run(args []string) error {
 		fmt.Printf("wrote span tree to %s\n", *traceOut)
 	}
 	return nil
+}
+
+// writeFlight dumps the black box to path as indented JSON.
+func writeFlight(path string, box obs.FlightBox) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return box.WriteJSON(f)
 }
 
 // reportTiming prints the per-phase step-cost breakdown and the policy

@@ -1,9 +1,12 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
+
+	"repro/internal/obs"
 )
 
 func TestRunQuickCycle(t *testing.T) {
@@ -52,5 +55,45 @@ func TestRunOnOffWorkload(t *testing.T) {
 	if err := run([]string{"-workload", "onoff:30", "-policy", "heuristic",
 		"-mah", "200", "-max-time", "3000"}); err != nil {
 		t.Fatalf("onoff cycle: %v", err)
+	}
+}
+
+// TestRunFlightBox: -flight writes a non-empty black box with the run's
+// notes and (with -faults) degradation breadcrumbs; with -trace it also
+// carries spans.
+func TestRunFlightBox(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "box.json")
+	trace := filepath.Join(t.TempDir(), "spans.json")
+	err := run([]string{"-workload", "video", "-policy", "heuristic",
+		"-mah", "600", "-max-time", "20000", "-faults", "stuck-switch",
+		"-flight", out, "-trace", trace})
+	if err != nil {
+		t.Fatalf("flight cycle: %v", err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var box obs.FlightBox
+	if err := json.Unmarshal(raw, &box); err != nil {
+		t.Fatalf("flight box is not valid JSON: %v", err)
+	}
+	if box.Reason == "" || len(box.Events) == 0 {
+		t.Fatalf("flight box empty: reason=%q events=%d", box.Reason, len(box.Events))
+	}
+	var degrades, notes int
+	for _, ev := range box.Events {
+		switch ev.Kind {
+		case obs.FlightDegrade:
+			degrades++
+		case obs.FlightNote:
+			notes++
+		}
+	}
+	if degrades == 0 || notes < 2 {
+		t.Errorf("box has %d degrade events and %d notes, want >=1 and >=2", degrades, notes)
+	}
+	if len(box.Spans) == 0 {
+		t.Error("box carries no spans despite -trace")
 	}
 }

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/battery"
 	"repro/internal/mdp"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/simstruct"
 )
@@ -162,6 +163,8 @@ type Scheduler struct {
 	clusters  []int // state -> representative state
 	simres    *simstruct.Result
 
+	emdLatency *obs.Histogram // external EMD-latency sink; nil = off
+
 	lastRefresh float64
 	stats       Stats
 }
@@ -196,6 +199,12 @@ func (s *Scheduler) Name() string { return "CAPMAN" }
 // also stops an in-flight similarity refresh. Nil restores the background
 // context.
 func (s *Scheduler) BindContext(ctx context.Context) { s.ctx = ctx }
+
+// SetEMDLatency routes the structural-similarity engine's per-EMD-solve
+// latency into an external histogram (capmand feeds its registry-backed
+// capman_emd_latency_seconds this way). Call it before the run starts —
+// it is read by background refreshes; nil turns the sink off.
+func (s *Scheduler) SetEMDLatency(h *obs.Histogram) { s.emdLatency = h }
 
 // context returns the bound refresh context.
 func (s *Scheduler) context() context.Context {
@@ -350,6 +359,7 @@ func (s *Scheduler) refreshSimilarity(model *mdp.Model) error {
 	}
 	simCfg := simstruct.DefaultConfig(s.cfg.Rho)
 	simCfg.Workers = s.cfg.SimWorkers
+	simCfg.EMDLatency = s.emdLatency
 	res, err := simstruct.ComputeContext(s.context(), graph, simCfg)
 	if err != nil {
 		return fmt.Errorf("similarity: %w", err)

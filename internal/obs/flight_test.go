@@ -1,0 +1,117 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestFlightRecorderRingKeepsNewest(t *testing.T) {
+	f := NewFlightRecorder(3)
+	for i := 0; i < 5; i++ {
+		f.Recordf(FlightNote, "step", "event %d", i)
+	}
+	evs := f.Events()
+	if len(evs) != 3 {
+		t.Fatalf("ring holds %d events, want 3", len(evs))
+	}
+	for i, ev := range evs {
+		wantSeq := i + 2 // 0 and 1 were overwritten
+		if ev.Seq != wantSeq {
+			t.Errorf("event %d seq = %d, want %d", i, ev.Seq, wantSeq)
+		}
+	}
+	if f.Dropped() != 2 {
+		t.Errorf("dropped = %d, want 2", f.Dropped())
+	}
+}
+
+func TestFlightRecorderNilSafety(t *testing.T) {
+	var f *FlightRecorder
+	f.Record(FlightNote, "x", "y")
+	f.Recordf(FlightNote, "x", "%d", 1)
+	f.RecordAttrs(FlightNote, "x", "y", map[string]string{"a": "b"})
+	if f.Events() != nil || f.Dropped() != 0 {
+		t.Fatal("nil recorder must read empty")
+	}
+	box := f.Snapshot("why", nil)
+	if box.Reason != "why" || len(box.Events) != 0 {
+		t.Fatalf("nil snapshot = %+v", box)
+	}
+	if ctx := WithFlight(context.Background(), nil); FlightFrom(ctx) != nil {
+		t.Fatal("WithFlight(nil) attached something")
+	}
+}
+
+func TestFlightContextRoundTrip(t *testing.T) {
+	f := NewFlightRecorder(0)
+	ctx := WithFlight(context.Background(), f)
+	if FlightFrom(ctx) != f {
+		t.Fatal("FlightFrom did not return the attached recorder")
+	}
+	if FlightFrom(nil) != nil || FlightFrom(context.Background()) != nil {
+		t.Fatal("FlightFrom must be nil without attachment")
+	}
+}
+
+func TestFlightTeeHandlerCapturesLogs(t *testing.T) {
+	f := NewFlightRecorder(0)
+	var out bytes.Buffer
+	base := slog.NewTextHandler(&out, &slog.HandlerOptions{Level: slog.LevelWarn})
+	log := slog.New(f.TeeHandler(base)).With("job", "j1")
+
+	log.Debug("below the sink's level", "k", "v")
+	log.Warn("visible", "err", "boom")
+
+	evs := f.Events()
+	if len(evs) != 2 {
+		t.Fatalf("captured %d events, want 2 (tee sees every level)", len(evs))
+	}
+	if evs[0].Kind != FlightLog || evs[0].Name != "DEBUG" || evs[0].Detail != "below the sink's level" {
+		t.Fatalf("first event = %+v", evs[0])
+	}
+	if evs[0].Attrs["job"] != "j1" || evs[0].Attrs["k"] != "v" {
+		t.Fatalf("first event attrs = %v", evs[0].Attrs)
+	}
+	if evs[1].Attrs["err"] != "boom" {
+		t.Fatalf("second event attrs = %v", evs[1].Attrs)
+	}
+	// The underlying handler still applies its own level gate.
+	text := out.String()
+	if strings.Contains(text, "below the sink's level") || !strings.Contains(text, "visible") {
+		t.Fatalf("forwarded output wrong:\n%s", text)
+	}
+}
+
+func TestFlightSnapshotWithSpans(t *testing.T) {
+	f := NewFlightRecorder(0)
+	rec := NewRecorder(0)
+	ctx, span := rec.StartSpan(context.Background(), "job")
+	_, child := rec.StartSpan(ctx, "attempt")
+	child.End()
+	span.End()
+	f.Record(FlightNote, "milestone", "ran")
+
+	box := f.Snapshot("job failed", rec)
+	if box.Reason != "job failed" || box.CutAt.IsZero() {
+		t.Fatalf("box header = %+v", box)
+	}
+	if len(box.Events) != 1 || len(box.Spans) != 1 || len(box.Spans[0].Children) != 1 {
+		t.Fatalf("box contents: events=%d spans=%+v", len(box.Events), box.Spans)
+	}
+
+	var buf bytes.Buffer
+	if err := box.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back FlightBox
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("box JSON does not round-trip: %v", err)
+	}
+	if back.Reason != box.Reason || len(back.Events) != 1 || len(back.Spans) != 1 {
+		t.Fatalf("round-tripped box = %+v", back)
+	}
+}

@@ -158,8 +158,10 @@ func (s HistogramSnapshot) Mean() float64 {
 
 // Quantile estimates the q-quantile (q in [0,1]) by linear interpolation
 // within the bucket containing the target rank, the same estimate
-// Prometheus's histogram_quantile computes. Values in the +Inf bucket
-// clamp to the last finite bound. Returns 0 when empty.
+// Prometheus's histogram_quantile computes. Quantiles whose rank lands in
+// the +Inf overflow bucket return the last finite bound (clamped), never
+// +Inf — again matching the histogram_quantile convention, which cannot
+// interpolate inside an unbounded bucket. Returns 0 when empty.
 func (s HistogramSnapshot) Quantile(q float64) float64 {
 	if s.Count == 0 || len(s.Bounds) == 0 {
 		return 0

@@ -85,6 +85,39 @@ func TestHistogramQuantileAndMean(t *testing.T) {
 	}
 }
 
+// TestQuantileOverflowBucketClamped pins the Prometheus
+// histogram_quantile convention at the +Inf bucket: any quantile whose
+// rank lands in the overflow bucket returns the last finite bound, never
+// +Inf — regression guard for the SLO watchdog, which estimates window
+// quantiles through this code.
+func TestQuantileOverflowBucketClamped(t *testing.T) {
+	h := MustHistogram(0.001, 0.01, 0.1)
+	for i := 0; i < 10; i++ {
+		h.Observe(0.005) // second bucket
+	}
+	for i := 0; i < 90; i++ {
+		h.Observe(5) // +Inf overflow bucket
+	}
+	s := h.Snapshot()
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999, 1} {
+		got := s.Quantile(q)
+		if math.IsInf(got, 0) || math.IsNaN(got) {
+			t.Fatalf("Quantile(%v) = %v, must be finite", q, got)
+		}
+		if got != 0.1 {
+			t.Errorf("Quantile(%v) = %v, want clamp to last finite bound 0.1", q, got)
+		}
+	}
+	// Entire mass in the overflow bucket: still clamped, at every q.
+	h2 := MustHistogram(1, 2)
+	h2.Observe(1e9)
+	for _, q := range []float64{0.01, 0.5, 1} {
+		if got := h2.Snapshot().Quantile(q); got != 2 {
+			t.Errorf("all-overflow Quantile(%v) = %v, want 2", q, got)
+		}
+	}
+}
+
 func TestHistogramNilSafety(t *testing.T) {
 	var h *Histogram
 	h.Observe(1) // must not panic

@@ -81,6 +81,7 @@ const (
 	requestIDKey
 	recorderKey
 	spanKey
+	flightKey
 )
 
 // WithLogger attaches a logger to the context for Logger to find.

@@ -1,0 +1,611 @@
+// Package metrics is the unified, label-aware metrics registry behind
+// capmand's /metrics endpoint. It grew out of the hand-rolled counters in
+// internal/server: every metric in the system — server job lifecycle,
+// sim per-phase timings, simstruct EMD latency, Go runtime gauges — now
+// registers here and is rendered by one strict Prometheus/OpenMetrics
+// exposition writer (expo.go).
+//
+// Design rules, in the spirit of the rest of internal/obs:
+//
+//   - Nil-safe "off" mode: a nil *Registry returns nil instruments from
+//     every constructor, and every method on a nil instrument is an
+//     allocation-free no-op. Code paths instrumented against a nil
+//     registry are bit-identical to uninstrumented code.
+//   - Lock-cheap hot path: scalar instruments are single atomics; vector
+//     lookups take a read lock only on miss-free paths, and callers are
+//     expected to cache the handle returned by WithLabelValues (0
+//     allocs/op once cached — see BenchmarkCounterVecHot).
+//   - Bounded label cardinality: each vector family admits at most
+//     MaxSeries label combinations; further combinations share one
+//     sentinel series whose every label value is "overflow", and the
+//     spill count is available via Dropped(). A metrics endpoint must
+//     never become the memory leak it is meant to catch.
+//   - Registration is startup-time configuration, so invalid or
+//     duplicate names panic rather than returning errors. Names are
+//     validated by CheckName, the same rules scripts/metriclint
+//     enforces statically.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// DefaultMaxSeries bounds the number of label combinations a vector
+// family admits before spilling to the "overflow" sentinel series.
+const DefaultMaxSeries = 64
+
+// Instrument kinds, also the TYPE strings of the exposition format.
+const (
+	KindCounter   = "counter"
+	KindGauge     = "gauge"
+	KindHistogram = "histogram"
+)
+
+var (
+	nameRE  = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+	labelRE = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+)
+
+// histogramUnits are the accepted unit suffixes for histogram names.
+var histogramUnits = []string{"_seconds", "_bytes", "_joules", "_celsius", "_watts", "_ratio"}
+
+// CheckName validates a metric name against the repository's naming
+// rules: snake_case ([a-z][a-z0-9_]*, no "__"), counters end in
+// "_total", histograms end in a unit suffix (_seconds, _bytes, ...),
+// and gauges must not end in "_total". kind is one of KindCounter,
+// KindGauge, KindHistogram. The same rules back scripts/metriclint.
+func CheckName(kind, name string) error {
+	if !nameRE.MatchString(name) || strings.Contains(name, "__") {
+		return fmt.Errorf("metric %q: not snake_case ([a-z][a-z0-9_]*, no double underscore)", name)
+	}
+	switch kind {
+	case KindCounter:
+		if !strings.HasSuffix(name, "_total") {
+			return fmt.Errorf("counter %q: name must end in _total", name)
+		}
+	case KindHistogram:
+		ok := false
+		for _, u := range histogramUnits {
+			if strings.HasSuffix(name, u) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return fmt.Errorf("histogram %q: name must end in a unit suffix (%s)", name, strings.Join(histogramUnits, ", "))
+		}
+	case KindGauge:
+		if strings.HasSuffix(name, "_total") {
+			return fmt.Errorf("gauge %q: _total suffix is reserved for counters", name)
+		}
+	default:
+		return fmt.Errorf("metric %q: unknown kind %q", name, kind)
+	}
+	return nil
+}
+
+// checkLabel validates one label name.
+func checkLabel(metric, label string) error {
+	if !labelRE.MatchString(label) || strings.Contains(label, "__") {
+		return fmt.Errorf("metric %q: label %q: not snake_case", metric, label)
+	}
+	if label == "le" {
+		return fmt.Errorf("metric %q: label %q is reserved for histogram buckets", metric, label)
+	}
+	return nil
+}
+
+// Registry holds metric families and renders them through one exposition
+// writer. The zero value is not usable; build one with NewRegistry. A nil
+// *Registry is the supported "metrics off" mode: constructors return nil
+// instruments whose methods no-op.
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: map[string]*family{}}
+}
+
+// family is one named metric with zero or more labeled series.
+type family struct {
+	name   string
+	help   string
+	kind   string
+	labels []string
+	bounds []float64 // histograms only
+
+	mu        sync.RWMutex
+	series    map[string]*series
+	maxSeries int
+	overflow  *series
+	dropped   atomic.Uint64
+
+	// collect, when non-nil, marks a function-backed family (GaugeFunc,
+	// CounterFunc, LabeledGaugeFunc, Info): samples are produced at
+	// scrape time instead of being stored.
+	collect func(emit func(labelValues []string, value float64))
+}
+
+// series is one label combination of a family.
+type series struct {
+	labelValues []string
+	inst        any // *Counter | *CounterFloat | *Gauge | *Histogram
+}
+
+// register installs a family or panics on invalid/duplicate names.
+func (r *Registry) register(f *family) *family {
+	if err := CheckName(f.kind, f.name); err != nil {
+		panic("metrics: " + err.Error())
+	}
+	for _, l := range f.labels {
+		if err := checkLabel(f.name, l); err != nil {
+			panic("metrics: " + err.Error())
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.fams[f.name]; dup {
+		panic("metrics: duplicate registration of " + f.name)
+	}
+	if f.maxSeries <= 0 {
+		f.maxSeries = DefaultMaxSeries
+	}
+	f.series = map[string]*series{}
+	r.fams[f.name] = f
+	return f
+}
+
+// families returns the registered families sorted by name.
+func (r *Registry) families() []*family {
+	r.mu.Lock()
+	fams := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams {
+		fams = append(fams, f)
+	}
+	r.mu.Unlock()
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	return fams
+}
+
+const labelSep = "\x1f"
+
+// get returns the instrument for one label combination, creating it with
+// mk on first use. Past maxSeries combinations it returns the shared
+// "overflow" sentinel series and counts the spill.
+func (f *family) get(values []string, mk func() any) any {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("metrics: %s: got %d label values, want %d", f.name, len(values), len(f.labels)))
+	}
+	key := strings.Join(values, labelSep)
+	f.mu.RLock()
+	s := f.series[key]
+	f.mu.RUnlock()
+	if s != nil {
+		return s.inst
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s := f.series[key]; s != nil {
+		return s.inst
+	}
+	if len(f.series) >= f.maxSeries {
+		f.dropped.Add(1)
+		if f.overflow == nil {
+			vals := make([]string, len(f.labels))
+			for i := range vals {
+				vals[i] = "overflow"
+			}
+			f.overflow = &series{labelValues: vals, inst: mk()}
+		}
+		return f.overflow.inst
+	}
+	vals := make([]string, len(values))
+	copy(vals, values)
+	s = &series{labelValues: vals, inst: mk()}
+	f.series[key] = s
+	return s.inst
+}
+
+// snapshotSeries returns the family's series sorted by label values,
+// with the overflow sentinel (if any) last.
+func (f *family) snapshotSeries() []*series {
+	f.mu.RLock()
+	out := make([]*series, 0, len(f.series)+1)
+	for _, s := range f.series {
+		out = append(out, s)
+	}
+	ovf := f.overflow
+	f.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		return strings.Join(out[i].labelValues, labelSep) < strings.Join(out[j].labelValues, labelSep)
+	})
+	if ovf != nil {
+		out = append(out, ovf)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Scalar instruments. All methods are safe on nil receivers.
+
+// Counter is a monotonically increasing uint64.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// CounterFloat is a monotonically increasing float64 total (seconds
+// spent, joules drawn, ...). Add with negative v is ignored.
+type CounterFloat struct{ bits atomic.Uint64 }
+
+// Add accumulates v (no-op when v < 0, totals are monotone).
+func (c *CounterFloat) Add(v float64) {
+	if c == nil || v < 0 {
+		return
+	}
+	for {
+		old := c.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if c.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the accumulated total.
+func (c *CounterFloat) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return math.Float64frombits(c.bits.Load())
+}
+
+// Gauge is a settable int64 level.
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adds delta (may be negative).
+func (g *Gauge) Add(delta int64) {
+	if g != nil {
+		g.v.Add(delta)
+	}
+}
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Histogram wraps obs.Histogram with the registry's nil-safe contract.
+type Histogram struct{ h *obs.Histogram }
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h != nil {
+		h.h.Observe(v)
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.h.Count()
+}
+
+// Sum returns the sum of observations.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.h.Sum()
+}
+
+// Snapshot returns a point-in-time copy; zero-valued when h is nil.
+func (h *Histogram) Snapshot() obs.HistogramSnapshot {
+	if h == nil {
+		return obs.HistogramSnapshot{}
+	}
+	return h.h.Snapshot()
+}
+
+// Base exposes the underlying obs.Histogram for packages that accept one
+// directly (sim.MetricsSink, simstruct.Config.EMDLatency); nil when h is.
+func (h *Histogram) Base() *obs.Histogram {
+	if h == nil {
+		return nil
+	}
+	return h.h
+}
+
+// ---------------------------------------------------------------------------
+// Scalar constructors.
+
+// Counter registers a counter; name must end in _total.
+func (r *Registry) Counter(name, help string) *Counter {
+	if r == nil {
+		return nil
+	}
+	c := &Counter{}
+	f := &family{name: name, help: help, kind: KindCounter}
+	r.register(f)
+	f.series[""] = &series{inst: c}
+	return c
+}
+
+// CounterFloat registers a float-valued counter; name must end in _total.
+func (r *Registry) CounterFloat(name, help string) *CounterFloat {
+	if r == nil {
+		return nil
+	}
+	c := &CounterFloat{}
+	f := &family{name: name, help: help, kind: KindCounter}
+	r.register(f)
+	f.series[""] = &series{inst: c}
+	return c
+}
+
+// Gauge registers a gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	g := &Gauge{}
+	f := &family{name: name, help: help, kind: KindGauge}
+	r.register(f)
+	f.series[""] = &series{inst: g}
+	return g
+}
+
+// Histogram registers a histogram over the given finite bucket bounds
+// (the +Inf overflow bucket is implicit); name must carry a unit suffix.
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	base, err := obs.NewHistogram(bounds)
+	if err != nil {
+		panic("metrics: " + name + ": " + err.Error())
+	}
+	h := &Histogram{h: base}
+	f := &family{name: name, help: help, kind: KindHistogram, bounds: bounds}
+	r.register(f)
+	f.series[""] = &series{inst: h}
+	return h
+}
+
+// ---------------------------------------------------------------------------
+// Vector constructors. WithLabelValues returns a handle the caller should
+// cache; the lookup itself allocates a key, the cached handle does not.
+
+// CounterVec is a labeled family of Counters.
+type CounterVec struct{ fam *family }
+
+// CounterVec registers a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	if r == nil {
+		return nil
+	}
+	f := &family{name: name, help: help, kind: KindCounter, labels: labels}
+	r.register(f)
+	return &CounterVec{fam: f}
+}
+
+// WithLabelValues returns the counter for one label combination.
+func (v *CounterVec) WithLabelValues(values ...string) *Counter {
+	if v == nil {
+		return nil
+	}
+	return v.fam.get(values, func() any { return &Counter{} }).(*Counter)
+}
+
+// Dropped reports how many series creations spilled to the overflow
+// sentinel because the family hit its cardinality bound.
+func (v *CounterVec) Dropped() uint64 {
+	if v == nil {
+		return 0
+	}
+	return v.fam.dropped.Load()
+}
+
+// CounterFloatVec is a labeled family of CounterFloats.
+type CounterFloatVec struct{ fam *family }
+
+// CounterFloatVec registers a labeled float-counter family.
+func (r *Registry) CounterFloatVec(name, help string, labels ...string) *CounterFloatVec {
+	if r == nil {
+		return nil
+	}
+	f := &family{name: name, help: help, kind: KindCounter, labels: labels}
+	r.register(f)
+	return &CounterFloatVec{fam: f}
+}
+
+// WithLabelValues returns the float counter for one label combination.
+func (v *CounterFloatVec) WithLabelValues(values ...string) *CounterFloat {
+	if v == nil {
+		return nil
+	}
+	return v.fam.get(values, func() any { return &CounterFloat{} }).(*CounterFloat)
+}
+
+// Dropped reports overflow spills; see CounterVec.Dropped.
+func (v *CounterFloatVec) Dropped() uint64 {
+	if v == nil {
+		return 0
+	}
+	return v.fam.dropped.Load()
+}
+
+// GaugeVec is a labeled family of Gauges.
+type GaugeVec struct{ fam *family }
+
+// GaugeVec registers a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	if r == nil {
+		return nil
+	}
+	f := &family{name: name, help: help, kind: KindGauge, labels: labels}
+	r.register(f)
+	return &GaugeVec{fam: f}
+}
+
+// WithLabelValues returns the gauge for one label combination.
+func (v *GaugeVec) WithLabelValues(values ...string) *Gauge {
+	if v == nil {
+		return nil
+	}
+	return v.fam.get(values, func() any { return &Gauge{} }).(*Gauge)
+}
+
+// Dropped reports overflow spills; see CounterVec.Dropped.
+func (v *GaugeVec) Dropped() uint64 {
+	if v == nil {
+		return 0
+	}
+	return v.fam.dropped.Load()
+}
+
+// HistogramVec is a labeled family of Histograms sharing bucket bounds.
+type HistogramVec struct {
+	fam    *family
+	bounds []float64
+}
+
+// HistogramVec registers a labeled histogram family.
+func (r *Registry) HistogramVec(name, help string, bounds []float64, labels ...string) *HistogramVec {
+	if r == nil {
+		return nil
+	}
+	if _, err := obs.NewHistogram(bounds); err != nil {
+		panic("metrics: " + name + ": " + err.Error())
+	}
+	f := &family{name: name, help: help, kind: KindHistogram, bounds: bounds, labels: labels}
+	r.register(f)
+	return &HistogramVec{fam: f, bounds: bounds}
+}
+
+// WithLabelValues returns the histogram for one label combination.
+func (v *HistogramVec) WithLabelValues(values ...string) *Histogram {
+	if v == nil {
+		return nil
+	}
+	return v.fam.get(values, func() any {
+		base, _ := obs.NewHistogram(v.bounds) // bounds validated at registration
+		return &Histogram{h: base}
+	}).(*Histogram)
+}
+
+// Dropped reports overflow spills; see CounterVec.Dropped.
+func (v *HistogramVec) Dropped() uint64 {
+	if v == nil {
+		return 0
+	}
+	return v.fam.dropped.Load()
+}
+
+// ---------------------------------------------------------------------------
+// Function-backed families: sampled at scrape time, nothing stored.
+
+// GaugeFunc registers a gauge whose value is fn() at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	f := &family{name: name, help: help, kind: KindGauge}
+	f.collect = func(emit func([]string, float64)) { emit(nil, fn()) }
+	r.register(f)
+}
+
+// CounterFunc registers a counter whose value is fn() at scrape time;
+// fn must be monotone (e.g. cumulative GC pause seconds).
+func (r *Registry) CounterFunc(name, help string, fn func() float64) {
+	if r == nil {
+		return
+	}
+	f := &family{name: name, help: help, kind: KindCounter}
+	f.collect = func(emit func([]string, float64)) { emit(nil, fn()) }
+	r.register(f)
+}
+
+// LabeledGaugeFunc registers a one-label gauge family whose series are
+// the entries of fn() at scrape time, emitted in sorted key order (the
+// breaker-state panel reads its states this way).
+func (r *Registry) LabeledGaugeFunc(name, help, label string, fn func() map[string]float64) {
+	if r == nil {
+		return
+	}
+	f := &family{name: name, help: help, kind: KindGauge, labels: []string{label}}
+	f.collect = func(emit func([]string, float64)) {
+		m := fn()
+		keys := make([]string, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			emit([]string{k}, m[k])
+		}
+	}
+	r.register(f)
+}
+
+// Info registers a constant-1 gauge carrying build/identity labels
+// (Prometheus "info" pattern); name should end in _info.
+func (r *Registry) Info(name, help string, labels map[string]string) {
+	if r == nil {
+		return
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	vals := make([]string, len(keys))
+	for i, k := range keys {
+		vals[i] = labels[k]
+	}
+	f := &family{name: name, help: help, kind: KindGauge, labels: keys}
+	f.collect = func(emit func([]string, float64)) { emit(vals, 1) }
+	r.register(f)
+}

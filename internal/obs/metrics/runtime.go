@@ -1,0 +1,55 @@
+package metrics
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// memStatsCache rate-limits runtime.ReadMemStats so a scrape hitting
+// several memory gauges pays for one stop-the-world read, not three.
+type memStatsCache struct {
+	mu   sync.Mutex
+	at   time.Time
+	stat runtime.MemStats
+}
+
+func (c *memStatsCache) get() runtime.MemStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if now := time.Now(); now.Sub(c.at) > time.Second {
+		runtime.ReadMemStats(&c.stat)
+		c.at = now
+	}
+	return c.stat
+}
+
+// RegisterRuntime registers the Go runtime and process gauges plus a
+// capman_build_info series on r: goroutines, heap size and object count,
+// cumulative GC pause seconds and cycles, and process uptime. version is
+// the build's version string ("" reads as "dev"). Call once per
+// registry; a nil registry no-ops.
+func RegisterRuntime(r *Registry, version string) {
+	if r == nil {
+		return
+	}
+	if version == "" {
+		version = "dev"
+	}
+	start := time.Now()
+	ms := &memStatsCache{}
+	r.GaugeFunc("go_goroutines", "Number of live goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc("go_memstats_heap_alloc_bytes", "Bytes of allocated heap objects.",
+		func() float64 { return float64(ms.get().HeapAlloc) })
+	r.GaugeFunc("go_memstats_heap_objects", "Number of allocated heap objects.",
+		func() float64 { return float64(ms.get().HeapObjects) })
+	r.CounterFunc("go_gc_pause_seconds_total", "Cumulative stop-the-world GC pause time.",
+		func() float64 { return float64(ms.get().PauseTotalNs) / 1e9 })
+	r.CounterFunc("go_gc_cycles_total", "Completed GC cycles.",
+		func() float64 { return float64(ms.get().NumGC) })
+	r.GaugeFunc("process_uptime_seconds", "Seconds since the process registered its metrics.",
+		func() float64 { return time.Since(start).Seconds() })
+	r.Info("capman_build_info", "Build identity of this capman binary.",
+		map[string]string{"version": version, "go_version": runtime.Version()})
+}

@@ -1,0 +1,251 @@
+package metrics
+
+import (
+	"context"
+	"log/slog"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Objective is one latency SLO: "Quantile of Source stays under
+// Threshold". Name labels the breach counter and log lines (e.g.
+// "decision-p99").
+type Objective struct {
+	Name      string
+	Source    *obs.Histogram
+	Quantile  float64 // e.g. 0.99; must be in (0, 1)
+	Threshold float64 // seconds; must be > 0
+}
+
+// Breach describes one objective violation over one evaluation window.
+type Breach struct {
+	SLO         string    `json:"slo"`
+	Quantile    float64   `json:"quantile"`
+	Threshold   float64   `json:"threshold"`
+	WindowStart time.Time `json:"windowStart"`
+	WindowEnd   time.Time `json:"windowEnd"`
+	// Observations and Bad count the window's samples and those over
+	// threshold; Estimate is the window's observed quantile.
+	Observations uint64  `json:"observations"`
+	Bad          uint64  `json:"bad"`
+	ErrorRate    float64 `json:"errorRate"`
+	Burn         float64 `json:"burn"`
+	Estimate     float64 `json:"estimate"`
+}
+
+// WatchdogConfig tunes the evaluator.
+type WatchdogConfig struct {
+	// Interval between evaluations (default 15s).
+	Interval time.Duration
+	// Window is how far back burn rates look (default 5m).
+	Window time.Duration
+	// MaxBurn is the burn-rate trigger (default 1.0: the error budget is
+	// being consumed exactly as fast as the objective allows).
+	MaxBurn float64
+	// OnBreach is invoked for every breach, from the watchdog goroutine.
+	OnBreach func(Breach)
+	// Logger receives a structured warning per breach (nil: silent).
+	Logger *slog.Logger
+}
+
+// Watchdog periodically snapshots latency histograms and computes
+// windowed burn rates against objectives. The burn rate is
+// (bad/total)/(1−q): the fraction of window observations over threshold,
+// divided by the error budget an SLO of quantile q grants. Burn > 1
+// means the budget is being spent faster than it accrues.
+//
+// Bucket resolution bounds accuracy: an observation counts as "bad" when
+// it falls in a bucket wholly above the threshold, so thresholds between
+// bucket bounds under-count marginally bad samples. State the objective
+// at (or near) a bucket bound for exact accounting.
+type Watchdog struct {
+	cfg  WatchdogConfig
+	objs []Objective
+
+	mu    sync.Mutex
+	rings [][]timedSnap
+
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+type timedSnap struct {
+	at   time.Time
+	snap obs.HistogramSnapshot
+}
+
+// NewWatchdog builds a watchdog over the valid objectives (those with a
+// source histogram, a quantile in (0,1) and a positive threshold);
+// invalid ones are dropped. With no valid objectives the watchdog is
+// inert: Start and Stop no-op.
+func NewWatchdog(cfg WatchdogConfig, objs ...Objective) *Watchdog {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 15 * time.Second
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 5 * time.Minute
+	}
+	if cfg.MaxBurn <= 0 {
+		cfg.MaxBurn = 1.0
+	}
+	w := &Watchdog{cfg: cfg, stop: make(chan struct{}), done: make(chan struct{})}
+	for _, o := range objs {
+		if o.Source == nil || o.Quantile <= 0 || o.Quantile >= 1 || o.Threshold <= 0 {
+			continue
+		}
+		w.objs = append(w.objs, o)
+	}
+	w.rings = make([][]timedSnap, len(w.objs))
+	return w
+}
+
+// Objectives returns the names of the active objectives, sorted.
+func (w *Watchdog) Objectives() []string {
+	if w == nil {
+		return nil
+	}
+	names := make([]string, len(w.objs))
+	for i, o := range w.objs {
+		names[i] = o.Name
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Start launches the evaluation loop; it runs until Stop. Inert when the
+// watchdog is nil or has no objectives.
+func (w *Watchdog) Start() {
+	if w == nil || len(w.objs) == 0 {
+		return
+	}
+	go func() {
+		defer close(w.done)
+		t := time.NewTicker(w.cfg.Interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-w.stop:
+				return
+			case now := <-t.C:
+				w.tick(now)
+			}
+		}
+	}()
+}
+
+// Stop halts the loop and waits for it to exit. Idempotent, nil-safe.
+func (w *Watchdog) Stop() {
+	if w == nil || len(w.objs) == 0 {
+		return
+	}
+	w.once.Do(func() { close(w.stop) })
+	<-w.done
+}
+
+func (w *Watchdog) tick(now time.Time) {
+	for _, b := range w.Evaluate(now) {
+		if w.cfg.Logger != nil {
+			w.cfg.Logger.Warn("slo breach",
+				"slo", b.SLO,
+				"quantile", b.Quantile,
+				"threshold_s", b.Threshold,
+				"estimate_s", b.Estimate,
+				"burn", b.Burn,
+				"observations", b.Observations,
+				"bad", b.Bad,
+				"window_s", b.WindowEnd.Sub(b.WindowStart).Seconds())
+		}
+		if w.cfg.OnBreach != nil {
+			w.cfg.OnBreach(b)
+		}
+	}
+}
+
+// Evaluate performs one evaluation at the given instant and returns any
+// breaches. It is the deterministic core of the ticker loop, exported so
+// tests can drive time explicitly. The first call per objective only
+// establishes the baseline snapshot; breaches can surface from the
+// second call on.
+func (w *Watchdog) Evaluate(now time.Time) []Breach {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	var breaches []Breach
+	for i, o := range w.objs {
+		ring := append(w.rings[i], timedSnap{at: now, snap: o.Source.Snapshot()})
+		// Keep the newest snapshot at or before the window start as the
+		// baseline; everything older is dead weight.
+		cutoff := now.Add(-w.cfg.Window)
+		for len(ring) >= 2 && !ring[1].at.After(cutoff) {
+			ring = ring[1:]
+		}
+		w.rings[i] = ring
+		base, cur := ring[0], ring[len(ring)-1]
+		if b, ok := evalWindow(o, base, cur, w.cfg.MaxBurn); ok {
+			breaches = append(breaches, b)
+		}
+	}
+	return breaches
+}
+
+// evalWindow computes the burn rate of one objective across a window
+// delimited by two snapshots.
+func evalWindow(o Objective, base, cur timedSnap, maxBurn float64) (Breach, bool) {
+	total := cur.snap.Count - base.snap.Count
+	if total == 0 || len(cur.snap.Bounds) != len(base.snap.Bounds) {
+		return Breach{}, false
+	}
+	delta := obs.HistogramSnapshot{
+		Bounds: cur.snap.Bounds,
+		Counts: make([]uint64, len(cur.snap.Counts)),
+		Sum:    cur.snap.Sum - base.snap.Sum,
+		Count:  total,
+	}
+	for j := range delta.Counts {
+		delta.Counts[j] = cur.snap.Counts[j] - base.snap.Counts[j]
+	}
+	// Observations in buckets at or under the threshold bound are good;
+	// the rest (including +Inf) are bad.
+	idx := sort.SearchFloat64s(delta.Bounds, o.Threshold)
+	var good uint64
+	for j := 0; j <= idx && j < len(delta.Bounds); j++ {
+		good += delta.Counts[j]
+	}
+	bad := total - good
+	budget := 1 - o.Quantile
+	errRate := float64(bad) / float64(total)
+	burn := errRate / budget
+	if burn <= maxBurn {
+		return Breach{}, false
+	}
+	return Breach{
+		SLO:          o.Name,
+		Quantile:     o.Quantile,
+		Threshold:    o.Threshold,
+		WindowStart:  base.at,
+		WindowEnd:    cur.at,
+		Observations: total,
+		Bad:          bad,
+		ErrorRate:    errRate,
+		Burn:         burn,
+		Estimate:     delta.Quantile(o.Quantile),
+	}, true
+}
+
+// Run is a convenience for contexts: Start, then Stop when ctx ends.
+func (w *Watchdog) Run(ctx context.Context) {
+	if w == nil || len(w.objs) == 0 {
+		return
+	}
+	w.Start()
+	go func() {
+		<-ctx.Done()
+		w.Stop()
+	}()
+}

@@ -1,0 +1,122 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func sloObjective(h *obs.Histogram) Objective {
+	return Objective{Name: "decision-p99", Source: h, Quantile: 0.99, Threshold: 0.001}
+}
+
+func TestWatchdogBreachesOnSlowTail(t *testing.T) {
+	h := obs.MustHistogram(0.0001, 0.001, 0.01, 0.1)
+	w := NewWatchdog(WatchdogConfig{Window: time.Minute}, sloObjective(h))
+	t0 := time.Unix(1000, 0)
+	if br := w.Evaluate(t0); br != nil {
+		t.Fatalf("baseline tick must not breach, got %+v", br)
+	}
+	// 10% of observations over the 1ms threshold: burn = 0.10/0.01 = 10.
+	for i := 0; i < 90; i++ {
+		h.Observe(0.0005)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(0.05)
+	}
+	br := w.Evaluate(t0.Add(15 * time.Second))
+	if len(br) != 1 {
+		t.Fatalf("got %d breaches, want 1", len(br))
+	}
+	b := br[0]
+	if b.SLO != "decision-p99" || b.Observations != 100 || b.Bad != 10 {
+		t.Fatalf("breach = %+v", b)
+	}
+	if b.Burn < 9.9 || b.Burn > 10.1 {
+		t.Fatalf("burn = %v, want ~10", b.Burn)
+	}
+	if b.Estimate <= 0.001 {
+		t.Fatalf("estimate = %v, want above threshold", b.Estimate)
+	}
+}
+
+func TestWatchdogQuietWhenWithinBudget(t *testing.T) {
+	h := obs.MustHistogram(0.0001, 0.001, 0.01)
+	w := NewWatchdog(WatchdogConfig{Window: time.Minute}, sloObjective(h))
+	t0 := time.Unix(1000, 0)
+	w.Evaluate(t0)
+	for i := 0; i < 1000; i++ {
+		h.Observe(0.0005)
+	}
+	h.Observe(0.005) // 0.1% bad < 1% budget
+	if br := w.Evaluate(t0.Add(15 * time.Second)); br != nil {
+		t.Fatalf("unexpected breach: %+v", br)
+	}
+}
+
+func TestWatchdogWindowAgesOutOldBadness(t *testing.T) {
+	h := obs.MustHistogram(0.0001, 0.001, 0.01)
+	w := NewWatchdog(WatchdogConfig{Window: time.Minute, Interval: 15 * time.Second}, sloObjective(h))
+	t0 := time.Unix(1000, 0)
+	w.Evaluate(t0)
+	for i := 0; i < 10; i++ {
+		h.Observe(0.005) // all bad
+	}
+	if br := w.Evaluate(t0.Add(15 * time.Second)); len(br) != 1 {
+		t.Fatalf("want breach while badness is in window, got %+v", br)
+	}
+	// No new observations: once every snapshot inside the window already
+	// includes the bad batch, the delta is empty and the breach clears.
+	var last []Breach
+	for i := 2; i <= 10; i++ {
+		last = w.Evaluate(t0.Add(time.Duration(i) * 15 * time.Second))
+	}
+	if last != nil {
+		t.Fatalf("breach did not age out of the window: %+v", last)
+	}
+}
+
+func TestWatchdogIgnoresInvalidObjectives(t *testing.T) {
+	h := obs.MustHistogram(1)
+	w := NewWatchdog(WatchdogConfig{},
+		Objective{Name: "no-source", Quantile: 0.5, Threshold: 1},
+		Objective{Name: "bad-q", Source: h, Quantile: 1.5, Threshold: 1},
+		Objective{Name: "bad-threshold", Source: h, Quantile: 0.5, Threshold: 0},
+	)
+	if names := w.Objectives(); len(names) != 0 {
+		t.Fatalf("objectives = %v, want none", names)
+	}
+	// Inert watchdog: Start/Stop are no-ops and must not hang.
+	w.Start()
+	w.Stop()
+}
+
+func TestWatchdogStartStop(t *testing.T) {
+	h := obs.MustHistogram(0.001, 1)
+	var fired = make(chan Breach, 16)
+	w := NewWatchdog(WatchdogConfig{
+		Interval: time.Millisecond,
+		Window:   time.Second,
+		OnBreach: func(b Breach) {
+			select {
+			case fired <- b:
+			default:
+			}
+		},
+	}, sloObjective(h))
+	w.Start()
+	deadline := time.After(5 * time.Second)
+	for i := 0; ; i++ {
+		h.Observe(0.5) // always over the 1ms threshold
+		select {
+		case <-fired:
+			w.Stop()
+			w.Stop() // idempotent
+			return
+		case <-deadline:
+			t.Fatal("watchdog never fired")
+		case <-time.After(time.Millisecond):
+		}
+	}
+}

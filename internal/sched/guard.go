@@ -82,6 +82,7 @@ type Guard struct {
 	degradedS     float64
 	lastReviewAt  float64
 	events        []DegradeEvent
+	onEvent       func(DegradeEvent)
 }
 
 // NewGuard builds a guard; zero-value config fields take defaults.
@@ -99,6 +100,21 @@ func (g *Guard) TECAllowed() bool { return g.mode == "" }
 
 // DegradedTimeS returns the cumulative simulated seconds spent degraded.
 func (g *Guard) DegradedTimeS() float64 { return g.degradedS }
+
+// SetOnEvent registers a hook invoked synchronously for every degradation
+// transition (entries and recoveries), in addition to the Events record.
+// The simulation uses it to stream transitions into the metrics registry
+// and the flight recorder while the run is still in progress. A nil fn
+// clears the hook.
+func (g *Guard) SetOnEvent(fn func(DegradeEvent)) { g.onEvent = fn }
+
+// record appends a transition and fires the hook.
+func (g *Guard) record(ev DegradeEvent) {
+	g.events = append(g.events, ev)
+	if g.onEvent != nil {
+		g.onEvent(ev)
+	}
+}
 
 // Events returns a copy of the recorded degradation transitions.
 func (g *Guard) Events() []DegradeEvent {
@@ -119,14 +135,14 @@ func (g *Guard) Review(ctx Context, dec Decision) Decision {
 	mode, detail := g.diagnose(ctx.Health)
 	if mode != g.mode {
 		if g.mode != "" {
-			g.events = append(g.events, DegradeEvent{
+			g.record(DegradeEvent{
 				At: ctx.Now, Mode: g.mode, Recovered: true,
 				Detail: fmt.Sprintf("inputs healthy after %.0fs", ctx.Now-g.degradedSince),
 			})
 		}
 		if mode != "" {
 			g.degradedSince = ctx.Now
-			g.events = append(g.events, DegradeEvent{At: ctx.Now, Mode: mode, Detail: detail})
+			g.record(DegradeEvent{At: ctx.Now, Mode: mode, Detail: detail})
 		}
 		g.mode = mode
 	}

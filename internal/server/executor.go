@@ -11,6 +11,8 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/metrics"
+	"repro/internal/sched"
 	"repro/internal/sim"
 )
 
@@ -69,6 +71,13 @@ type ExecutorConfig struct {
 	// job logs a warning (with its request ID) and increments
 	// capmand_queue_wait_warnings_total (default 30s; negative disables).
 	QueueWaitWarn time.Duration
+	// DisableFlight turns off per-job flight recording: no black boxes are
+	// cut for failed jobs, GET /v1/jobs/{id}/flight returns 404, and jobs
+	// skip span tracing. The default (zero value) records every job.
+	DisableFlight bool
+	// FlightEvents bounds each job's flight-recorder ring (default
+	// obs.DefaultFlightEvents); the ring keeps the newest events.
+	FlightEvents int
 	// Registry resolves job specs (default DefaultRegistry()).
 	Registry *Registry
 	// Metrics receives the executor's instrumentation (default a fresh
@@ -104,6 +113,9 @@ func (c ExecutorConfig) withDefaults() ExecutorConfig {
 	if c.QueueWaitWarn < 0 {
 		c.QueueWaitWarn = 0 // any negative value means "never warn"
 	}
+	if c.FlightEvents <= 0 {
+		c.FlightEvents = obs.DefaultFlightEvents
+	}
 	if c.Registry == nil {
 		c.Registry = DefaultRegistry()
 	}
@@ -130,6 +142,8 @@ type Executor struct {
 	queueWarn  time.Duration
 	breakers   *breakerSet
 	logger     *slog.Logger
+	flightOff  bool
+	flightLen  int
 	runFn      func(context.Context, JobSpec, sim.Config) (*Outcome, error) // test seam
 
 	mu       sync.Mutex
@@ -155,6 +169,8 @@ func NewExecutor(cfg ExecutorConfig) *Executor {
 		queueWarn:  cfg.QueueWaitWarn,
 		breakers:   newBreakerSet(cfg.Breaker),
 		logger:     cfg.Logger,
+		flightOff:  cfg.DisableFlight,
+		flightLen:  cfg.FlightEvents,
 		runFn:      runJob,
 		jobs:       make(map[string]*Job),
 		inflight:   make(map[string]*Job),
@@ -381,6 +397,33 @@ func (e *Executor) worker() {
 		}
 		e.mu.Unlock()
 
+		// Per-job observability. The metrics sink is always attached: it
+		// streams decision latency, phase timings, and degradations into
+		// the shared panel without perturbing the Result. Unless flight
+		// recording is off, the job also gets a flight recorder plus span
+		// tracing; their snapshot becomes the black box if the job fails.
+		cfg.Metrics = e.sink()
+		if p, ok := cfg.Policy.(interface{ SetEMDLatency(*obs.Histogram) }); ok {
+			p.SetEMDLatency(e.metrics.EMDLatency.Base())
+		}
+		var (
+			fl     *obs.FlightRecorder
+			rec    *obs.Recorder
+			before []metrics.Sample
+		)
+		if !e.flightOff {
+			fl = obs.NewFlightRecorder(e.flightLen)
+			rec = obs.NewRecorder(0)
+			before = e.metrics.Registry().Gather()
+			ctx = obs.WithRecorder(obs.WithFlight(ctx, fl), rec)
+			fl.RecordAttrs(obs.FlightTimeline, "job.start",
+				fmt.Sprintf("dequeued after %.3fs queued", wait.Seconds()),
+				map[string]string{
+					"job_id": job.ID, "request_id": job.RequestID,
+					"workload": spec.Workload, "policy": spec.Policy,
+				})
+		}
+
 		e.metrics.WorkersBusy.Add(1)
 		out, attempts, err := e.runWithRetries(ctx, job, spec, cfg)
 		cancel()
@@ -437,6 +480,44 @@ func (e *Executor) worker() {
 			e.metrics.FaultsInjected.Add(uint64(out.Run.FaultCounts.Total()))
 			e.metrics.Degradations.Add(uint64(len(out.Run.Degradations)))
 		}
+
+		// Cut the black box last, so the metric deltas include everything
+		// the failure moved (failed counter, wall histogram, retries).
+		if fl != nil && state == StateFailed {
+			fl.RecordAttrs(obs.FlightTimeline, "job.end", err.Error(),
+				map[string]string{
+					"state":    string(state),
+					"attempts": fmt.Sprintf("%d", attempts),
+					"wall_s":   fmt.Sprintf("%.3f", wall.Seconds()),
+				})
+			box := fl.Snapshot(
+				fmt.Sprintf("job failed after %d attempt(s): %v", attempts, err), rec)
+			deltas := metrics.DeltaSamples(before, e.metrics.Registry().Gather())
+			e.mu.Lock()
+			job.flight = &JobFlight{
+				ID: job.ID, RequestID: job.RequestID, State: job.State,
+				Error: job.Err, Attempts: job.Attempts,
+				Box: box, MetricDeltas: deltas,
+			}
+			e.mu.Unlock()
+		}
+	}
+}
+
+// sink builds the MetricsSink that streams a running job's instrumentation
+// into the shared panel: per-decision host latency, per-phase wall clock,
+// and guard degradation entries by mode.
+func (e *Executor) sink() *sim.MetricsSink {
+	return &sim.MetricsSink{
+		DecisionLatency: e.metrics.DecisionLatency.Base(),
+		PhaseSeconds: func(phase string, s float64) {
+			e.metrics.PhaseSeconds.WithLabelValues(phase).Add(s)
+		},
+		OnDegrade: func(ev sched.DegradeEvent) {
+			if !ev.Recovered {
+				e.metrics.Degrades.WithLabelValues(ev.Mode).Inc()
+			}
+		},
 	}
 }
 
@@ -446,6 +527,13 @@ func (e *Executor) worker() {
 // cancellation — expires. It reports how many attempts ran (at least 1)
 // and records each retry in the job's timeline.
 func (e *Executor) runWithRetries(ctx context.Context, job *Job, spec JobSpec, cfg sim.Config) (*Outcome, int, error) {
+	fl := obs.FlightFrom(ctx)
+	log := e.logger
+	if fl != nil {
+		// Tee the job's log lines into its flight recorder: the black box
+		// keeps even records the main handler's level would discard.
+		log = slog.New(fl.TeeHandler(e.logger.Handler()))
+	}
 	attempts := 0
 	for {
 		attempts++
@@ -459,7 +547,9 @@ func (e *Executor) runWithRetries(ctx context.Context, job *Job, spec JobSpec, c
 		job.timeline.add(EventRetrying,
 			fmt.Sprintf("attempt %d failed (%v); backing off %s", attempts, err, delay.Round(time.Millisecond)))
 		e.mu.Unlock()
-		e.logger.Warn("job attempt failed; retrying",
+		fl.Recordf(obs.FlightTimeline, "job.retry",
+			"attempt %d failed (%v); backing off %s", attempts, err, delay.Round(time.Millisecond))
+		log.Warn("job attempt failed; retrying",
 			"request_id", job.RequestID, "job_id", job.ID,
 			"attempt", attempts, "backoff", delay.String(), "error", err)
 		if !sleepCtx(ctx, delay) {

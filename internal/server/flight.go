@@ -1,0 +1,51 @@
+package server
+
+import (
+	"errors"
+
+	"repro/internal/obs"
+	"repro/internal/obs/metrics"
+)
+
+// ErrNoFlight reports that a job exists but has no flight box: it has not
+// failed (boxes are cut only when a job's retries are exhausted), or the
+// executor was built with DisableFlight.
+var ErrNoFlight = errors.New("server: no flight box recorded for job")
+
+// JobFlight is a failed job's "black box": the bounded flight-recorder
+// ring (log records, lifecycle timeline, degradation transitions), the
+// span tree of the final attempt, and the registry metric deltas the job
+// caused — everything needed to reconstruct the failure after the fact,
+// served at GET /v1/jobs/{id}/flight.
+type JobFlight struct {
+	ID        string `json:"id"`
+	RequestID string `json:"requestId,omitempty"`
+	State     State  `json:"state"`
+	Error     string `json:"error,omitempty"`
+	Attempts  int    `json:"attempts,omitempty"`
+
+	// Box holds the recorder's snapshot: events oldest-first (newest kept
+	// when the ring overflowed) plus the traced span tree.
+	Box obs.FlightBox `json:"box"`
+
+	// MetricDeltas lists every registry series that moved between the
+	// job's dequeue and the box cut. Neighbouring jobs on other workers can
+	// bleed in — the panel is shared — but on a quiet daemon this is the
+	// job's own metric footprint.
+	MetricDeltas []metrics.Delta `json:"metricDeltas,omitempty"`
+}
+
+// Flight returns a job's black box, ErrNotFound for unknown jobs, and
+// ErrNoFlight for jobs that have no box (not failed, or recording is off).
+func (e *Executor) Flight(id string) (*JobFlight, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	job, ok := e.jobs[id]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	if job.flight == nil {
+		return nil, ErrNoFlight
+	}
+	return job.flight, nil
+}

@@ -1,0 +1,258 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// faultySpec runs long enough simulated time for the stuck-switch fault
+// plan (which engages at t=600s) to trip the degradation guard, while
+// staying fast in wall clock. The heuristic policy flips batteries often
+// enough to rack up the eight consecutive unacked switches the guard
+// needs; dual barely switches on this workload and never notices.
+func faultySpec() JobSpec {
+	return JobSpec{
+		Workload: "video", Policy: "heuristic", Seed: 42,
+		BigMAh: 600, LittleMAh: 600, MaxTimeS: 20_000,
+		FaultPlan: "stuck-switch",
+	}
+}
+
+// alwaysFail wraps the real runner: the simulation executes in full (so
+// spans, degradations, and sink metrics are real) but the job still fails
+// with a retryable error, exhausting the retry budget.
+func alwaysFail(ctx context.Context, spec JobSpec, cfg sim.Config) (*Outcome, error) {
+	if _, err := runJob(ctx, spec, cfg); err != nil {
+		return nil, err
+	}
+	return nil, fmt.Errorf("%w: injected post-run failure", ErrRetryable)
+}
+
+// TestFailedJobFlightBox: a fault-injected job whose retries exhaust gets
+// a black box holding timeline events, degrade breadcrumbs, teed log
+// records, the span forest, and the registry metric deltas.
+func TestFailedJobFlightBox(t *testing.T) {
+	m := NewMetrics()
+	e := newTestExecutor(t, ExecutorConfig{
+		Workers: 1, Metrics: m, MaxRetries: 1, RetryBaseDelay: time.Millisecond,
+	})
+	e.runFn = alwaysFail
+
+	v, err := e.Submit(faultySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := awaitExec(t, e, v.ID, func(v View) bool { return v.State.Terminal() }, "terminal")
+	if done.State != StateFailed {
+		t.Fatalf("job ended %q, want failed", done.State)
+	}
+
+	fl, err := e.Flight(v.ID)
+	if err != nil {
+		t.Fatalf("Flight(%s): %v", v.ID, err)
+	}
+	if fl.State != StateFailed || fl.Error == "" || fl.Attempts != 2 {
+		t.Errorf("flight header = %+v, want failed state, error, 2 attempts", fl)
+	}
+	if fl.Box.Reason == "" || len(fl.Box.Events) == 0 {
+		t.Fatalf("flight box empty: reason=%q events=%d", fl.Box.Reason, len(fl.Box.Events))
+	}
+
+	kinds := map[string]int{}
+	names := map[string]int{}
+	for _, ev := range fl.Box.Events {
+		kinds[ev.Kind]++
+		names[ev.Name]++
+	}
+	for _, want := range []string{"job.start", "job.retry", "job.end"} {
+		if names[want] == 0 {
+			t.Errorf("flight box missing %s timeline event (have %v)", want, names)
+		}
+	}
+	if kinds[obs.FlightDegrade] == 0 {
+		t.Errorf("flight box has no degrade breadcrumbs (kinds %v)", kinds)
+	}
+	if kinds[obs.FlightLog] == 0 {
+		t.Errorf("flight box has no teed log records (kinds %v)", kinds)
+	}
+	if len(fl.Box.Spans) == 0 {
+		t.Error("flight box has no spans")
+	}
+	if len(fl.MetricDeltas) == 0 {
+		t.Fatal("flight box has no metric deltas")
+	}
+	deltas := map[string]float64{}
+	for _, d := range fl.MetricDeltas {
+		deltas[d.Name] += d.After - d.Before
+	}
+	if deltas["capmand_jobs_failed_total"] < 1 {
+		t.Errorf("deltas missing the job's own failure: %v", deltas)
+	}
+	if deltas["capman_decision_latency_seconds_count"] <= 0 {
+		t.Errorf("deltas missing streamed decision latencies: %v", deltas)
+	}
+
+	// The black box JSON (what the HTTP endpoint serves) is non-empty and
+	// round-trips.
+	var buf bytes.Buffer
+	if err := fl.Box.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back obs.FlightBox
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("box JSON does not round-trip: %v", err)
+	}
+	if len(back.Events) != len(fl.Box.Events) {
+		t.Errorf("round-trip lost events: %d != %d", len(back.Events), len(fl.Box.Events))
+	}
+}
+
+// TestFlightDisabledAndMissing: DisableFlight yields ErrNoFlight even for
+// failed jobs; unknown jobs stay ErrNotFound.
+func TestFlightDisabledAndMissing(t *testing.T) {
+	e := newTestExecutor(t, ExecutorConfig{
+		Workers: 1, MaxRetries: -1, DisableFlight: true,
+	})
+	e.runFn = func(context.Context, JobSpec, sim.Config) (*Outcome, error) {
+		return nil, errors.New("boom")
+	}
+	v, err := e.Submit(fastSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	awaitExec(t, e, v.ID, func(v View) bool { return v.State == StateFailed }, "failed")
+	if _, err := e.Flight(v.ID); !errors.Is(err, ErrNoFlight) {
+		t.Errorf("Flight with recording disabled: %v, want ErrNoFlight", err)
+	}
+	if _, err := e.Flight("j99999999"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("Flight(unknown): %v, want ErrNotFound", err)
+	}
+}
+
+// TestFlightHTTPEndpoint drives the whole path over HTTP: submit a job
+// that fails, poll it terminal, fetch its black box, and check the 404s.
+func TestFlightHTTPEndpoint(t *testing.T) {
+	srv, ts := newTestServer(t, ExecutorConfig{
+		Workers: 1, MaxRetries: -1, RetryBaseDelay: time.Millisecond,
+	})
+	srv.Executor().runFn = alwaysFail
+
+	v, status := submit(t, ts, faultySpec())
+	if status != http.StatusAccepted {
+		t.Fatalf("submit status %d, want 202", status)
+	}
+	awaitJob(t, ts, v.ID, func(v View) bool { return v.State.Terminal() }, "terminal")
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/" + v.ID + "/flight")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET flight = %d, want 200", resp.StatusCode)
+	}
+	var fl JobFlight
+	if err := json.NewDecoder(resp.Body).Decode(&fl); err != nil {
+		t.Fatal(err)
+	}
+	if fl.ID != v.ID || len(fl.Box.Events) == 0 || len(fl.MetricDeltas) == 0 {
+		t.Errorf("flight over HTTP incomplete: id=%q events=%d deltas=%d",
+			fl.ID, len(fl.Box.Events), len(fl.MetricDeltas))
+	}
+
+	for _, path := range []string{"/v1/jobs/nope/flight"} {
+		r, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r.Body.Close()
+		if r.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s = %d, want 404", path, r.StatusCode)
+		}
+	}
+}
+
+// TestStuckSwitchJobStreamsPanelMetrics: a successful fault-injected job
+// streams its instrumentation into the shared panel while running — the
+// degradation counter by reason, per-phase wall clock, and per-decision
+// latency all move, and /metrics exposes them.
+func TestStuckSwitchJobStreamsPanelMetrics(t *testing.T) {
+	m := NewMetrics()
+	e := newTestExecutor(t, ExecutorConfig{Workers: 1, Metrics: m})
+
+	v, err := e.Submit(faultySpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := awaitExec(t, e, v.ID, func(v View) bool { return v.State.Terminal() }, "terminal")
+	if done.State != StateDone {
+		t.Fatalf("job ended %q (err %q), want done", done.State, done.Error)
+	}
+	if done.Outcome == nil || done.Outcome.Run == nil || len(done.Outcome.Run.Degradations) == 0 {
+		t.Fatal("run did not degrade; test premise broken")
+	}
+
+	if got := m.Degrades.WithLabelValues("stuck-switch").Value(); got == 0 {
+		t.Error("capman_degrade_total{reason=\"stuck-switch\"} = 0, want > 0")
+	}
+	if got := m.DecisionLatency.Count(); got == 0 {
+		t.Error("capman_decision_latency_seconds saw no observations")
+	}
+	if got := m.PhaseSeconds.WithLabelValues("policy").Value(); got <= 0 {
+		t.Errorf("capman_sim_phase_seconds_total{phase=\"policy\"} = %g, want > 0", got)
+	}
+
+	var sb strings.Builder
+	if err := m.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `capman_degrade_total{reason="stuck-switch"}`) {
+		t.Error("/metrics missing capman_degrade_total{reason=\"stuck-switch\"}")
+	}
+}
+
+// TestServerSLOWatchdogBreach arms the queue-wait SLO with an impossible
+// threshold, floods the histogram with slow observations, and waits for
+// the live watchdog to convict and bump capmand_slo_breach_total.
+func TestServerSLOWatchdogBreach(t *testing.T) {
+	m := NewMetrics()
+	s := New(Config{
+		Executor: ExecutorConfig{Workers: 1, Metrics: m},
+		SLO: SLOConfig{
+			QueueWaitP95: time.Microsecond, // everything observed is "bad"
+			Window:       50 * time.Millisecond,
+			Interval:     5 * time.Millisecond,
+		},
+	})
+	t.Cleanup(func() {
+		ctx, cancel := contextWithTimeout(2 * time.Second)
+		defer cancel()
+		_ = s.Drain(ctx)
+	})
+	if s.Watchdog() == nil {
+		t.Fatal("SLO configured but no watchdog armed")
+	}
+
+	time.Sleep(15 * time.Millisecond) // let the watchdog establish a baseline
+	for i := 0; i < 200; i++ {
+		m.QueueWaitSeconds.Observe(1.0)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if m.SLOBreaches.WithLabelValues("queue-wait-p95").Value() > 0 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("watchdog never convicted a blatant SLO breach")
+}

@@ -60,6 +60,11 @@ type Job struct {
 	// GET /v1/jobs/{id}/events.
 	timeline timeline
 
+	// flight is the black box cut when the job fails, served at
+	// GET /v1/jobs/{id}/flight; nil for jobs that never failed (or when
+	// the executor runs with DisableFlight).
+	flight *JobFlight
+
 	cfg    sim.Config
 	cancel context.CancelFunc
 }

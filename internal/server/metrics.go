@@ -1,222 +1,163 @@
 package server
 
 import (
-	"fmt"
 	"io"
-	"math"
-	"sort"
-	"strconv"
-	"sync/atomic"
+	"sync"
 
 	"repro/internal/obs"
+	"repro/internal/obs/metrics"
 )
 
-// Counter is a monotonically increasing metric.
-type Counter struct {
-	v atomic.Uint64
-}
-
-// Inc adds one.
-func (c *Counter) Inc() { c.v.Add(1) }
-
-// Add moves the counter forward by n.
-func (c *Counter) Add(n uint64) { c.v.Add(n) }
-
-// Value returns the current count.
-func (c *Counter) Value() uint64 { return c.v.Load() }
-
-// Gauge is a metric that can go up and down.
-type Gauge struct {
-	v atomic.Int64
-}
-
-// Set stores the value.
-func (g *Gauge) Set(v int64) { g.v.Store(v) }
-
-// Add moves the gauge by delta.
-func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
-
-// Value returns the current level.
-func (g *Gauge) Value() int64 { return g.v.Load() }
-
-// Summary accumulates a sum and a count of float64 observations, exposed as
-// the Prometheus summary sum/count pair. The sum is stored as float64 bits
-// in a uint64 CAS loop so observation stays lock-free. The duration
-// metrics that used to be summaries are histograms now (obs.Histogram);
-// Summary remains part of the kit for metrics that only need a mean.
-type Summary struct {
-	sumBits atomic.Uint64
-	count   atomic.Uint64
-}
-
-// Observe records one sample.
-func (s *Summary) Observe(v float64) {
-	for {
-		old := s.sumBits.Load()
-		next := math.Float64bits(math.Float64frombits(old) + v)
-		if s.sumBits.CompareAndSwap(old, next) {
-			break
-		}
-	}
-	s.count.Add(1)
-}
-
-// Sum returns the accumulated total.
-func (s *Summary) Sum() float64 { return math.Float64frombits(s.sumBits.Load()) }
-
-// Count returns the number of observations.
-func (s *Summary) Count() uint64 { return s.count.Load() }
-
-// Metrics is capmand's instrument panel. All fields are safe for
-// concurrent use; WritePrometheus renders them in the Prometheus text
-// exposition format using only the standard library.
+// Metrics is capmand's instrument panel, built on the unified registry in
+// internal/obs/metrics. All instruments are safe for concurrent use;
+// WritePrometheus renders the whole registry — executor counters, the
+// simulation-streamed panel, runtime gauges, everything — through the one
+// strict exposition writer, so /metrics has a single consistent format.
 type Metrics struct {
-	JobsSubmitted Counter
-	JobsCompleted Counter
-	JobsFailed    Counter
-	JobsCancelled Counter
-	CacheHits     Counter
-	CacheMisses   Counter
+	reg *metrics.Registry
+
+	JobsSubmitted *metrics.Counter
+	JobsCompleted *metrics.Counter
+	JobsFailed    *metrics.Counter
+	JobsCancelled *metrics.Counter
+	CacheHits     *metrics.Counter
+	CacheMisses   *metrics.Counter
 
 	// Robustness instrumentation: worker panics turned into job errors,
 	// retry attempts, circuit-breaker trips, and the fault-injection /
 	// degradation totals reported by finished simulations.
-	JobPanics      Counter
-	JobRetries     Counter
-	BreakerTrips   Counter
-	FaultsInjected Counter
-	Degradations   Counter
+	JobPanics      *metrics.Counter
+	JobRetries     *metrics.Counter
+	BreakerTrips   *metrics.Counter
+	FaultsInjected *metrics.Counter
+	Degradations   *metrics.Counter
 
 	// QueueWaitWarnings counts jobs whose queue wait exceeded the
 	// executor's QueueWaitWarn threshold.
-	QueueWaitWarnings Counter
+	QueueWaitWarnings *metrics.Counter
 
-	QueueDepth  Gauge
-	WorkersBusy Gauge
-	Workers     Gauge
+	QueueDepth  *metrics.Gauge
+	WorkersBusy *metrics.Gauge
+	Workers     *metrics.Gauge
 
 	// JobWallSeconds and QueueWaitSeconds are fixed-bucket histograms
 	// (Prometheus histogram type with a +Inf bucket), so dashboards can
 	// read tail latencies instead of just a mean.
-	JobWallSeconds   *obs.Histogram
-	QueueWaitSeconds *obs.Histogram
+	JobWallSeconds   *metrics.Histogram
+	QueueWaitSeconds *metrics.Histogram
+
+	// Simulation-streamed panel: running jobs feed these live through a
+	// sim.MetricsSink, rather than the server scraping finished Results.
+	DecisionLatency *metrics.Histogram       // per-step Policy.Decide host latency
+	EMDLatency      *metrics.Histogram       // structural-similarity EMD computations
+	PhaseSeconds    *metrics.CounterFloatVec // cumulative step-phase wall clock, by phase
+	Degrades        *metrics.CounterVec      // guard transitions, by reason
+
+	// SLOBreaches counts watchdog burn-rate breaches, labeled by objective.
+	SLOBreaches *metrics.CounterVec
 
 	// BreakerStates, when set (the executor installs it), enumerates the
 	// per-registry-entry circuit breakers for the labeled breaker_state
 	// gauge: 0 closed, 1 half-open, 2 open.
 	BreakerStates func() map[string]string
+
+	runtimeOnce sync.Once
 }
 
-// NewMetrics returns a zeroed instrument panel.
+// NewMetrics returns a fresh instrument panel backed by its own registry.
 func NewMetrics() *Metrics {
-	return &Metrics{
-		JobWallSeconds:   obs.MustHistogram(obs.WallBuckets()...),
-		QueueWaitSeconds: obs.MustHistogram(obs.WallBuckets()...),
+	reg := metrics.NewRegistry()
+	m := &Metrics{
+		reg: reg,
+
+		JobsSubmitted: reg.Counter("capmand_jobs_submitted_total",
+			"Jobs accepted by POST /v1/jobs."),
+		JobsCompleted: reg.Counter("capmand_jobs_completed_total",
+			"Jobs that finished successfully."),
+		JobsFailed: reg.Counter("capmand_jobs_failed_total",
+			"Jobs that ended in an error."),
+		JobsCancelled: reg.Counter("capmand_jobs_cancelled_total",
+			"Jobs cancelled before completion."),
+		CacheHits: reg.Counter("capmand_cache_hits_total",
+			"Submissions served from the result cache or coalesced onto an in-flight job."),
+		CacheMisses: reg.Counter("capmand_cache_misses_total",
+			"Submissions that had to run the simulator."),
+		JobPanics: reg.Counter("capmand_job_panics_total",
+			"Worker panics recovered into job failures."),
+		JobRetries: reg.Counter("capmand_job_retries_total",
+			"Retry attempts for jobs that failed with retryable errors."),
+		BreakerTrips: reg.Counter("capmand_breaker_trips_total",
+			"Circuit breakers tripped open by consecutive failures."),
+		FaultsInjected: reg.Counter("capmand_faults_injected_total",
+			"Fault events injected by finished simulations."),
+		Degradations: reg.Counter("capmand_degradations_total",
+			"Graceful-degradation transitions reported by finished simulations."),
+		QueueWaitWarnings: reg.Counter("capmand_queue_wait_warnings_total",
+			"Jobs whose queue wait exceeded the warning threshold."),
+
+		QueueDepth: reg.Gauge("capmand_queue_depth",
+			"Jobs waiting in the FIFO queue."),
+		WorkersBusy: reg.Gauge("capmand_workers_busy",
+			"Workers currently executing a job."),
+		Workers: reg.Gauge("capmand_workers",
+			"Size of the worker pool."),
+
+		JobWallSeconds: reg.Histogram("capmand_job_wall_seconds",
+			"Wall-clock time spent executing jobs.", obs.WallBuckets()),
+		QueueWaitSeconds: reg.Histogram("capmand_queue_wait_seconds",
+			"Time jobs spent queued between submit and dequeue; the per-job timeout starts at dequeue, after this wait.",
+			obs.WallBuckets()),
+
+		DecisionLatency: reg.Histogram("capman_decision_latency_seconds",
+			"Per-step Policy.Decide host latency streamed live from running simulations.",
+			obs.LatencyBuckets()),
+		EMDLatency: reg.Histogram("capman_emd_latency_seconds",
+			"Host latency of structural-similarity EMD computations inside the CAPMAN policy.",
+			obs.LatencyBuckets()),
+		PhaseSeconds: reg.CounterFloatVec("capman_sim_phase_seconds_total",
+			"Cumulative wall-clock seconds simulations spent per step phase.", "phase"),
+		Degrades: reg.CounterVec("capman_degrade_total",
+			"Graceful-degradation transitions streamed live from running simulations, by guard mode.",
+			"reason"),
+
+		SLOBreaches: reg.CounterVec("capmand_slo_breach_total",
+			"SLO watchdog burn-rate breaches, by objective.", "slo"),
 	}
+	reg.LabeledGaugeFunc("capmand_breaker_state",
+		"Per-registry-entry circuit breaker state (0 closed, 1 half-open, 2 open).",
+		"entry", func() map[string]float64 {
+			if m.BreakerStates == nil {
+				return nil
+			}
+			states := m.BreakerStates()
+			out := make(map[string]float64, len(states))
+			for entry, state := range states {
+				v := 0.0
+				switch state {
+				case "half-open":
+					v = 1
+				case "open":
+					v = 2
+				}
+				out[entry] = v
+			}
+			return out
+		})
+	return m
+}
+
+// Registry exposes the panel's underlying registry, for Gather snapshots
+// (the flight recorder's metric deltas) and SLO watchdog wiring.
+func (m *Metrics) Registry() *metrics.Registry { return m.reg }
+
+// RegisterRuntime adds the Go runtime / process gauges and the build-info
+// series to the panel's registry. Idempotent: the daemon calls it once at
+// startup, and a shared panel won't double-register.
+func (m *Metrics) RegisterRuntime(version string) {
+	m.runtimeOnce.Do(func() { metrics.RegisterRuntime(m.reg, version) })
 }
 
 // WritePrometheus renders every metric in the text exposition format.
 func (m *Metrics) WritePrometheus(w io.Writer) error {
-	counters := []struct {
-		name, help string
-		c          *Counter
-	}{
-		{"capmand_jobs_submitted_total", "Jobs accepted by POST /v1/jobs.", &m.JobsSubmitted},
-		{"capmand_jobs_completed_total", "Jobs that finished successfully.", &m.JobsCompleted},
-		{"capmand_jobs_failed_total", "Jobs that ended in an error.", &m.JobsFailed},
-		{"capmand_jobs_cancelled_total", "Jobs cancelled before completion.", &m.JobsCancelled},
-		{"capmand_cache_hits_total", "Submissions served from the result cache or coalesced onto an in-flight job.", &m.CacheHits},
-		{"capmand_cache_misses_total", "Submissions that had to run the simulator.", &m.CacheMisses},
-		{"capmand_job_panics_total", "Worker panics recovered into job failures.", &m.JobPanics},
-		{"capmand_job_retries_total", "Retry attempts for jobs that failed with retryable errors.", &m.JobRetries},
-		{"capmand_breaker_trips_total", "Circuit breakers tripped open by consecutive failures.", &m.BreakerTrips},
-		{"capmand_faults_injected_total", "Fault events injected by finished simulations.", &m.FaultsInjected},
-		{"capmand_degradations_total", "Graceful-degradation transitions reported by finished simulations.", &m.Degradations},
-		{"capmand_queue_wait_warnings_total", "Jobs whose queue wait exceeded the warning threshold.", &m.QueueWaitWarnings},
-	}
-	for _, c := range counters {
-		if err := writeMetric(w, c.name, c.help, "counter", float64(c.c.Value())); err != nil {
-			return err
-		}
-	}
-	gauges := []struct {
-		name, help string
-		g          *Gauge
-	}{
-		{"capmand_queue_depth", "Jobs waiting in the FIFO queue.", &m.QueueDepth},
-		{"capmand_workers_busy", "Workers currently executing a job.", &m.WorkersBusy},
-		{"capmand_workers", "Size of the worker pool.", &m.Workers},
-	}
-	for _, g := range gauges {
-		if err := writeMetric(w, g.name, g.help, "gauge", float64(g.g.Value())); err != nil {
-			return err
-		}
-	}
-	hists := []struct {
-		name, help string
-		h          *obs.Histogram
-	}{
-		{"capmand_job_wall_seconds", "Wall-clock time spent executing jobs.", m.JobWallSeconds},
-		{"capmand_queue_wait_seconds", "Time jobs spent queued between submit and dequeue; the per-job timeout starts at dequeue, after this wait.", m.QueueWaitSeconds},
-	}
-	for _, h := range hists {
-		if err := writeHistogram(w, h.name, h.help, h.h); err != nil {
-			return err
-		}
-	}
-	if m.BreakerStates != nil {
-		states := m.BreakerStates()
-		entries := make([]string, 0, len(states))
-		for entry := range states {
-			entries = append(entries, entry)
-		}
-		sort.Strings(entries)
-		if _, err := fmt.Fprintf(w,
-			"# HELP capmand_breaker_state Per-registry-entry circuit breaker state (0 closed, 1 half-open, 2 open).\n"+
-				"# TYPE capmand_breaker_state gauge\n"); err != nil {
-			return err
-		}
-		for _, entry := range entries {
-			v := 0
-			switch states[entry] {
-			case "half-open":
-				v = 1
-			case "open":
-				v = 2
-			}
-			if _, err := fmt.Fprintf(w, "capmand_breaker_state{entry=%q} %d\n", entry, v); err != nil {
-				return err
-			}
-		}
-	}
-	return nil
-}
-
-func writeMetric(w io.Writer, name, help, typ string, v float64) error {
-	_, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n%s %g\n", name, help, name, typ, name, v)
-	return err
-}
-
-// writeHistogram renders one histogram family: cumulative le buckets
-// ending in the mandatory +Inf bucket, then the sum/count pair. A nil
-// histogram renders as empty (all-zero) so a hand-built Metrics still
-// exposes a well-formed family.
-func writeHistogram(w io.Writer, name, help string, h *obs.Histogram) error {
-	snap := h.Snapshot()
-	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name); err != nil {
-		return err
-	}
-	var cum uint64
-	for i, b := range snap.Bounds {
-		cum += snap.Counts[i]
-		le := strconv.FormatFloat(b, 'g', -1, 64)
-		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, cum); err != nil {
-			return err
-		}
-	}
-	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, snap.Count); err != nil {
-		return err
-	}
-	_, err := fmt.Fprintf(w, "%s_sum %g\n%s_count %d\n", name, snap.Sum, name, snap.Count)
-	return err
+	return m.reg.WritePrometheus(w)
 }

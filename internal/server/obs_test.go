@@ -170,6 +170,11 @@ func TestPrometheusExpositionWellFormed(t *testing.T) {
 		m.JobWallSeconds.Observe(v)
 	}
 	m.QueueWaitSeconds.Observe(0.3)
+	m.DecisionLatency.Observe(3e-6)
+	m.PhaseSeconds.WithLabelValues("policy").Add(1.5)
+	m.Degrades.WithLabelValues("stuck-switch").Inc()
+	m.SLOBreaches.WithLabelValues("decision-latency-p99").Inc()
+	m.RegisterRuntime("test")
 	m.BreakerStates = func() map[string]string {
 		return map[string]string{
 			"video|dual":         "open",
@@ -191,6 +196,12 @@ func TestPrometheusExpositionWellFormed(t *testing.T) {
 		"capmand_job_wall_seconds":          "histogram",
 		"capmand_queue_wait_seconds":        "histogram",
 		"capmand_breaker_state":             "gauge",
+		"capman_decision_latency_seconds":   "histogram",
+		"capman_sim_phase_seconds_total":    "counter",
+		"capman_degrade_total":              "counter",
+		"capmand_slo_breach_total":          "counter",
+		"go_goroutines":                     "gauge",
+		"capman_build_info":                 "gauge",
 	} {
 		f := fams[name]
 		if f == nil {
@@ -203,6 +214,19 @@ func TestPrometheusExpositionWellFormed(t *testing.T) {
 
 	checkHistogram(t, fams["capmand_job_wall_seconds"], 6)
 	checkHistogram(t, fams["capmand_queue_wait_seconds"], 1)
+	checkHistogram(t, fams["capman_decision_latency_seconds"], 1)
+
+	// The unified registry renders families sorted by name, each HELP
+	// immediately followed by its TYPE (the parser enforces the pairing).
+	var names []string
+	for _, line := range strings.Split(sb.String(), "\n") {
+		if strings.HasPrefix(line, "# HELP ") {
+			names = append(names, strings.SplitN(strings.TrimPrefix(line, "# HELP "), " ", 2)[0])
+		}
+	}
+	if !sort.StringsAreSorted(names) {
+		t.Errorf("families not sorted by name: %v", names)
+	}
 
 	// Label round-trip: the breaker entry with a quote and a backslash in
 	// its name must come back verbatim.

@@ -11,6 +11,8 @@ import (
 	"runtime"
 	"runtime/debug"
 	"time"
+
+	"repro/internal/obs/metrics"
 )
 
 // Config assembles a Server; zero values defer to ExecutorConfig defaults.
@@ -29,6 +31,31 @@ type Config struct {
 	// Version is the build identifier reported by /debug/buildinfo; when
 	// empty the binary's embedded module version is used.
 	Version string
+
+	// SLO arms the burn-rate watchdog over the metrics panel's latency
+	// histograms; the zero value runs no watchdog.
+	SLO SLOConfig
+}
+
+// SLOConfig configures the server's SLO watchdog. Each non-zero threshold
+// becomes one objective evaluated over a sliding window: the watchdog
+// compares the fraction of observations above the threshold against the
+// objective's error budget and, when the budget burns too fast, logs a
+// structured warning and increments capmand_slo_breach_total{slo=...}.
+type SLOConfig struct {
+	// DecisionP99 is the p99 target for capman_decision_latency_seconds
+	// (objective "decision-latency-p99"); zero disables it.
+	DecisionP99 time.Duration
+	// QueueWaitP95 is the p95 target for capmand_queue_wait_seconds
+	// (objective "queue-wait-p95"); zero disables it.
+	QueueWaitP95 time.Duration
+	// Window is the sliding evaluation window (default 5m).
+	Window time.Duration
+	// Interval is the evaluation cadence (default 15s).
+	Interval time.Duration
+	// MaxBurn is the burn rate above which a breach fires (default 1.0,
+	// i.e. burning the error budget exactly as fast as it accrues).
+	MaxBurn float64
 }
 
 // Server is capmand's HTTP surface:
@@ -37,6 +64,7 @@ type Config struct {
 //	GET    /v1/jobs              list known jobs, newest first
 //	GET    /v1/jobs/{id}         poll a job's status and, once done, its outcome
 //	GET    /v1/jobs/{id}/events  the job's bounded lifecycle timeline
+//	GET    /v1/jobs/{id}/flight  a failed job's black box (flight recorder snapshot)
 //	DELETE /v1/jobs/{id}         cancel a queued or running job
 //	GET    /v1/registry          enumerate registered workloads and policies
 //	GET    /healthz              liveness probe
@@ -44,11 +72,12 @@ type Config struct {
 //	GET    /debug/buildinfo      version, Go runtime, and uptime
 //	GET    /debug/pprof/         runtime profiles (only with EnablePprof)
 type Server struct {
-	exec    *Executor
-	metrics *Metrics
-	mux     *http.ServeMux
-	version string
-	started time.Time
+	exec     *Executor
+	metrics  *Metrics
+	mux      *http.ServeMux
+	version  string
+	started  time.Time
+	watchdog *metrics.Watchdog
 }
 
 // New builds the service and starts its worker pool.
@@ -67,10 +96,43 @@ func New(cfg Config) *Server {
 	if s.version == "" {
 		s.version = buildVersion()
 	}
+	s.metrics.RegisterRuntime(s.version)
+
+	var objectives []metrics.Objective
+	if cfg.SLO.DecisionP99 > 0 {
+		objectives = append(objectives, metrics.Objective{
+			Name:      "decision-latency-p99",
+			Source:    s.metrics.DecisionLatency.Base(),
+			Quantile:  0.99,
+			Threshold: cfg.SLO.DecisionP99.Seconds(),
+		})
+	}
+	if cfg.SLO.QueueWaitP95 > 0 {
+		objectives = append(objectives, metrics.Objective{
+			Name:      "queue-wait-p95",
+			Source:    s.metrics.QueueWaitSeconds.Base(),
+			Quantile:  0.95,
+			Threshold: cfg.SLO.QueueWaitP95.Seconds(),
+		})
+	}
+	if len(objectives) > 0 {
+		s.watchdog = metrics.NewWatchdog(metrics.WatchdogConfig{
+			Interval: cfg.SLO.Interval,
+			Window:   cfg.SLO.Window,
+			MaxBurn:  cfg.SLO.MaxBurn,
+			Logger:   ecfg.Logger,
+			OnBreach: func(b metrics.Breach) {
+				s.metrics.SLOBreaches.WithLabelValues(b.SLO).Inc()
+			},
+		}, objectives...)
+		s.watchdog.Start()
+	}
+
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/flight", s.handleFlight)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/registry", s.handleRegistry)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -92,8 +154,17 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Executor exposes the job engine (tests and embedders).
 func (s *Server) Executor() *Executor { return s.exec }
 
-// Drain gracefully stops the job engine; see Executor.Drain.
-func (s *Server) Drain(ctx context.Context) error { return s.exec.Drain(ctx) }
+// Watchdog exposes the SLO watchdog, nil when no SLO is configured.
+func (s *Server) Watchdog() *metrics.Watchdog { return s.watchdog }
+
+// Drain stops the SLO watchdog and gracefully stops the job engine; see
+// Executor.Drain.
+func (s *Server) Drain(ctx context.Context) error {
+	if s.watchdog != nil {
+		s.watchdog.Stop()
+	}
+	return s.exec.Drain(ctx)
+}
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var spec JobSpec
@@ -137,6 +208,15 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, tl)
 }
 
+func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
+	flight, err := s.exec.Flight(r.PathValue("id"))
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, flight)
+}
+
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	view, err := s.exec.Cancel(r.PathValue("id"))
 	if err != nil {
@@ -161,7 +241,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Header().Set("Content-Type", metrics.ContentType)
 	if err := s.metrics.WritePrometheus(w); err != nil {
 		// Headers are gone; nothing useful left to do.
 		return
@@ -191,7 +271,7 @@ func buildVersion() string {
 // statusFor maps executor errors onto HTTP statuses.
 func statusFor(err error) int {
 	switch {
-	case errors.Is(err, ErrNotFound):
+	case errors.Is(err, ErrNotFound), errors.Is(err, ErrNoFlight):
 		return http.StatusNotFound
 	case errors.Is(err, ErrBadSpec):
 		return http.StatusBadRequest

@@ -4,7 +4,26 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/sched"
 )
+
+// MetricsSink streams a run's instrumentation into external metrics
+// (capmand's unified registry, or anything else that holds histograms)
+// without turning span tracing on and without touching the Result: a run
+// with a sink attached stays bit-identical to a bare run. Set it on
+// Config.Metrics; every field is optional.
+type MetricsSink struct {
+	// DecisionLatency, when non-nil, receives every Policy.Decide host
+	// latency in seconds as the run progresses.
+	DecisionLatency *obs.Histogram
+	// PhaseSeconds, when non-nil, is called once at run end per step
+	// phase ("workload", "policy", "battery", "thermal", "tec") with the
+	// cumulative wall-clock seconds that phase consumed.
+	PhaseSeconds func(phase string, seconds float64)
+	// OnDegrade, when non-nil, is invoked synchronously for every guard
+	// degradation transition (entries and recoveries).
+	OnDegrade func(sched.DegradeEvent)
+}
 
 // Timing is a run's self-measured host-side cost breakdown, populated in
 // Result.Timing only when tracing is on (Config.Recorder set, or a
@@ -32,10 +51,14 @@ type stepTimer struct {
 	workload, policy, battery, thermal, tec time.Duration
 
 	decisions *obs.Histogram
+	// ext mirrors decision latencies into an external histogram (the
+	// registry-backed capman_decision_latency_seconds); nil when no
+	// MetricsSink wants them.
+	ext *obs.Histogram
 }
 
-func newStepTimer() *stepTimer {
-	return &stepTimer{decisions: obs.MustHistogram(obs.LatencyBuckets()...)}
+func newStepTimer(ext *obs.Histogram) *stepTimer {
+	return &stepTimer{decisions: obs.MustHistogram(obs.LatencyBuckets()...), ext: ext}
 }
 
 // begin returns the phase start; the zero time on a nil timer.
@@ -80,8 +103,20 @@ func (t *stepTimer) lapTEC(t0 time.Time) {
 // Decide time also counts toward the policy phase at the caller.
 func (t *stepTimer) lapDecision(t0 time.Time) {
 	if t != nil {
-		t.decisions.Observe(time.Since(t0).Seconds())
+		d := time.Since(t0).Seconds()
+		t.decisions.Observe(d)
+		t.ext.Observe(d) // nil-safe
 	}
+}
+
+// reportPhases streams the accumulated per-phase totals into a
+// MetricsSink.PhaseSeconds callback.
+func (t *stepTimer) reportPhases(report func(phase string, seconds float64)) {
+	report("workload", t.workload.Seconds())
+	report("policy", t.policy.Seconds())
+	report("battery", t.battery.Seconds())
+	report("thermal", t.thermal.Seconds())
+	report("tec", t.tec.Seconds())
 }
 
 // timing exports the accumulated breakdown.

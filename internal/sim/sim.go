@@ -72,6 +72,14 @@ type Config struct {
 	// untraced one apart from the Timing field.
 	Recorder *obs.Recorder
 
+	// Metrics, when non-nil, streams instrumentation into external
+	// metrics (decision latencies step by step, per-phase wall seconds at
+	// run end, guard degradation transitions as they happen) without
+	// turning tracing on: Result.Timing stays nil and the Result is
+	// bit-identical to an unobserved run. capmand attaches one per job to
+	// feed its unified registry.
+	Metrics *MetricsSink
+
 	// DT is the simulation step in seconds (default 0.25).
 	DT float64
 	// MaxTimeS caps the simulated span (default 1e6 s).
@@ -266,16 +274,40 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	if rec == nil {
 		rec = obs.RecorderFrom(ctx)
 	}
+	sink := cfg.Metrics
+	fl := obs.FlightFrom(ctx)
 	var timer *stepTimer
 	var runSpan *obs.Span
+	if rec != nil || sink != nil {
+		var ext *obs.Histogram
+		if sink != nil {
+			ext = sink.DecisionLatency
+		}
+		timer = newStepTimer(ext)
+	}
 	if rec != nil {
-		timer = newStepTimer()
 		_, runSpan = rec.StartSpan(ctx, "sim.run")
 		runSpan.SetAttr("policy", res.Policy)
 		runSpan.SetAttr("workload", res.Workload)
 		runSpan.SetAttr("phone", res.Phone)
 		defer runSpan.End()
 	}
+	// Degradation transitions stream out as they happen: into the metrics
+	// sink and into the job's black box. The Result still gets the full
+	// list at run end either way.
+	if guard != nil && (fl != nil || (sink != nil && sink.OnDegrade != nil)) {
+		guard.SetOnEvent(func(ev sched.DegradeEvent) {
+			if sink != nil && sink.OnDegrade != nil {
+				sink.OnDegrade(ev)
+			}
+			fl.RecordAttrs(obs.FlightDegrade, ev.Mode, ev.Detail, map[string]string{
+				"at":        fmt.Sprintf("%.1fs", ev.At),
+				"recovered": fmt.Sprintf("%t", ev.Recovered),
+			})
+		})
+	}
+	fl.Recordf(obs.FlightNote, "sim.run", "start policy=%s workload=%s phone=%s",
+		res.Policy, res.Workload, res.Phone)
 	// Context-aware policies (CAPMAN's background similarity refresh) get
 	// the run context bound for the duration of the run, so cancelling the
 	// simulation also aborts a policy-internal precompute.
@@ -533,13 +565,18 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		}
 		res.DegradedTimeS = guard.DegradedTimeS()
 	}
-	if timer != nil {
+	if timer != nil && rec != nil {
 		res.Timing = timer.timing()
 		timer.annotate(runSpan, res.Steps)
 		runSpan.SetAttr("steps", res.Steps)
 		runSpan.SetAttr("endReason", string(res.EndReason))
 		runSpan.SetAttr("serviceTimeS", res.ServiceTimeS)
 	}
+	if timer != nil && sink != nil && sink.PhaseSeconds != nil {
+		timer.reportPhases(sink.PhaseSeconds)
+	}
+	fl.Recordf(obs.FlightNote, "sim.run", "end reason=%q steps=%d serviceTimeS=%.0f degradations=%d",
+		string(res.EndReason), res.Steps, res.ServiceTimeS, len(res.Degradations))
 	logger.Debug("sim: run end",
 		"policy", res.Policy, "end", string(res.EndReason),
 		"steps", res.Steps, "serviceTimeS", res.ServiceTimeS)

@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# bench.sh — run the structural-similarity benchmarks and write the
-# BENCH_simstruct.json trajectory (ns/op, allocs/op, parallel speedup,
-# EMD allocation ratio).
+# bench.sh — run the structural-similarity and metrics-registry
+# benchmarks and write the BENCH_simstruct.json trajectory (ns/op,
+# allocs/op, parallel speedup, EMD allocation ratio, and the metrics
+# hot-path allocation guard: the disabled registry and cached-handle
+# paths must stay at 0 allocs/op or benchjson fails the run).
 #
 # Environment:
 #   BENCHTIME  go test -benchtime value (default 2s; use 1x for a smoke run)
@@ -17,5 +19,7 @@ trap 'rm -f "$raw"' EXIT
 
 go test -run '^$' -bench 'BenchmarkSimilarityIndexSized|BenchmarkEMD' \
     -benchmem -benchtime "$BENCHTIME" . | tee "$raw"
+go test -run '^$' -bench 'BenchmarkRegistryDisabled|BenchmarkCounterVec' \
+    -benchmem -benchtime "$BENCHTIME" ./internal/obs/metrics | tee -a "$raw"
 go run ./scripts/benchjson < "$raw" > "$OUT"
 echo "bench.sh: wrote $OUT"

@@ -46,6 +46,16 @@ type derived struct {
 	EMDAllocsChecked float64 `json:"emd_allocs_checked"`
 	EMDAllocsSolver  float64 `json:"emd_allocs_solver"`
 	EMDAllocsRatio   float64 `json:"emd_allocs_ratio"`
+	// MetricsDisabledAllocs/MetricsHotAllocs are allocs/op of the
+	// nil-registry off path (BenchmarkRegistryDisabled) and the live
+	// cached-handle path (BenchmarkCounterVecHot). Both are contractually
+	// zero; run() fails the whole conversion when either regresses.
+	MetricsDisabledAllocs *float64 `json:"metrics_disabled_allocs,omitempty"`
+	MetricsHotAllocs      *float64 `json:"metrics_hot_allocs,omitempty"`
+	// MetricsLookupNs is ns/op of the uncached WithLabelValues lookup
+	// (BenchmarkCounterVecLookup), tracked so map-path regressions show
+	// up in the trajectory.
+	MetricsLookupNs *float64 `json:"metrics_lookup_ns,omitempty"`
 }
 
 // benchLine matches "BenchmarkName[-P]  <iters>  <value> <unit> ...".
@@ -105,6 +115,15 @@ func run() error {
 		return fmt.Errorf("no benchmark lines on stdin")
 	}
 	out.Derived = deriveMetrics(out.Results)
+	// The metrics hot paths are allocation-free by contract (also enforced
+	// by TestDisabledPathAllocFree / TestCachedHandleAllocFree); fail the
+	// trajectory rather than quietly recording a regression.
+	if a := out.Derived.MetricsDisabledAllocs; a != nil && *a != 0 {
+		return fmt.Errorf("BenchmarkRegistryDisabled allocates %g/op, want 0", *a)
+	}
+	if a := out.Derived.MetricsHotAllocs; a != nil && *a != 0 {
+		return fmt.Errorf("BenchmarkCounterVecHot allocates %g/op, want 0", *a)
+	}
 
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
@@ -131,6 +150,18 @@ func deriveMetrics(results []result) derived {
 			d.SpeedupWorkers4 = map[string]float64{}
 		}
 		d.SpeedupWorkers4[size] = r.NsPerOp / par.NsPerOp
+	}
+	if r, ok := byName["BenchmarkRegistryDisabled"]; ok {
+		v := r.AllocsOp
+		d.MetricsDisabledAllocs = &v
+	}
+	if r, ok := byName["BenchmarkCounterVecHot"]; ok {
+		v := r.AllocsOp
+		d.MetricsHotAllocs = &v
+	}
+	if r, ok := byName["BenchmarkCounterVecLookup"]; ok {
+		v := r.NsPerOp
+		d.MetricsLookupNs = &v
 	}
 	if emd, ok := byName["BenchmarkEMD"]; ok {
 		d.EMDAllocsChecked = emd.AllocsOp

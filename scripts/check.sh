@@ -15,6 +15,11 @@ fi
 echo "== go vet =="
 go vet ./...
 
+# Metric naming: every literal registration site must follow the
+# snake_case + unit/_total suffix rules (internal/obs/metrics.CheckName).
+echo "== metric naming lint =="
+go run ./scripts/metriclint
+
 # staticcheck is optional tooling: run it when installed, say so when not,
 # never fail the gate over its absence.
 echo "== staticcheck =="

@@ -1,0 +1,161 @@
+// Command metriclint statically enforces the repository's metric naming
+// rules on every registration site: names are snake_case, counters end in
+// _total, histograms end in a unit suffix (_seconds, _bytes, ...), gauges
+// must not claim _total, and Info families end in _info. The rules are
+// the ones internal/obs/metrics.CheckName applies at runtime; linting the
+// source catches a bad name before anything has to panic.
+//
+// Usage (from the repo root, as scripts/check.sh does):
+//
+//	go run ./scripts/metriclint
+//
+// It walks the module tree for non-test .go files, finds calls to the
+// registry constructor methods (Counter, GaugeVec, HistogramVec, ...)
+// whose first argument is a string literal, and validates that literal.
+// Dynamically-built names can't be checked here; those stay covered by
+// the registry's own registration-time validation.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/obs/metrics"
+)
+
+// methodKind maps registry constructor method names to the instrument
+// kind CheckName expects. Info is special-cased below: its name collides
+// with slog's Info, so the call shape disambiguates.
+var methodKind = map[string]string{
+	"Counter":          metrics.KindCounter,
+	"CounterFloat":     metrics.KindCounter,
+	"CounterVec":       metrics.KindCounter,
+	"CounterFloatVec":  metrics.KindCounter,
+	"CounterFunc":      metrics.KindCounter,
+	"Gauge":            metrics.KindGauge,
+	"GaugeVec":         metrics.KindGauge,
+	"GaugeFunc":        metrics.KindGauge,
+	"LabeledGaugeFunc": metrics.KindGauge,
+	"Histogram":        metrics.KindHistogram,
+	"HistogramVec":     metrics.KindHistogram,
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "metriclint:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	root := "."
+	if len(os.Args) > 1 {
+		root = os.Args[1]
+	}
+	var problems []string
+	fset := token.NewFileSet()
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == ".git" || name == "testdata" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") || strings.HasSuffix(path, "_test.go") {
+			return nil
+		}
+		file, err := parser.ParseFile(fset, path, nil, 0)
+		if err != nil {
+			return fmt.Errorf("parse %s: %w", path, err)
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || loggerReceiver(sel.X) {
+				return true
+			}
+			lit, ok := call.Args[0].(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING {
+				return true
+			}
+			name, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			if sel.Sel.Name == "Info" {
+				// Registry.Info(name, help, labels) always takes a label
+				// map as its third argument; anything else (notably slog's
+				// Info(msg, key, value, ...)) is not a registration.
+				if len(call.Args) != 3 {
+					return true
+				}
+				if _, isMap := call.Args[2].(*ast.CompositeLit); !isMap {
+					return true
+				}
+				// The info pattern: a constant-1 gauge named *_info.
+				if e := metrics.CheckName(metrics.KindGauge, name); e != nil {
+					problems = append(problems, fmt.Sprintf("%s: %v", fset.Position(lit.Pos()), e))
+				} else if !strings.HasSuffix(name, "_info") {
+					problems = append(problems,
+						fmt.Sprintf("%s: info metric %q: name must end in _info", fset.Position(lit.Pos()), name))
+				}
+				return true
+			}
+			kind, ok := methodKind[sel.Sel.Name]
+			if !ok {
+				return true
+			}
+			if e := metrics.CheckName(kind, name); e != nil {
+				problems = append(problems, fmt.Sprintf("%s: %v", fset.Position(lit.Pos()), e))
+			}
+			return true
+		})
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	return report(problems)
+}
+
+// loggerReceiver reports whether the receiver expression of a selector
+// call is plainly a logger ("log", "logger", or a field of that name),
+// whose Info/Warn methods share names with no registry constructor but
+// whose message strings would otherwise confuse the Info special case.
+func loggerReceiver(x ast.Expr) bool {
+	var name string
+	switch r := x.(type) {
+	case *ast.Ident:
+		name = r.Name
+	case *ast.SelectorExpr:
+		name = r.Sel.Name
+	default:
+		return false
+	}
+	return name == "log" || name == "logger" || name == "slog"
+}
+
+func report(problems []string) error {
+	if len(problems) > 0 {
+		for _, p := range problems {
+			fmt.Fprintln(os.Stderr, p)
+		}
+		return fmt.Errorf("%d metric naming problem(s)", len(problems))
+	}
+	fmt.Println("metriclint: all registered metric names conform")
+	return nil
+}
