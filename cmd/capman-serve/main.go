@@ -6,7 +6,7 @@
 //
 //	capman-serve -addr :8080 -workers 8 -queue 128 -job-timeout 5m
 //	capman-serve -log-format json -log-level debug -pprof
-//	capman-serve -slo-decision-p99 50us -slo-queue-wait-p95 5s
+//	capman-serve -slo-decision-p99 50us -slo-queue-wait-p95 5s -slo-tte-p99 30s
 //
 // Submit work with POST /v1/jobs, poll GET /v1/jobs/{id}, cancel with
 // DELETE /v1/jobs/{id}; see /metrics, /healthz, /v1/jobs/{id}/events, and
@@ -57,6 +57,7 @@ func run(ctx context.Context, args []string, out *os.File) error {
 	queueWaitWarn := fs.Duration("queue-wait-warn", 0, "warn when a job's queue wait exceeds this (0 = default 30s, -1ns disables)")
 	sloDecisionP99 := fs.Duration("slo-decision-p99", 0, "SLO: p99 target for policy decision latency; arms the burn-rate watchdog (0 disables)")
 	sloQueueWaitP95 := fs.Duration("slo-queue-wait-p95", 0, "SLO: p95 target for job queue wait; arms the burn-rate watchdog (0 disables)")
+	sloTTEP99 := fs.Duration("slo-tte-p99", 0, "SLO: p99 target for Monte Carlo time-to-empty job wall time; arms the burn-rate watchdog (0 disables)")
 	sloWindow := fs.Duration("slo-window", 0, "SLO burn-rate evaluation window (0 = default 5m)")
 	sloInterval := fs.Duration("slo-interval", 0, "SLO evaluation cadence (0 = default 15s)")
 	noFlight := fs.Bool("no-flight", false, "disable per-job flight recording (failed jobs get no black box)")
@@ -95,6 +96,7 @@ func run(ctx context.Context, args []string, out *os.File) error {
 		SLO: server.SLOConfig{
 			DecisionP99:  *sloDecisionP99,
 			QueueWaitP95: *sloQueueWaitP95,
+			TTEP99:       *sloTTEP99,
 			Window:       *sloWindow,
 			Interval:     *sloInterval,
 		},
@@ -114,6 +116,7 @@ func run(ctx context.Context, args []string, out *os.File) error {
 		"queue_wait_warn", queueWaitWarn.String(),
 		"slo_decision_p99", sloDecisionP99.String(),
 		"slo_queue_wait_p95", sloQueueWaitP95.String(),
+		"slo_tte_p99", sloTTEP99.String(),
 		"flight", !*noFlight,
 		"pprof", *enablePprof,
 		"log_level", level.String(),

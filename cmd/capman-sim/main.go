@@ -9,6 +9,14 @@
 //	capman-sim -workload eta:0.8 -policy oracle -seed 7 -samples out.json
 //	capman-sim -policy capman -trace spans.json -log-level debug
 //	capman-sim -policy heuristic -faults stuck-switch -flight box.json
+//
+// The capman-tte mode (-tte N) swaps the single discharge run for a Monte
+// Carlo time-to-empty sweep over internal/twin: N digital twins of one
+// cell, optionally with stochastic load and ambient-temperature noise,
+// reported as first-passage percentiles:
+//
+//	capman-sim -tte 4096 -tte-chemistry NCA -mah 2500 -tte-load-noise 0.1
+//	capman-sim -tte 1000 -tte-horizon 43200 -tte-ambient-noise 2 -workload pcmark
 package main
 
 import (
@@ -19,6 +27,7 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/battery"
 	"repro/internal/core"
@@ -29,6 +38,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/tec"
 	"repro/internal/trace"
+	"repro/internal/twin"
 	"repro/internal/workload"
 )
 
@@ -49,6 +59,13 @@ func run(args []string) error {
 	dt := fs.Float64("dt", 0.25, "simulation step in seconds")
 	maxTime := fs.Float64("max-time", 1e6, "simulated time cap in seconds")
 	noTEC := fs.Bool("no-tec", false, "disable the thermoelectric cooler")
+	tteTwins := fs.Int("tte", 0, "capman-tte mode: run a Monte Carlo time-to-empty sweep over this many digital twins (0 = normal simulation)")
+	tteHorizon := fs.Float64("tte-horizon", 86400, "tte: censor survivors after this much simulated time in seconds")
+	tteChemistry := fs.String("tte-chemistry", "NCA", "tte: twin cell chemistry: "+strings.Join(chemistryNames(), "|"))
+	tteLoadNoise := fs.Float64("tte-load-noise", 0, "tte: stationary sigma of multiplicative load noise (fraction of demand)")
+	tteAmbientNoise := fs.Float64("tte-ambient-noise", 0, "tte: stationary sigma of additive ambient-temperature noise in degC")
+	tteNoiseTau := fs.Float64("tte-noise-tau", 60, "tte: OU correlation time of both noise channels in seconds (0 = white)")
+	tteWorkers := fs.Int("tte-workers", 0, "tte: worker count for the sweep (0 = GOMAXPROCS); results are identical at any count")
 	faults := fs.String("faults", "", "fault-injection plan: "+strings.Join(fault.Plans(), "|")+" (empty = none)")
 	samples := fs.String("samples", "", "write a sampled trace (JSON) to this file")
 	traceOut := fs.String("trace", "", "enable span tracing and write the span tree (JSON) to this file; also prints a timing breakdown")
@@ -84,6 +101,17 @@ func run(args []string) error {
 	wlFactory, err := workloadFactory(*wl, *seed)
 	if err != nil {
 		return err
+	}
+
+	if *tteTwins > 0 {
+		return runTTE(ctx, tteOptions{
+			profile: profile, workload: wlFactory,
+			chemistry: *tteChemistry, mah: *mah,
+			twins: *tteTwins, horizonS: *tteHorizon, dt: *dt,
+			seed: uint64(*seed), noTEC: *noTEC,
+			loadNoise: *tteLoadNoise, ambientNoise: *tteAmbientNoise,
+			noiseTauS: *tteNoiseTau, workers: *tteWorkers,
+		})
 	}
 
 	cfg := sim.Config{
@@ -202,6 +230,94 @@ func run(args []string) error {
 		fmt.Printf("wrote span tree to %s\n", *traceOut)
 	}
 	return nil
+}
+
+// tteOptions collects the capman-tte mode's knobs.
+type tteOptions struct {
+	profile      device.Profile
+	workload     func() workload.Generator
+	chemistry    string
+	mah          float64
+	twins        int
+	horizonS     float64
+	dt           float64
+	seed         uint64
+	noTEC        bool
+	loadNoise    float64
+	ambientNoise float64
+	noiseTauS    float64
+	workers      int
+}
+
+// runTTE sweeps a twin cohort and prints the first-passage summary.
+func runTTE(ctx context.Context, opt tteOptions) error {
+	chem, err := chemistryByName(opt.chemistry)
+	if err != nil {
+		return err
+	}
+	params, err := battery.ParamsFor(chem, opt.mah)
+	if err != nil {
+		return err
+	}
+	cfg := twin.Config{
+		Profile:      opt.profile,
+		Workload:     opt.workload,
+		Cell:         params,
+		DT:           opt.dt,
+		HorizonS:     opt.horizonS,
+		Twins:        opt.twins,
+		Seed:         opt.seed,
+		LoadNoise:    twin.NoiseConfig{Sigma: opt.loadNoise, TauS: opt.noiseTauS},
+		AmbientNoise: twin.NoiseConfig{Sigma: opt.ambientNoise, TauS: opt.noiseTauS},
+	}
+	if !opt.noTEC {
+		dev := tec.ATE31()
+		cfg.TEC = &dev
+	}
+	b, err := twin.New(cfg)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	if err := b.Run(ctx, opt.workers); err != nil {
+		return err
+	}
+	reportTTE(b.Summarize(), time.Since(start))
+	return nil
+}
+
+// reportTTE prints the cohort's time-to-empty distribution.
+func reportTTE(s *twin.Summary, wall time.Duration) {
+	fmt.Printf("tte: %d twins of %s on %s, chemistry %s, seed %d\n",
+		s.Twins, s.Workload, s.Phone, s.Chemistry, s.Seed)
+	fmt.Printf("noise: load sigma %.3f, ambient sigma %.2fC; horizon %.0fs, dt %.3fs\n",
+		s.LoadNoise.Sigma, s.AmbientNoise.Sigma, s.HorizonS, s.DTS)
+	fmt.Printf("emptied %d, censored %d; end reasons %v\n", s.Emptied, s.Censored, s.EndReasons)
+	fmt.Printf("time to empty: p5 %.0fs p50 %.0fs p95 %.0fs (min %.0fs max %.0fs mean %.0fs)\n",
+		s.TTEP5S, s.TTEP50S, s.TTEP95S, s.TTEMinS, s.TTEMaxS, s.MeanS)
+	fmt.Printf("per twin: mean energy %.0fJ, mean max CPU %.1fC, mean TEC energy %.0fJ\n",
+		s.MeanEnergyJ, s.MeanMaxCPUTempC, s.MeanTECEnergyJ)
+	steps := float64(s.Twins) * float64(s.Steps)
+	fmt.Printf("swept %.0f twin-steps in %.2fs (%.2fM steps/s)\n",
+		steps, wall.Seconds(), steps/wall.Seconds()/1e6)
+}
+
+// chemistryByName resolves a Table I abbreviation (NCA, LMO, ...).
+func chemistryByName(name string) (battery.Chemistry, error) {
+	for _, c := range battery.Chemistries() {
+		if c.String() == name {
+			return c, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown chemistry %q (have %s)", name, strings.Join(chemistryNames(), "|"))
+}
+
+func chemistryNames() []string {
+	var names []string
+	for _, c := range battery.Chemistries() {
+		names = append(names, c.String())
+	}
+	return names
 }
 
 // writeFlight dumps the black box to path as indented JSON.

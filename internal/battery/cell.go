@@ -3,7 +3,6 @@ package battery
 import (
 	"errors"
 	"fmt"
-	"math"
 )
 
 // Cell is a simulated lithium-ion cell combining a KiBaM charge model with a
@@ -117,65 +116,18 @@ type StepResult struct {
 // ocvNow returns the open-circuit voltage at the present total SoC.
 func (c *Cell) ocvNow() float64 { return c.params.OCVAt(c.SoC()) }
 
-// wellsAfter solves the KiBaM two-well exchange exactly over dt under a
-// constant well drain. The head gap g = h2 - h1 obeys
-//
-//	g' = -lambda*g + wellI/c,   lambda = k / (c*(1-c)),
-//
-// which has a closed-form exponential solution; total charge falls by
-// wellI*dt. The closed form is unconditionally stable for any dt, unlike a
-// forward-Euler exchange. ok is false when the available well cannot cover
-// the drain.
+// wellsAfter delegates to wellsAfterCore over the cell's own wells; the
+// KiBaM closed form is documented there.
 func (c *Cell) wellsAfter(wellI, dt float64) (avail, bound float64, ok bool) {
-	cFrac := c.params.AvailFraction
-	lambda := c.params.KRate / (cFrac * (1 - cFrac))
-	h1 := c.avail / cFrac
-	h2 := c.bound / (1 - cFrac)
-	g := h2 - h1
-	decay := math.Exp(-lambda * dt)
-	gInf := wellI / (cFrac * lambda) // steady-state gap under this drain
-	gNew := g*decay + gInf*(1-decay)
-
-	total := c.avail + c.bound - wellI*dt
-	if total < 0 {
-		return 0, 0, false
-	}
-	// h1 = total - (1-c)*g; wells must both stay non-negative.
-	h1New := total - (1-cFrac)*gNew
-	avail = cFrac * h1New
-	bound = total - avail
-	if avail < 0 {
-		return 0, 0, false
-	}
-	if bound < 0 {
-		// The bound well emptied mid-step; all remaining charge is
-		// available.
-		avail, bound = total, 0
-	}
-	return avail, bound, true
+	return wellsAfterCore(&c.params, c.avail, c.bound, wellI, dt)
 }
 
-// solveCurrent finds the discharge current I satisfying
-// P = (OCV - vPol - I*R0) * I, i.e. the smaller root of
-// R0*I^2 - (OCV-vPol)*I + P = 0. It returns an error when the demand
-// exceeds the cell's peak power at its present state.
+// solveCurrent delegates to solveCurrentCore at the cell's present source
+// voltage, mapping the outcome code back onto the error the caller expects.
 func (c *Cell) solveCurrent(powerW, r0 float64) (float64, error) {
-	if powerW <= 0 {
-		return 0, nil
-	}
-	e := c.ocvNow() - c.vPol
-	if e <= c.params.CutoffV {
-		return 0, fmt.Errorf("%w: source voltage %.3fV at cutoff", ErrCannotSupply, e)
-	}
-	disc := e*e - 4*r0*powerW
-	if disc < 0 {
-		return 0, fmt.Errorf("%w: %.2fW exceeds peak power %.2fW",
-			ErrCannotSupply, powerW, e*e/(4*r0))
-	}
-	i := (e - math.Sqrt(disc)) / (2 * r0)
-	if v := e - i*r0; v < c.params.CutoffV {
-		return 0, fmt.Errorf("%w: terminal voltage %.3fV below cutoff %.3fV",
-			ErrCannotSupply, v, c.params.CutoffV)
+	i, code, aux := solveCurrentCore(&c.params, c.ocvNow()-c.vPol, powerW, r0)
+	if code != StepOK {
+		return 0, code.toError(&c.params, powerW, aux)
 	}
 	return i, nil
 }
@@ -219,72 +171,24 @@ func (c *Cell) Step(powerW, tempC, dt float64) (StepResult, error) {
 	if powerW < 0 {
 		return StepResult{}, fmt.Errorf("battery: negative power %v", powerW)
 	}
-	if c.depleted {
-		if powerW > 0 {
-			return StepResult{}, ErrDepleted
-		}
+	st := coreState{c.avail, c.bound, c.vPol, c.depleted}
+	next, res, code, aux := stepCore(&c.params, st, powerW, tempC, dt)
+	if code == StepIdleDepleted {
+		// A depleted cell resting at zero load is a no-op: no state
+		// change, no accounting.
 		return StepResult{}, nil
 	}
-
-	r0 := c.params.r0At(tempC)
-	i, err := c.solveCurrent(powerW, r0)
-	if err != nil {
-		return StepResult{}, err
+	if code != StepOK {
+		return StepResult{}, code.toError(&c.params, powerW, aux)
 	}
-
-	// Total current leaving the wells: the load current scaled by the
-	// high-rate penalty, plus the parasitic drain converted to current.
-	parasiticW := c.params.parasiticAt(tempC)
-	ocv := c.ocvNow()
-	parasiticI := 0.0
-	if ocv > 0 {
-		parasiticI = parasiticW / ocv
-	}
-	mult := c.params.drainMultiplier(i)
-	wellI := i*mult + parasiticI
-
-	avail, bound, ok := c.wellsAfter(wellI, dt)
-	if !ok {
-		if powerW > 0 {
-			return StepResult{}, fmt.Errorf("%w: available well exhausted", ErrCannotSupply)
-		}
-		// Resting with an empty well: drain what little remains.
-		avail, bound, _ = c.wellsAfter(0, dt)
-		avail -= math.Min(avail, wellI*dt)
-	}
-	c.avail, c.bound = avail, bound
-
-	// Polarization RC update (first-order exact step).
-	if c.params.R1 > 0 {
-		tau := c.params.R1 * c.params.C1
-		target := i * c.params.R1
-		alpha := 1 - math.Exp(-dt/tau)
-		c.vPol += (target - c.vPol) * alpha
-	}
-
-	v := ocv - c.vPol - i*r0
-	if powerW == 0 {
-		v = ocv - c.vPol
-	}
-
-	c.lastI = i
-	c.lastV = v
-	c.drawnC += i * dt
+	c.avail, c.bound, c.vPol, c.depleted = next.avail, next.bound, next.vPol, next.depleted
+	c.lastI = res.Current
+	c.lastV = res.Voltage
+	c.drawnC += res.Current * dt
 	c.drawnJ += powerW * dt
-	heatW := i*i*r0 + c.vPol*i*signum(c.params.R1) + parasiticW + (mult-1)*i*v
-	if heatW < 0 {
-		heatW = 0
-	}
-	c.wastedJ += heatW * dt
+	c.wastedJ += res.HeatW * dt
 	c.stepsTaken++
-
-	if c.avail <= 0 && c.bound <= 1e-9 {
-		c.depleted = true
-	}
-	if c.SoC() <= 0 {
-		c.depleted = true
-	}
-	return StepResult{Current: i, Voltage: v, HeatW: heatW}, nil
+	return res, nil
 }
 
 // Rest advances the cell with zero load, allowing KiBaM recovery and

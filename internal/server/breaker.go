@@ -78,8 +78,12 @@ func newBreakerSet(cfg BreakerConfig) *breakerSet {
 	}
 }
 
-// breakerKey names the registry entry a job resolves through.
+// breakerKey names the registry entry a job resolves through. TTE jobs
+// have no policy, so they share breakers per workload under a kind prefix.
 func breakerKey(spec JobSpec) string {
+	if spec.Kind == "tte" {
+		return "tte/" + spec.Workload
+	}
 	return spec.Workload + "/" + spec.Policy
 }
 

@@ -14,7 +14,16 @@ import (
 	"repro/internal/obs/metrics"
 	"repro/internal/sched"
 	"repro/internal/sim"
+	"repro/internal/twin"
 )
+
+// resolved is a job's executable form: exactly one field is set, chosen by
+// the spec's Kind. Resolution happens once, at submission, so workers never
+// touch the registry.
+type resolved struct {
+	sim  sim.Config
+	twin *twin.Config
+}
 
 // Executor errors, mapped onto HTTP statuses by the handler layer.
 var (
@@ -144,7 +153,7 @@ type Executor struct {
 	logger     *slog.Logger
 	flightOff  bool
 	flightLen  int
-	runFn      func(context.Context, JobSpec, sim.Config) (*Outcome, error) // test seam
+	runFn      func(context.Context, JobSpec, resolved) (*Outcome, error) // test seam
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
@@ -195,7 +204,7 @@ func NewExecutor(cfg ExecutorConfig) *Executor {
 // recent jobs kept failing is shed with ErrBreakerOpen — but cache hits
 // and coalesced submissions still succeed, since they run nothing.
 func (e *Executor) Submit(spec JobSpec) (View, error) {
-	cfg, err := e.registry.Resolve(spec)
+	cfg, err := e.resolve(spec)
 	if err != nil {
 		return View{}, err
 	}
@@ -222,7 +231,7 @@ func (e *Executor) Submit(spec JobSpec) (View, error) {
 			State: StateDone, Outcome: out, CacheHit: true,
 			SubmittedAt: now, StartedAt: now, FinishedAt: now,
 		}
-		job.timeline.add(EventSubmitted, "workload "+spec.Workload+" policy "+spec.Policy)
+		job.timeline.add(EventSubmitted, specDetail(spec))
 		job.timeline.add(EventCacheHit, "served from result cache")
 		job.timeline.add(EventDone, "")
 		e.jobs[job.ID] = job
@@ -247,7 +256,7 @@ func (e *Executor) Submit(spec JobSpec) (View, error) {
 		ID: e.nextID(), RequestID: reqID, Hash: hash, Spec: spec,
 		State: StateQueued, SubmittedAt: time.Now(), cfg: cfg,
 	}
-	job.timeline.add(EventSubmitted, "workload "+spec.Workload+" policy "+spec.Policy)
+	job.timeline.add(EventSubmitted, specDetail(spec))
 	select {
 	case e.queue <- job:
 	default:
@@ -263,6 +272,32 @@ func (e *Executor) Submit(spec JobSpec) (View, error) {
 	log.Info("job submitted", "job_id", job.ID, "hash", short(hash),
 		"workload", spec.Workload, "policy", spec.Policy, "queue_depth", len(e.queue))
 	return job.view(), nil
+}
+
+// resolve builds a spec's executable form through the registry, branching
+// on its kind.
+func (e *Executor) resolve(spec JobSpec) (resolved, error) {
+	if spec.withDefaults().Kind == "tte" {
+		cfg, err := e.registry.ResolveTTE(spec)
+		if err != nil {
+			return resolved{}, err
+		}
+		return resolved{twin: &cfg}, nil
+	}
+	cfg, err := e.registry.Resolve(spec)
+	if err != nil {
+		return resolved{}, err
+	}
+	return resolved{sim: cfg}, nil
+}
+
+// specDetail names the registry entries a job resolves through, for
+// timeline events.
+func specDetail(spec JobSpec) string {
+	if spec.withDefaults().Kind == "tte" {
+		return "tte workload " + spec.Workload
+	}
+	return "workload " + spec.Workload + " policy " + spec.Policy
 }
 
 // short abbreviates a content hash for log lines.
@@ -402,8 +437,8 @@ func (e *Executor) worker() {
 		// the shared panel without perturbing the Result. Unless flight
 		// recording is off, the job also gets a flight recorder plus span
 		// tracing; their snapshot becomes the black box if the job fails.
-		cfg.Metrics = e.sink()
-		if p, ok := cfg.Policy.(interface{ SetEMDLatency(*obs.Histogram) }); ok {
+		cfg.sim.Metrics = e.sink()
+		if p, ok := cfg.sim.Policy.(interface{ SetEMDLatency(*obs.Histogram) }); ok {
 			p.SetEMDLatency(e.metrics.EMDLatency.Base())
 		}
 		var (
@@ -454,6 +489,9 @@ func (e *Executor) worker() {
 		state := job.State
 		wall := job.FinishedAt.Sub(job.StartedAt)
 		e.metrics.JobWallSeconds.Observe(wall.Seconds())
+		if cfg.twin != nil {
+			e.metrics.TTELatency.Observe(wall.Seconds())
+		}
 		reqID, jobID := job.RequestID, job.ID
 		e.mu.Unlock()
 
@@ -526,7 +564,7 @@ func (e *Executor) sink() *sim.MetricsSink {
 // retry budget is spent, or ctx — which carries the job timeout and
 // cancellation — expires. It reports how many attempts ran (at least 1)
 // and records each retry in the job's timeline.
-func (e *Executor) runWithRetries(ctx context.Context, job *Job, spec JobSpec, cfg sim.Config) (*Outcome, int, error) {
+func (e *Executor) runWithRetries(ctx context.Context, job *Job, spec JobSpec, cfg resolved) (*Outcome, int, error) {
 	fl := obs.FlightFrom(ctx)
 	log := e.logger
 	if fl != nil {
@@ -561,7 +599,7 @@ func (e *Executor) runWithRetries(ctx context.Context, job *Job, spec JobSpec, c
 // runRecovered invokes the run function with panic isolation: a panic in
 // a policy or workload becomes this job's error, so the worker goroutine
 // — and with it the pool — survives.
-func (e *Executor) runRecovered(ctx context.Context, spec JobSpec, cfg sim.Config) (out *Outcome, err error) {
+func (e *Executor) runRecovered(ctx context.Context, spec JobSpec, cfg resolved) (out *Outcome, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			e.metrics.JobPanics.Inc()
@@ -595,21 +633,46 @@ func sleepCtx(ctx context.Context, d time.Duration) bool {
 	}
 }
 
-// runJob executes the resolved configuration: one discharge cycle, or the
-// multi-cycle loop when the spec asked for Cycles > 1.
-func runJob(ctx context.Context, spec JobSpec, cfg sim.Config) (*Outcome, error) {
+// runJob executes the resolved configuration: a Monte Carlo time-to-empty
+// batch for tte jobs, otherwise one discharge cycle or the multi-cycle loop
+// when the spec asked for Cycles > 1.
+func runJob(ctx context.Context, spec JobSpec, cfg resolved) (*Outcome, error) {
+	if cfg.twin != nil {
+		return runTTEJob(ctx, *cfg.twin)
+	}
 	if spec.Cycles > 1 {
-		res, err := sim.RunCyclesContext(ctx, sim.CyclesConfig{Base: cfg, Cycles: spec.Cycles})
+		res, err := sim.RunCyclesContext(ctx, sim.CyclesConfig{Base: cfg.sim, Cycles: spec.Cycles})
 		if err != nil {
 			return nil, err
 		}
 		return &Outcome{Cycles: res}, nil
 	}
-	res, err := sim.RunContext(ctx, cfg)
+	res, err := sim.RunContext(ctx, cfg.sim)
 	if err != nil {
 		return nil, err
 	}
 	return &Outcome{Run: res}, nil
+}
+
+// runTTEJob sweeps one twin cohort and summarizes its first-passage
+// distribution. The batch parallelizes internally (worker count 0 means
+// GOMAXPROCS); results are bit-identical at any width, so the cache stays
+// content-addressed by spec alone.
+func runTTEJob(ctx context.Context, cfg twin.Config) (*Outcome, error) {
+	fl := obs.FlightFrom(ctx)
+	b, err := twin.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	fl.Recordf(obs.FlightTimeline, "tte.start",
+		"cohort of %d twins, %d steps each", b.Twins(), b.Steps())
+	if err := b.Run(ctx, 0); err != nil {
+		return nil, err
+	}
+	s := b.Summarize()
+	fl.Recordf(obs.FlightTimeline, "tte.done",
+		"%d emptied, %d censored; p50 %.0fs", s.Emptied, s.Censored, s.TTEP50S)
+	return &Outcome{TTE: s}, nil
 }
 
 // Drain stops accepting submissions, lets queued and running jobs finish,

@@ -12,7 +12,6 @@ import (
 	"time"
 
 	"repro/internal/obs"
-	"repro/internal/sim"
 )
 
 // faultySpec runs long enough simulated time for the stuck-switch fault
@@ -31,7 +30,7 @@ func faultySpec() JobSpec {
 // alwaysFail wraps the real runner: the simulation executes in full (so
 // spans, degradations, and sink metrics are real) but the job still fails
 // with a retryable error, exhausting the retry budget.
-func alwaysFail(ctx context.Context, spec JobSpec, cfg sim.Config) (*Outcome, error) {
+func alwaysFail(ctx context.Context, spec JobSpec, cfg resolved) (*Outcome, error) {
 	if _, err := runJob(ctx, spec, cfg); err != nil {
 		return nil, err
 	}
@@ -57,9 +56,18 @@ func TestFailedJobFlightBox(t *testing.T) {
 		t.Fatalf("job ended %q, want failed", done.State)
 	}
 
-	fl, err := e.Flight(v.ID)
-	if err != nil {
-		t.Fatalf("Flight(%s): %v", v.ID, err)
+	// The box is deliberately cut *after* the terminal state flips (so its
+	// metric deltas include the failure counters), which leaves a short
+	// window where the job reads failed but Flight still says ErrNoFlight.
+	var fl *JobFlight
+	for deadline := time.Now().Add(10 * time.Second); ; {
+		var err error
+		if fl, err = e.Flight(v.ID); err == nil {
+			break
+		} else if !errors.Is(err, ErrNoFlight) || !time.Now().Before(deadline) {
+			t.Fatalf("Flight(%s): %v", v.ID, err)
+		}
+		time.Sleep(2 * time.Millisecond)
 	}
 	if fl.State != StateFailed || fl.Error == "" || fl.Attempts != 2 {
 		t.Errorf("flight header = %+v, want failed state, error, 2 attempts", fl)
@@ -123,7 +131,7 @@ func TestFlightDisabledAndMissing(t *testing.T) {
 	e := newTestExecutor(t, ExecutorConfig{
 		Workers: 1, MaxRetries: -1, DisableFlight: true,
 	})
-	e.runFn = func(context.Context, JobSpec, sim.Config) (*Outcome, error) {
+	e.runFn = func(context.Context, JobSpec, resolved) (*Outcome, error) {
 		return nil, errors.New("boom")
 	}
 	v, err := e.Submit(fastSpec())

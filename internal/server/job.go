@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/sim"
+	"repro/internal/twin"
 )
 
 // State is a job's position in its lifecycle.
@@ -26,12 +27,14 @@ func (s State) Terminal() bool {
 }
 
 // Outcome is what a finished job produced: a single discharge cycle's
-// Result, or a multi-cycle run's CyclesResult when the spec asked for
-// Cycles > 1. Exactly one field is set. Outcomes are immutable once
-// published and are what the content-addressed cache stores.
+// Result, a multi-cycle run's CyclesResult when the spec asked for
+// Cycles > 1, or a Monte Carlo time-to-empty Summary for tte-kind jobs.
+// Exactly one field is set. Outcomes are immutable once published and are
+// what the content-addressed cache stores.
 type Outcome struct {
 	Run    *sim.Result       `json:"run,omitempty"`
 	Cycles *sim.CyclesResult `json:"cycles,omitempty"`
+	TTE    *twin.Summary     `json:"tte,omitempty"`
 }
 
 // Job is one submitted simulation. All mutable fields are guarded by the
@@ -65,7 +68,7 @@ type Job struct {
 	// the executor runs with DisableFlight).
 	flight *JobFlight
 
-	cfg    sim.Config
+	cfg    resolved
 	cancel context.CancelFunc
 }
 

@@ -46,6 +46,11 @@ type Metrics struct {
 	JobWallSeconds   *metrics.Histogram
 	QueueWaitSeconds *metrics.Histogram
 
+	// TTELatency observes the wall clock of tte-kind jobs only — the
+	// Monte Carlo batches behind POST /v1/tte — so their p99 can carry its
+	// own SLO without the sim jobs diluting the distribution.
+	TTELatency *metrics.Histogram
+
 	// Simulation-streamed panel: running jobs feed these live through a
 	// sim.MetricsSink, rather than the server scraping finished Results.
 	DecisionLatency *metrics.Histogram       // per-step Policy.Decide host latency
@@ -106,6 +111,9 @@ func NewMetrics() *Metrics {
 			"Wall-clock time spent executing jobs.", obs.WallBuckets()),
 		QueueWaitSeconds: reg.Histogram("capmand_queue_wait_seconds",
 			"Time jobs spent queued between submit and dequeue; the per-job timeout starts at dequeue, after this wait.",
+			obs.WallBuckets()),
+		TTELatency: reg.Histogram("capmand_tte_latency_seconds",
+			"Wall-clock time spent executing Monte Carlo time-to-empty jobs.",
 			obs.WallBuckets()),
 
 		DecisionLatency: reg.Histogram("capman_decision_latency_seconds",

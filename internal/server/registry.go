@@ -12,6 +12,7 @@ import (
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/tec"
+	"repro/internal/twin"
 	"repro/internal/workload"
 )
 
@@ -158,6 +159,63 @@ func (r *Registry) Resolve(spec JobSpec) (sim.Config, error) {
 	cfg.Faults = plan
 	if err := pf(spec, &cfg); err != nil {
 		return sim.Config{}, fmt.Errorf("%w: policy %q: %v", ErrBadSpec, spec.Policy, err)
+	}
+	return cfg, nil
+}
+
+// ResolveTTE builds the twin-batch configuration a tte-kind spec names.
+// It mirrors Resolve: validate, default, then resolve every name through
+// the registry so tte jobs accept exactly the sim vocabulary.
+func (r *Registry) ResolveTTE(spec JobSpec) (twin.Config, error) {
+	if err := spec.Validate(); err != nil {
+		return twin.Config{}, err
+	}
+	spec = spec.withDefaults()
+	if spec.Kind != "tte" {
+		return twin.Config{}, fmt.Errorf("%w: ResolveTTE on %q job", ErrBadSpec, spec.Kind)
+	}
+
+	profile, err := device.ProfileByName(spec.Profile)
+	if err != nil {
+		return twin.Config{}, fmt.Errorf("%w: %v", ErrBadSpec, err)
+	}
+
+	r.mu.RLock()
+	wf, wok := r.workloads[spec.Workload]
+	r.mu.RUnlock()
+	if !wok {
+		return twin.Config{}, fmt.Errorf("%w: unknown workload %q (have %v)",
+			ErrBadSpec, spec.Workload, r.Workloads())
+	}
+	wlFactory, err := wf(spec)
+	if err != nil {
+		return twin.Config{}, fmt.Errorf("%w: workload %q: %v", ErrBadSpec, spec.Workload, err)
+	}
+
+	t := spec.TTE
+	chem, err := chemistryByName(t.Chemistry)
+	if err != nil {
+		return twin.Config{}, fmt.Errorf("%w: twin cell: %v", ErrBadSpec, err)
+	}
+	params, err := battery.ParamsFor(chem, t.MAh)
+	if err != nil {
+		return twin.Config{}, fmt.Errorf("%w: twin cell: %v", ErrBadSpec, err)
+	}
+
+	cfg := twin.Config{
+		Profile:      profile,
+		Workload:     wlFactory,
+		Cell:         params,
+		DT:           spec.DT,
+		HorizonS:     t.HorizonS,
+		Twins:        t.Twins,
+		Seed:         uint64(spec.Seed),
+		LoadNoise:    twin.NoiseConfig{Sigma: t.LoadNoiseFrac, TauS: t.NoiseTauS},
+		AmbientNoise: twin.NoiseConfig{Sigma: t.AmbientNoiseC, TauS: t.NoiseTauS},
+	}
+	if !spec.DisableTEC {
+		dev := tec.ATE31()
+		cfg.TEC = &dev
 	}
 	return cfg, nil
 }

@@ -9,7 +9,6 @@ import (
 	"testing"
 	"time"
 
-	"repro/internal/sim"
 	"repro/internal/workload"
 )
 
@@ -82,9 +81,9 @@ func TestExecutorRecoversWorkerPanic(t *testing.T) {
 
 // flakyRun fails with a retryable error until `failures` attempts have
 // been consumed, then delegates to the real runner.
-func flakyRun(failures int) (func(context.Context, JobSpec, sim.Config) (*Outcome, error), *atomic.Int32) {
+func flakyRun(failures int) (func(context.Context, JobSpec, resolved) (*Outcome, error), *atomic.Int32) {
 	var calls atomic.Int32
-	return func(ctx context.Context, spec JobSpec, cfg sim.Config) (*Outcome, error) {
+	return func(ctx context.Context, spec JobSpec, cfg resolved) (*Outcome, error) {
 		if int(calls.Add(1)) <= failures {
 			return nil, fmt.Errorf("%w: transient resolver hiccup", ErrRetryable)
 		}
@@ -146,7 +145,7 @@ func TestExecutorRetryBudgetExhausted(t *testing.T) {
 func TestExecutorDoesNotRetryNonRetryable(t *testing.T) {
 	e := newTestExecutor(t, ExecutorConfig{Workers: 1, RetryBaseDelay: time.Millisecond})
 	var calls atomic.Int32
-	e.runFn = func(ctx context.Context, spec JobSpec, cfg sim.Config) (*Outcome, error) {
+	e.runFn = func(ctx context.Context, spec JobSpec, cfg resolved) (*Outcome, error) {
 		calls.Add(1)
 		return nil, errors.New("deterministic config problem")
 	}
@@ -176,7 +175,7 @@ func TestExecutorBreakerShedsAndRecovers(t *testing.T) {
 	})
 	var fail atomic.Bool
 	fail.Store(true)
-	e.runFn = func(ctx context.Context, spec JobSpec, cfg sim.Config) (*Outcome, error) {
+	e.runFn = func(ctx context.Context, spec JobSpec, cfg resolved) (*Outcome, error) {
 		if fail.Load() {
 			return nil, errors.New("entry is broken")
 		}

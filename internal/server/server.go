@@ -49,6 +49,9 @@ type SLOConfig struct {
 	// QueueWaitP95 is the p95 target for capmand_queue_wait_seconds
 	// (objective "queue-wait-p95"); zero disables it.
 	QueueWaitP95 time.Duration
+	// TTEP99 is the p99 target for capmand_tte_latency_seconds
+	// (objective "tte-latency-p99"); zero disables it.
+	TTEP99 time.Duration
 	// Window is the sliding evaluation window (default 5m).
 	Window time.Duration
 	// Interval is the evaluation cadence (default 15s).
@@ -61,6 +64,7 @@ type SLOConfig struct {
 // Server is capmand's HTTP surface:
 //
 //	POST   /v1/jobs              submit a JobSpec, returns the job view (202; 200 on cache hit)
+//	POST   /v1/tte               submit a Monte Carlo time-to-empty job (JobSpec kind "tte")
 //	GET    /v1/jobs              list known jobs, newest first
 //	GET    /v1/jobs/{id}         poll a job's status and, once done, its outcome
 //	GET    /v1/jobs/{id}/events  the job's bounded lifecycle timeline
@@ -115,6 +119,14 @@ func New(cfg Config) *Server {
 			Threshold: cfg.SLO.QueueWaitP95.Seconds(),
 		})
 	}
+	if cfg.SLO.TTEP99 > 0 {
+		objectives = append(objectives, metrics.Objective{
+			Name:      "tte-latency-p99",
+			Source:    s.metrics.TTELatency.Base(),
+			Quantile:  0.99,
+			Threshold: cfg.SLO.TTEP99.Seconds(),
+		})
+	}
 	if len(objectives) > 0 {
 		s.watchdog = metrics.NewWatchdog(metrics.WatchdogConfig{
 			Interval: cfg.SLO.Interval,
@@ -129,6 +141,7 @@ func New(cfg Config) *Server {
 	}
 
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("POST /v1/tte", s.handleTTE)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
@@ -174,6 +187,36 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decode job spec: %w", err))
 		return
 	}
+	view, err := s.exec.Submit(spec)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	status := http.StatusAccepted
+	if view.State.Terminal() {
+		status = http.StatusOK // served from cache
+	}
+	writeJSON(w, status, view)
+}
+
+// handleTTE submits a Monte Carlo time-to-empty job. The body is a plain
+// JobSpec; the route implies kind "tte" (an explicit other kind is a 400).
+// The job then flows through the same queue, cache, and breakers as
+// POST /v1/jobs and is polled at GET /v1/jobs/{id}.
+func (s *Server) handleTTE(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decode tte spec: %w", err))
+		return
+	}
+	if spec.Kind != "" && spec.Kind != "tte" {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("%w: kind %q submitted to /v1/tte", ErrBadSpec, spec.Kind))
+		return
+	}
+	spec.Kind = "tte"
 	view, err := s.exec.Submit(spec)
 	if err != nil {
 		writeError(w, statusFor(err), err)

@@ -22,6 +22,12 @@ import (
 // component is named and resolved through a Registry — so a spec can be
 // validated, canonicalized, and hashed for the result cache.
 type JobSpec struct {
+	// Kind selects the job type: "sim" (the default; one policy-driven
+	// discharge simulation) or "tte" (a Monte Carlo time-to-empty batch
+	// over internal/twin, parameterized by TTE). POST /v1/tte submits tte
+	// jobs; POST /v1/jobs accepts either kind explicitly.
+	Kind string `json:"kind,omitempty"`
+
 	// Profile names the phone under test (Nexus, Honor, Lenovo).
 	Profile string `json:"profile"`
 
@@ -63,7 +69,42 @@ type JobSpec struct {
 	// runs fault-free. The plan's RNG is seeded from Seed, so a job spec
 	// remains a complete, reproducible description of its run.
 	FaultPlan string `json:"faultPlan,omitempty"`
+
+	// TTE parameterizes kind "tte" jobs; nil (and ignored) for sim jobs.
+	TTE *TTEParams `json:"tte,omitempty"`
 }
+
+// TTEParams shapes one Monte Carlo time-to-empty batch. The twin cohort
+// uses the spec's Profile/Workload/Seed/DT/DisableTEC knobs; the fields
+// here are specific to the batch.
+type TTEParams struct {
+	// Twins is the cohort size: required, at most MaxTTETwins. (There is
+	// no default — JSON cannot tell an omitted count from an explicit
+	// zero, and silently running 1024 twins would be a surprise.)
+	Twins int `json:"twins,omitempty"`
+	// HorizonS censors survivors after this much simulated time (default
+	// 86400 — one day — max MaxTTEHorizonS).
+	HorizonS float64 `json:"horizonS,omitempty"`
+	// Chemistry and MAh size the single cell every twin carries (default
+	// NCA 2500).
+	Chemistry string  `json:"chemistry,omitempty"`
+	MAh       float64 `json:"mAh,omitempty"`
+	// LoadNoiseFrac is the stationary sigma of the multiplicative load
+	// noise (fraction of demand power); AmbientNoiseC the sigma of the
+	// additive ambient-temperature noise in degC. Zero disables a channel.
+	LoadNoiseFrac float64 `json:"loadNoiseFrac,omitempty"`
+	AmbientNoiseC float64 `json:"ambientNoiseC,omitempty"`
+	// NoiseTauS is the OU correlation time for both channels (default 60;
+	// negative invalid).
+	NoiseTauS float64 `json:"noiseTauS,omitempty"`
+}
+
+// TTE batch ceilings: a full-size cohort over a three-day horizon is the
+// largest job one worker should ever hold.
+const (
+	MaxTTETwins    = 65536
+	MaxTTEHorizonS = 259200
+)
 
 // Spec errors.
 var ErrBadSpec = errors.New("server: invalid job spec")
@@ -71,12 +112,47 @@ var ErrBadSpec = errors.New("server: invalid job spec")
 // withDefaults fills unset knobs so that two specs that resolve to the
 // same simulation canonicalize to the same bytes.
 func (s JobSpec) withDefaults() JobSpec {
+	if s.Kind == "sim" {
+		s.Kind = "" // canonicalize: both spellings mean a simulation job
+	}
 	if s.Profile == "" {
 		s.Profile = "Nexus"
 	}
 	if s.Workload == "" {
 		s.Workload = "video"
 	}
+	if s.DT == 0 {
+		s.DT = 0.25
+	}
+	if s.Kind == "tte" {
+		// TTE jobs ignore the policy/pack/cycle/fault knobs; zero them so
+		// spelling variants can't fragment the content-addressed cache.
+		s.Policy, s.ThresholdW = "", 0
+		s.BigChemistry, s.LittleChemistry = "", ""
+		s.BigMAh, s.LittleMAh = 0, 0
+		s.MaxTimeS = 0
+		s.Cycles = 0
+		s.FaultPlan = ""
+		t := TTEParams{}
+		if s.TTE != nil {
+			t = *s.TTE
+		}
+		if t.HorizonS == 0 {
+			t.HorizonS = 86400
+		}
+		if t.Chemistry == "" {
+			t.Chemistry = "NCA"
+		}
+		if t.MAh == 0 {
+			t.MAh = 2500
+		}
+		if t.NoiseTauS == 0 {
+			t.NoiseTauS = 60
+		}
+		s.TTE = &t
+		return s
+	}
+	s.TTE = nil // sim jobs carry no TTE parameters
 	if s.Policy == "" {
 		s.Policy = "capman"
 	}
@@ -91,9 +167,6 @@ func (s JobSpec) withDefaults() JobSpec {
 	}
 	if s.LittleMAh == 0 {
 		s.LittleMAh = 2500
-	}
-	if s.DT == 0 {
-		s.DT = 0.25
 	}
 	if s.MaxTimeS == 0 {
 		s.MaxTimeS = 1e6
@@ -111,9 +184,22 @@ func (s JobSpec) withDefaults() JobSpec {
 // resolution (unknown profile/workload/policy) is the Registry's job;
 // Validate checks only what the spec alone can know.
 func (s JobSpec) Validate() error {
+	raw := s
 	s = s.withDefaults()
+	if s.DT < 0 {
+		return fmt.Errorf("%w: negative time knob", ErrBadSpec)
+	}
+	if s.Kind == "tte" {
+		return validateTTE(raw, s)
+	}
+	if s.Kind != "" {
+		return fmt.Errorf("%w: unknown job kind %q", ErrBadSpec, s.Kind)
+	}
+	if raw.TTE != nil {
+		return fmt.Errorf("%w: tte parameters require kind %q", ErrBadSpec, "tte")
+	}
 	switch {
-	case s.DT < 0 || s.MaxTimeS < 0:
+	case s.MaxTimeS < 0:
 		return fmt.Errorf("%w: negative time knob", ErrBadSpec)
 	case s.Cycles < 0:
 		return fmt.Errorf("%w: negative cycle count %d", ErrBadSpec, s.Cycles)
@@ -124,6 +210,38 @@ func (s JobSpec) Validate() error {
 	}
 	if _, err := fault.ByName(s.FaultPlan, s.Seed); err != nil {
 		return fmt.Errorf("%w: %v", ErrBadSpec, err)
+	}
+	return nil
+}
+
+// validateTTE checks a tte-kind spec: raw is the submission as received
+// (so sim-only knobs the defaulting step scrubbed can still be rejected),
+// s the defaulted form.
+func validateTTE(raw, s JobSpec) error {
+	if raw.Cycles > 1 {
+		return fmt.Errorf("%w: tte jobs are single-sweep; cycles not supported", ErrBadSpec)
+	}
+	if raw.FaultPlan != "" && raw.FaultPlan != "none" {
+		return fmt.Errorf("%w: tte jobs do not support fault plans", ErrBadSpec)
+	}
+	t := s.TTE
+	switch {
+	case raw.TTE == nil:
+		return fmt.Errorf("%w: tte job missing tte parameters", ErrBadSpec)
+	case t.Twins <= 0:
+		return fmt.Errorf("%w: tte needs at least one twin, got %d", ErrBadSpec, t.Twins)
+	case t.Twins > MaxTTETwins:
+		return fmt.Errorf("%w: %d twins exceeds the limit %d", ErrBadSpec, t.Twins, MaxTTETwins)
+	case t.HorizonS < 0:
+		return fmt.Errorf("%w: negative horizon %v", ErrBadSpec, t.HorizonS)
+	case t.HorizonS > MaxTTEHorizonS:
+		return fmt.Errorf("%w: horizon %v exceeds the limit %v s", ErrBadSpec, t.HorizonS, float64(MaxTTEHorizonS))
+	case t.MAh <= 0:
+		return fmt.Errorf("%w: non-positive capacity %v mAh", ErrBadSpec, t.MAh)
+	case t.LoadNoiseFrac < 0 || t.AmbientNoiseC < 0:
+		return fmt.Errorf("%w: negative noise amplitude", ErrBadSpec)
+	case t.NoiseTauS < 0:
+		return fmt.Errorf("%w: negative noise correlation time %v", ErrBadSpec, t.NoiseTauS)
 	}
 	return nil
 }

@@ -338,6 +338,10 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		reward  float64
 		valid   bool
 	}
+	// Heat-input vector for the thermal step, hoisted out of the loop so the
+	// hot path stays allocation-free. Indexed by thermal node; the ambient
+	// node (beyond NodeSpreader) takes no input.
+	inputs := make([]float64, thermal.NodeSpreader+1)
 
 	for now < cfg.MaxTimeS {
 		if err := ctx.Err(); err != nil {
@@ -476,12 +480,10 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		// battery node, TEC rejection at the spreader.
 		t0 = timer.begin()
 		cpuHeat, bodyHeat := phone.HeatSplit()
-		inputs := []float64{
-			thermal.NodeCPU:      cpuHeat - tecOut.CPUCoolingW,
-			thermal.NodeBattery:  stepRes.HeatW,
-			thermal.NodeBody:     bodyHeat,
-			thermal.NodeSpreader: tecOut.RejectedHeatW,
-		}
+		inputs[thermal.NodeCPU] = cpuHeat - tecOut.CPUCoolingW
+		inputs[thermal.NodeBattery] = stepRes.HeatW
+		inputs[thermal.NodeBody] = bodyHeat
+		inputs[thermal.NodeSpreader] = tecOut.RejectedHeatW
 		if err := net.Step(inputs, dt); err != nil {
 			return nil, fmt.Errorf("t=%.1f thermal: %w", now, err)
 		}

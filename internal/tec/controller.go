@@ -89,33 +89,44 @@ func (c *Controller) Step(coldC, hotC, dt float64) Output {
 
 // StepUnder is Step under an explicit health condition.
 func (c *Controller) StepUnder(coldC, hotC, dt float64, cond Condition) Output {
-	prev := c.on
-	switch {
-	case coldC >= c.thresholdC:
-		c.on = true
-	case coldC < c.thresholdC-c.hysteresis:
-		c.on = false
-	}
-	if c.on != prev {
+	on, out := Advance(c.device, c.on, c.thresholdC, c.hysteresis, coldC, hotC, cond)
+	if on != c.on {
 		c.flips++
 	}
-	if !c.on || cond.ForcedOff {
-		return Output{}
+	c.on = on
+	if out.On {
+		c.onTimeS += dt
+		c.energyJ += out.PowerW * dt
+		c.pumpedJ += out.CPUCoolingW * dt
+		c.lastHeat = out.CPUCoolingW
 	}
-	i := c.device.RatedCurrentA(coldC)
-	pumped := c.device.HeatPumpedW(i, coldC, hotC)
+	return out
+}
+
+// Advance is the pure value form of StepUnder: one hysteresis decision plus
+// the device's electro-thermal output, with no accumulators. Batch steppers
+// (internal/twin) carry the on flag per twin and call this directly; the
+// Controller delegates here, so both paths compute identical outputs.
+func Advance(d Device, on bool, thresholdC, hysteresisC, coldC, hotC float64, cond Condition) (bool, Output) {
+	switch {
+	case coldC >= thresholdC:
+		on = true
+	case coldC < thresholdC-hysteresisC:
+		on = false
+	}
+	if !on || cond.ForcedOff {
+		return on, Output{}
+	}
+	i := d.RatedCurrentA(coldC)
+	pumped := d.HeatPumpedW(i, coldC, hotC)
 	if pumped < 0 {
 		pumped = 0
 	}
 	if cond.Derate > 0 && cond.Derate < 1 {
 		pumped *= cond.Derate
 	}
-	power := c.device.PowerW(i, coldC, hotC)
-	c.onTimeS += dt
-	c.energyJ += power * dt
-	c.pumpedJ += pumped * dt
-	c.lastHeat = pumped
-	return Output{
+	power := d.PowerW(i, coldC, hotC)
+	return on, Output{
 		On:            true,
 		CurrentA:      i,
 		PowerW:        power,

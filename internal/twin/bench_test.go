@@ -1,0 +1,45 @@
+package twin
+
+import (
+	"testing"
+
+	"repro/internal/battery"
+	"repro/internal/device"
+	"repro/internal/tec"
+	"repro/internal/workload"
+)
+
+// BenchmarkBatchedStep measures the serial lockstep kernel: one op steps a
+// 4096-twin cohort by one tick with both noise channels live. The
+// "twins/op" metric feeds BENCH_twin.json, where twins/sec/core is derived
+// as twins/op divided by ns/op; allocs/op is contractually zero (also
+// pinned by TestBatchedStepAllocFree, and benchjson hard-fails on a
+// regression).
+func BenchmarkBatchedStep(b *testing.B) {
+	dev := tec.ATE31()
+	cfg := Config{
+		Profile:      device.Nexus(),
+		Workload:     func() workload.Generator { return workload.NewVideo(42) },
+		Cell:         battery.MustParams(battery.NCA, 2500),
+		TEC:          &dev,
+		Twins:        4096,
+		Seed:         7,
+		HorizonS:     86400,
+		LoadNoise:    NoiseConfig{Sigma: 0.1, TauS: 60},
+		AmbientNoise: NoiseConfig{Sigma: 1, TauS: 300},
+	}
+	batch, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if alive := batch.Step(); alive == 0 || batch.cursor >= batch.Steps() {
+			b.StopTimer()
+			batch.Reset()
+			b.StartTimer()
+		}
+	}
+	b.ReportMetric(float64(cfg.Twins), "twins/op")
+}

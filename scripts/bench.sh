@@ -3,16 +3,20 @@
 # benchmarks and write the BENCH_simstruct.json trajectory (ns/op,
 # allocs/op, parallel speedup, EMD allocation ratio, and the metrics
 # hot-path allocation guard: the disabled registry and cached-handle
-# paths must stay at 0 allocs/op or benchjson fails the run).
+# paths must stay at 0 allocs/op or benchjson fails the run), then the
+# twin batch engine benchmark into BENCH_twin.json (twins/op, derived
+# single-core twin-step throughput, and the zero-allocs/step guard).
 #
 # Environment:
 #   BENCHTIME  go test -benchtime value (default 2s; use 1x for a smoke run)
-#   OUT        output path (default BENCH_simstruct.json at the repo root)
+#   OUT        simstruct output path (default BENCH_simstruct.json at the repo root)
+#   OUT_TWIN   twin output path (default BENCH_twin.json at the repo root)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-2s}"
 OUT="${OUT:-BENCH_simstruct.json}"
+OUT_TWIN="${OUT_TWIN:-BENCH_twin.json}"
 
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
@@ -23,3 +27,9 @@ go test -run '^$' -bench 'BenchmarkRegistryDisabled|BenchmarkCounterVec' \
     -benchmem -benchtime "$BENCHTIME" ./internal/obs/metrics | tee -a "$raw"
 go run ./scripts/benchjson < "$raw" > "$OUT"
 echo "bench.sh: wrote $OUT"
+
+: > "$raw"
+go test -run '^$' -bench 'BenchmarkBatchedStep' \
+    -benchmem -benchtime "$BENCHTIME" ./internal/twin | tee "$raw"
+go run ./scripts/benchjson < "$raw" > "$OUT_TWIN"
+echo "bench.sh: wrote $OUT_TWIN"

@@ -56,6 +56,13 @@ type derived struct {
 	// (BenchmarkCounterVecLookup), tracked so map-path regressions show
 	// up in the trajectory.
 	MetricsLookupNs *float64 `json:"metrics_lookup_ns,omitempty"`
+	// Twin batch engine (BenchmarkBatchedStep): cohort size per op, the
+	// derived single-core throughput twins·steps/sec (one op advances the
+	// whole cohort one step, so twins/op ÷ ns/op · 1e9), and allocs per
+	// lockstep tick — contractually zero; run() fails on a regression.
+	TwinTwinsPerOp         *float64 `json:"twin_twins_per_op,omitempty"`
+	TwinStepsPerSecPerCore *float64 `json:"twin_steps_per_sec_per_core,omitempty"`
+	TwinAllocsPerStep      *float64 `json:"twin_allocs_per_step,omitempty"`
 }
 
 // benchLine matches "BenchmarkName[-P]  <iters>  <value> <unit> ...".
@@ -124,6 +131,11 @@ func run() error {
 	if a := out.Derived.MetricsHotAllocs; a != nil && *a != 0 {
 		return fmt.Errorf("BenchmarkCounterVecHot allocates %g/op, want 0", *a)
 	}
+	// The twin lockstep kernel is likewise allocation-free by contract
+	// (TestBatchedStepAllocFree pins it in-package).
+	if a := out.Derived.TwinAllocsPerStep; a != nil && *a != 0 {
+		return fmt.Errorf("BenchmarkBatchedStep allocates %g/op, want 0", *a)
+	}
 
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
@@ -162,6 +174,16 @@ func deriveMetrics(results []result) derived {
 	if r, ok := byName["BenchmarkCounterVecLookup"]; ok {
 		v := r.NsPerOp
 		d.MetricsLookupNs = &v
+	}
+	if r, ok := byName["BenchmarkBatchedStep"]; ok {
+		twins := r.Metrics["twins/op"]
+		d.TwinTwinsPerOp = &twins
+		allocs := r.AllocsOp
+		d.TwinAllocsPerStep = &allocs
+		if r.NsPerOp > 0 {
+			throughput := twins / r.NsPerOp * 1e9
+			d.TwinStepsPerSecPerCore = &throughput
+		}
 	}
 	if emd, ok := byName["BenchmarkEMD"]; ok {
 		d.EMDAllocsChecked = emd.AllocsOp

@@ -46,11 +46,13 @@ go test -race ./...
 echo "== benchmark smoke (1 iteration each) =="
 go test -run='^$' -bench=. -benchtime=1x ./... > /dev/null
 
-# The similarity-benchmark trajectory: one-iteration run through bench.sh
-# so the go test | benchjson pipeline stays executable end to end.
+# The benchmark trajectories: one-iteration run through bench.sh so both
+# go test | benchjson pipelines (simstruct + twin) stay executable end to
+# end, including the twin zero-allocs/step hard gate.
 echo "== bench trajectory smoke (bench.sh) =="
 smoke_out="$(mktemp)"
-BENCHTIME=1x OUT="$smoke_out" ./scripts/bench.sh > /dev/null
-rm -f "$smoke_out"
+smoke_twin="$(mktemp)"
+BENCHTIME=1x OUT="$smoke_out" OUT_TWIN="$smoke_twin" ./scripts/bench.sh > /dev/null
+rm -f "$smoke_out" "$smoke_twin"
 
 echo "all checks passed"
