@@ -61,6 +61,7 @@ func run(ctx context.Context, args []string, out *os.File) error {
 	sloWindow := fs.Duration("slo-window", 0, "SLO burn-rate evaluation window (0 = default 5m)")
 	sloInterval := fs.Duration("slo-interval", 0, "SLO evaluation cadence (0 = default 15s)")
 	noFlight := fs.Bool("no-flight", false, "disable per-job flight recording (failed jobs get no black box)")
+	noInvariants := fs.Bool("no-invariants", false, "disable the runtime safety-invariant checker on served jobs")
 	logLevel := fs.String("log-level", "info", "log level: debug|info|warn|error")
 	logFormat := fs.String("log-format", obs.FormatText, "log format: text|json")
 	enablePprof := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
@@ -81,13 +82,14 @@ func run(ctx context.Context, args []string, out *os.File) error {
 		Logger:      logger,
 		EnablePprof: *enablePprof,
 		Executor: server.ExecutorConfig{
-			Workers:       *workers,
-			QueueDepth:    *queue,
-			CacheSize:     *cache,
-			JobTimeout:    *jobTimeout,
-			MaxRetries:    *retries,
-			QueueWaitWarn: *queueWaitWarn,
-			DisableFlight: *noFlight,
+			Workers:           *workers,
+			QueueDepth:        *queue,
+			CacheSize:         *cache,
+			JobTimeout:        *jobTimeout,
+			MaxRetries:        *retries,
+			QueueWaitWarn:     *queueWaitWarn,
+			DisableFlight:     *noFlight,
+			DisableInvariants: *noInvariants,
 			Breaker: server.BreakerConfig{
 				Threshold: *breakerThreshold,
 				Cooldown:  *breakerCooldown,
@@ -118,6 +120,7 @@ func run(ctx context.Context, args []string, out *os.File) error {
 		"slo_queue_wait_p95", sloQueueWaitP95.String(),
 		"slo_tte_p99", sloTTEP99.String(),
 		"flight", !*noFlight,
+		"invariants", !*noInvariants,
 		"pprof", *enablePprof,
 		"log_level", level.String(),
 		"log_format", *logFormat)

@@ -33,6 +33,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/device"
 	"repro/internal/fault"
+	"repro/internal/invariant"
 	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/sim"
@@ -67,6 +68,7 @@ func run(args []string) error {
 	tteNoiseTau := fs.Float64("tte-noise-tau", 60, "tte: OU correlation time of both noise channels in seconds (0 = white)")
 	tteWorkers := fs.Int("tte-workers", 0, "tte: worker count for the sweep (0 = GOMAXPROCS); results are identical at any count")
 	faults := fs.String("faults", "", "fault-injection plan: "+strings.Join(fault.Plans(), "|")+" (empty = none)")
+	invariants := fs.Bool("invariants", false, "run under the safety-invariant checker and print any violations")
 	samples := fs.String("samples", "", "write a sampled trace (JSON) to this file")
 	traceOut := fs.String("trace", "", "enable span tracing and write the span tree (JSON) to this file; also prints a timing breakdown")
 	flightOut := fs.String("flight", "", "record a flight-recorder black box (run notes, degradations, teed logs, spans when -trace is on) and write it (JSON) to this file, even when the run fails")
@@ -111,6 +113,7 @@ func run(args []string) error {
 			seed: uint64(*seed), noTEC: *noTEC,
 			loadNoise: *tteLoadNoise, ambientNoise: *tteAmbientNoise,
 			noiseTauS: *tteNoiseTau, workers: *tteWorkers,
+			invariants: *invariants,
 		})
 	}
 
@@ -129,6 +132,10 @@ func run(args []string) error {
 		return err
 	}
 	cfg.Faults = plan
+	if *invariants {
+		inv := invariant.DefaultConfig()
+		cfg.Invariants = &inv
+	}
 	if *samples != "" {
 		cfg.SampleEveryS = 10
 	}
@@ -194,6 +201,9 @@ func run(args []string) error {
 		return err
 	}
 	report(res)
+	if *invariants {
+		reportInvariants(res.Invariants)
+	}
 	if res.Timing != nil {
 		reportTiming(res.Timing)
 	}
@@ -247,6 +257,7 @@ type tteOptions struct {
 	ambientNoise float64
 	noiseTauS    float64
 	workers      int
+	invariants   bool
 }
 
 // runTTE sweeps a twin cohort and prints the first-passage summary.
@@ -274,6 +285,10 @@ func runTTE(ctx context.Context, opt tteOptions) error {
 		dev := tec.ATE31()
 		cfg.TEC = &dev
 	}
+	if opt.invariants {
+		inv := invariant.DefaultConfig()
+		cfg.Invariants = &inv
+	}
 	b, err := twin.New(cfg)
 	if err != nil {
 		return err
@@ -300,6 +315,25 @@ func reportTTE(s *twin.Summary, wall time.Duration) {
 	steps := float64(s.Twins) * float64(s.Steps)
 	fmt.Printf("swept %.0f twin-steps in %.2fs (%.2fM steps/s)\n",
 		steps, wall.Seconds(), steps/wall.Seconds()/1e6)
+	if len(s.InvariantViolations) > 0 {
+		fmt.Printf("invariants: VIOLATED (fatal=%v): %v\n", s.InvariantFatal, s.InvariantViolations)
+	}
+}
+
+// reportInvariants prints the run's safety-invariant report: a clean line
+// when the checker saw nothing, otherwise every recorded violation.
+func reportInvariants(rep *invariant.Report) {
+	if rep == nil {
+		fmt.Println("invariants: clean (no violations)")
+		return
+	}
+	fmt.Printf("invariants: %d violation(s), fatal=%v\n", rep.Total, rep.Fatal)
+	for _, v := range rep.Violations {
+		fmt.Printf("  t=%.1fs [%s/%s] %s\n", v.At, v.Severity, v.Invariant, v.Detail)
+	}
+	if rep.Truncated > 0 {
+		fmt.Printf("  (+%d more, truncated)\n", rep.Truncated)
+	}
 }
 
 // chemistryByName resolves a Table I abbreviation (NCA, LMO, ...).

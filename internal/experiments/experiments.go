@@ -14,6 +14,7 @@ import (
 	"repro/internal/battery"
 	"repro/internal/core"
 	"repro/internal/device"
+	"repro/internal/invariant"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/tec"
@@ -226,6 +227,11 @@ func (o Options) workloadFactories() []struct {
 	}
 }
 
+// suiteInvariants is the safety-invariant envelope every experiment runs
+// under: a violation anywhere in the suite means the physics engine broke,
+// not that a figure shifted.
+var suiteInvariants = invariant.DefaultConfig()
+
 // baseSimConfig assembles the standard Nexus + pack + TEC configuration.
 func (o Options) baseSimConfig(wl func() workload.Generator, p sched.Policy) sim.Config {
 	dev := tec.ATE31()
@@ -237,6 +243,7 @@ func (o Options) baseSimConfig(wl func() workload.Generator, p sched.Policy) sim
 		TEC:          &dev,
 		DT:           o.dt(),
 		SampleEveryS: 30,
+		Invariants:   &suiteInvariants,
 	}
 }
 
@@ -251,10 +258,11 @@ func newCapman(cfg core.Config) (*core.Scheduler, error) { return core.New(cfg) 
 func (o Options) practiceConfig(wl func() workload.Generator) sim.Config {
 	single := battery.MustParams(battery.LCO, o.CapacityMAh())
 	return sim.Config{
-		Profile:  device.Nexus(),
-		Workload: wl,
-		Policy:   sched.NewSingle(),
-		Single:   &single,
-		DT:       o.dt(),
+		Profile:    device.Nexus(),
+		Workload:   wl,
+		Policy:     sched.NewSingle(),
+		Single:     &single,
+		DT:         o.dt(),
+		Invariants: &suiteInvariants,
 	}
 }

@@ -16,10 +16,11 @@ const DefaultFlightEvents = 256
 // Flight event kinds. Producers are free to add their own; these are the
 // ones the repository emits.
 const (
-	FlightLog      = "log"      // a captured slog record
-	FlightTimeline = "timeline" // a job lifecycle event (server timelines)
-	FlightDegrade  = "degrade"  // a sched.Guard degraded-mode transition
-	FlightNote     = "note"     // free-form breadcrumbs (run milestones)
+	FlightLog       = "log"       // a captured slog record
+	FlightTimeline  = "timeline"  // a job lifecycle event (server timelines)
+	FlightDegrade   = "degrade"   // a sched.Guard degraded-mode transition
+	FlightNote      = "note"      // free-form breadcrumbs (run milestones)
+	FlightInvariant = "invariant" // a safety-invariant violation (first per contract)
 )
 
 // FlightEvent is one entry in a flight recorder's ring.

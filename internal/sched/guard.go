@@ -23,6 +23,12 @@ type Health struct {
 const (
 	DegradeStaleSensors = "stale-sensors"
 	DegradeStuckSwitch  = "stuck-switch"
+	// DegradeInvariant is the latched mode entered via Trip when a fatal
+	// safety-invariant violation shows the physics or scheduler state can
+	// no longer be trusted. Unlike the sensor/switch modes it never
+	// recovers: a broken contract does not heal when the inputs look fresh
+	// again.
+	DegradeInvariant = "invariant"
 )
 
 // DegradeEvent records one graceful-degradation transition: the guard
@@ -30,7 +36,7 @@ const (
 type DegradeEvent struct {
 	// At is the simulated time of the transition.
 	At float64 `json:"at"`
-	// Mode is DegradeStaleSensors or DegradeStuckSwitch.
+	// Mode is DegradeStaleSensors, DegradeStuckSwitch, or DegradeInvariant.
 	Mode string `json:"mode"`
 	// Recovered is false on entry and true when the guard leaves the mode.
 	Recovered bool `json:"recovered,omitempty"`
@@ -83,6 +89,11 @@ type Guard struct {
 	lastReviewAt  float64
 	events        []DegradeEvent
 	onEvent       func(DegradeEvent)
+
+	// tripped latches the invariant mode; once set, diagnose never reports
+	// healthy again.
+	tripped    bool
+	tripDetail string
 }
 
 // NewGuard builds a guard; zero-value config fields take defaults.
@@ -123,6 +134,33 @@ func (g *Guard) Events() []DegradeEvent {
 	return out
 }
 
+// Trip latches the guard into the invariant degradation mode: a fatal
+// safety-contract violation means the simulated state itself is suspect, so
+// the guard holds the current battery and keeps the TEC off for the rest of
+// the run. The transition is recorded immediately (superseding any active
+// mode) and is permanent — diagnose reports it ahead of every health-driven
+// mode and never clears it. Tripping twice is a no-op.
+func (g *Guard) Trip(at float64, detail string) {
+	if g.tripped {
+		return
+	}
+	g.tripped = true
+	g.tripDetail = detail
+	if g.mode == DegradeInvariant {
+		return
+	}
+	if g.mode != "" {
+		g.record(DegradeEvent{
+			At: at, Mode: g.mode, Recovered: true,
+			Detail: "superseded by invariant trip",
+		})
+	} else {
+		g.degradedSince = at
+	}
+	g.mode = DegradeInvariant
+	g.record(DegradeEvent{At: at, Mode: DegradeInvariant, Detail: detail})
+}
+
 // Review vets one decision against the health view. It returns the
 // decision to actually apply: the policy's own when healthy, or the
 // conservative hold-current-battery fallback while degraded.
@@ -158,6 +196,9 @@ func (g *Guard) Review(ctx Context, dec Decision) Decision {
 // Switch trouble wins over sensor trouble: a stuck actuator invalidates
 // any decision, fresh readings or not.
 func (g *Guard) diagnose(h Health) (mode, detail string) {
+	if g.tripped {
+		return DegradeInvariant, g.tripDetail
+	}
 	if h.SwitchUnacked >= g.cfg.MaxSwitchUnacked {
 		return DegradeStuckSwitch,
 			fmt.Sprintf("%d consecutive flips unacknowledged (last ack %.0fs ago)",

@@ -113,3 +113,72 @@ func TestGuardModeTransition(t *testing.T) {
 		t.Fatalf("unexpected transition log: %+v", evs)
 	}
 }
+
+// TestGuardTripLatchesInvariantMode: Trip enters the invariant mode
+// immediately, healthy inputs never clear it, and re-tripping is a no-op.
+func TestGuardTripLatchesInvariantMode(t *testing.T) {
+	g := NewGuard(GuardConfig{})
+	want := Decision{Battery: battery.SelectLittle}
+	if got := g.Review(guardCtx(10, Health{}), want); got != want {
+		t.Fatalf("healthy guard overrode decision: %+v", got)
+	}
+
+	g.Trip(100, "big SoC rose 0.5 -> 0.53 during discharge")
+	if degraded, mode := g.Degraded(); !degraded || mode != DegradeInvariant {
+		t.Fatalf("after Trip: mode = %q, want %q", mode, DegradeInvariant)
+	}
+	if g.TECAllowed() {
+		t.Error("tripped guard allowed the TEC")
+	}
+
+	// Healthy inputs forever after: the latch must hold.
+	for now := 110.0; now <= 150; now += 10 {
+		got := g.Review(guardCtx(now, Health{}), want)
+		if got.Battery != battery.SelectBig {
+			t.Fatalf("t=%.0f tripped guard let a flip through: %+v", now, got)
+		}
+	}
+	if degraded, mode := g.Degraded(); !degraded || mode != DegradeInvariant {
+		t.Fatalf("latch cleared by healthy inputs: mode %q", mode)
+	}
+	if g.DegradedTimeS() <= 0 {
+		t.Error("no degraded time accumulated while tripped")
+	}
+
+	evs := g.Events()
+	if len(evs) != 1 || evs[0].Mode != DegradeInvariant || evs[0].Recovered || evs[0].At != 100 {
+		t.Fatalf("transition log = %+v, want one invariant entry at t=100", evs)
+	}
+	g.Trip(120, "second trip")
+	if got := g.Events(); len(got) != 1 {
+		t.Fatalf("re-trip recorded new events: %+v", got)
+	}
+}
+
+// TestGuardTripSupersedesActiveMode: tripping while already degraded closes
+// the health-driven mode with a recovery event and opens the invariant one.
+func TestGuardTripSupersedesActiveMode(t *testing.T) {
+	g := NewGuard(GuardConfig{})
+	want := Decision{Battery: battery.SelectLittle}
+	g.Review(guardCtx(10, Health{SwitchUnacked: 50}), want)
+	if _, mode := g.Degraded(); mode != DegradeStuckSwitch {
+		t.Fatalf("setup: mode %q, want stuck-switch", mode)
+	}
+
+	g.Trip(20, "negative well")
+	evs := g.Events()
+	if len(evs) != 3 {
+		t.Fatalf("events = %+v, want entry+recovery+entry", evs)
+	}
+	if !evs[1].Recovered || evs[1].Mode != DegradeStuckSwitch {
+		t.Errorf("stuck-switch mode not closed on trip: %+v", evs[1])
+	}
+	if evs[2].Mode != DegradeInvariant || evs[2].Recovered {
+		t.Errorf("no invariant entry after trip: %+v", evs[2])
+	}
+	// Even with the switch acking again, the invariant mode holds.
+	g.Review(guardCtx(30, Health{}), want)
+	if _, mode := g.Degraded(); mode != DegradeInvariant {
+		t.Errorf("mode %q after healthy review, want invariant", mode)
+	}
+}

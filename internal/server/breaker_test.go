@@ -2,6 +2,8 @@ package server
 
 import (
 	"errors"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -109,6 +111,94 @@ func TestBreakerDisabled(t *testing.T) {
 	if err := s.Admit(key); err != nil {
 		t.Fatalf("disabled Admit: %v", err)
 	}
+}
+
+// admitConcurrently fires n simultaneous Admit calls and returns how many
+// were admitted. A start barrier maximizes the actual interleaving so the
+// race detector gets real contention to look at.
+func admitConcurrently(t *testing.T, s *breakerSet, key string, n int) int {
+	t.Helper()
+	var (
+		start    = make(chan struct{})
+		wg       sync.WaitGroup
+		admitted atomic.Int64
+	)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			err := s.Admit(key)
+			switch {
+			case err == nil:
+				admitted.Add(1)
+			case !errors.Is(err, ErrBreakerOpen):
+				t.Errorf("concurrent Admit: unexpected error %v", err)
+			}
+		}()
+	}
+	close(start)
+	wg.Wait()
+	return int(admitted.Load())
+}
+
+// TestBreakerHalfOpenConcurrentProbes nails down the half-open contract
+// under contention: when the cooldown elapses and a stampede of submissions
+// arrives at once, exactly one wins the probe slot, and the probe's verdict
+// — not the stampede — decides whether the entry closes or reopens.
+func TestBreakerHalfOpenConcurrentProbes(t *testing.T) {
+	const (
+		key      = "video/dual"
+		stampede = 32
+	)
+
+	t.Run("successful probe closes", func(t *testing.T) {
+		s, clk := newClockedSet(BreakerConfig{Threshold: 1, Cooldown: time.Second})
+		s.Record(key, true) // trip
+		clk.advance(2 * time.Second)
+
+		if got := admitConcurrently(t, s, key, stampede); got != 1 {
+			t.Fatalf("%d of %d concurrent submissions admitted as probes, want exactly 1", got, stampede)
+		}
+		if got := s.States()[key]; got != "half-open" {
+			t.Fatalf("state %q after probe grant, want half-open", got)
+		}
+		if s.Record(key, false) {
+			t.Fatal("successful probe reported a trip")
+		}
+		if got := s.States()[key]; got != "closed" {
+			t.Fatalf("state %q after successful probe, want closed", got)
+		}
+		// Closed again: the next stampede is admitted wholesale.
+		if got := admitConcurrently(t, s, key, stampede); got != stampede {
+			t.Fatalf("%d of %d admitted after recovery, want all", got, stampede)
+		}
+	})
+
+	t.Run("failed probe reopens", func(t *testing.T) {
+		s, clk := newClockedSet(BreakerConfig{Threshold: 1, Cooldown: time.Second})
+		s.Record(key, true)
+		clk.advance(2 * time.Second)
+
+		if got := admitConcurrently(t, s, key, stampede); got != 1 {
+			t.Fatalf("%d probes admitted, want exactly 1", got)
+		}
+		if !s.Record(key, true) {
+			t.Fatal("failed probe did not reopen the breaker")
+		}
+		if got := s.States()[key]; got != "open" {
+			t.Fatalf("state %q after failed probe, want open", got)
+		}
+		// Reopened with a fresh cooldown: everyone sheds again.
+		if got := admitConcurrently(t, s, key, stampede); got != 0 {
+			t.Fatalf("%d admitted while reopened, want 0", got)
+		}
+		// And the next cooldown grants exactly one new probe slot.
+		clk.advance(2 * time.Second)
+		if got := admitConcurrently(t, s, key, stampede); got != 1 {
+			t.Fatalf("%d probes after second cooldown, want exactly 1", got)
+		}
+	})
 }
 
 func TestBreakerSeparatesEntries(t *testing.T) {

@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/invariant"
 	"repro/internal/obs"
 	"repro/internal/obs/metrics"
 	"repro/internal/sched"
@@ -84,6 +85,17 @@ type ExecutorConfig struct {
 	// cut for failed jobs, GET /v1/jobs/{id}/flight returns 404, and jobs
 	// skip span tracing. The default (zero value) records every job.
 	DisableFlight bool
+	// DisableInvariants turns off the runtime safety-invariant checker.
+	// The default (zero value) runs every sim job and twin batch under the
+	// checker: violations stream into
+	// capman_invariant_violations_total{invariant,severity} and the job's
+	// flight recorder, and a fatal violation trips the sim's degradation
+	// guard. The checker observes without perturbing physics, so cached
+	// outcomes of clean runs are byte-identical either way.
+	DisableInvariants bool
+	// Invariants overrides the checker's envelopes (nil = calibrated
+	// defaults). Ignored when DisableInvariants is set.
+	Invariants *invariant.Config
 	// FlightEvents bounds each job's flight-recorder ring (default
 	// obs.DefaultFlightEvents); the ring keeps the newest events.
 	FlightEvents int
@@ -153,6 +165,7 @@ type Executor struct {
 	logger     *slog.Logger
 	flightOff  bool
 	flightLen  int
+	invariants *invariant.Config                                          // nil when DisableInvariants
 	runFn      func(context.Context, JobSpec, resolved) (*Outcome, error) // test seam
 
 	mu       sync.Mutex
@@ -180,6 +193,7 @@ func NewExecutor(cfg ExecutorConfig) *Executor {
 		logger:     cfg.Logger,
 		flightOff:  cfg.DisableFlight,
 		flightLen:  cfg.FlightEvents,
+		invariants: cfg.Invariants,
 		runFn:      runJob,
 		jobs:       make(map[string]*Job),
 		inflight:   make(map[string]*Job),
@@ -187,6 +201,12 @@ func NewExecutor(cfg ExecutorConfig) *Executor {
 	}
 	if e.maxRetries < 0 {
 		e.maxRetries = 0
+	}
+	if cfg.DisableInvariants {
+		e.invariants = nil
+	} else if e.invariants == nil {
+		def := invariant.DefaultConfig()
+		e.invariants = &def
 	}
 	e.metrics.Workers.Set(int64(cfg.Workers))
 	e.metrics.BreakerStates = e.breakers.States
@@ -438,6 +458,17 @@ func (e *Executor) worker() {
 		// recording is off, the job also gets a flight recorder plus span
 		// tracing; their snapshot becomes the black box if the job fails.
 		cfg.sim.Metrics = e.sink()
+		if e.invariants != nil {
+			if cfg.twin != nil {
+				// cfg.twin points at the registry-resolved config shared by
+				// coalesced submissions; copy before mutating.
+				tw := *cfg.twin
+				tw.Invariants = e.invariants
+				cfg.twin = &tw
+			} else {
+				cfg.sim.Invariants = e.invariants
+			}
+		}
 		if p, ok := cfg.sim.Policy.(interface{ SetEMDLatency(*obs.Histogram) }); ok {
 			p.SetEMDLatency(e.metrics.EMDLatency.Base())
 		}
@@ -518,6 +549,15 @@ func (e *Executor) worker() {
 			e.metrics.FaultsInjected.Add(uint64(out.Run.FaultCounts.Total()))
 			e.metrics.Degradations.Add(uint64(len(out.Run.Degradations)))
 		}
+		// Sim jobs stream violations live via the sink; twin batches report
+		// deterministic per-contract totals only at summary time.
+		if out != nil && out.TTE != nil {
+			for name, n := range out.TTE.InvariantViolations {
+				e.metrics.InvariantViolations.
+					WithLabelValues(name, string(invariant.SeverityOfName(name))).
+					Add(uint64(n))
+			}
+		}
 
 		// Cut the black box last, so the metric deltas include everything
 		// the failure moved (failed counter, wall histogram, retries).
@@ -555,6 +595,10 @@ func (e *Executor) sink() *sim.MetricsSink {
 			if !ev.Recovered {
 				e.metrics.Degrades.WithLabelValues(ev.Mode).Inc()
 			}
+		},
+		OnViolation: func(v invariant.Violation) {
+			e.metrics.InvariantViolations.
+				WithLabelValues(v.Invariant, string(v.Severity)).Inc()
 		},
 	}
 }
@@ -670,6 +714,11 @@ func runTTEJob(ctx context.Context, cfg twin.Config) (*Outcome, error) {
 		return nil, err
 	}
 	s := b.Summarize()
+	for name, n := range s.InvariantViolations {
+		fl.RecordAttrs(obs.FlightInvariant, name,
+			fmt.Sprintf("%d violation(s) across the cohort", n),
+			map[string]string{"severity": string(invariant.SeverityOfName(name))})
+	}
 	fl.Recordf(obs.FlightTimeline, "tte.done",
 		"%d emptied, %d censored; p50 %.0fs", s.Emptied, s.Censored, s.TTEP50S)
 	return &Outcome{TTE: s}, nil

@@ -1,0 +1,99 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// FuzzCanonicalSpec drives arbitrary submissions through the canonical
+// encoding and asserts the two properties the content-addressed cache
+// depends on: canonicalization is idempotent (decoding the canonical bytes
+// and re-canonicalizing reproduces them exactly), and knobs the defaulting
+// step scrubs — sim-only fields on a tte job, the tte block on a sim job,
+// spelling variants like kind "sim" and fault plan "none" — never reach the
+// cache key. Either property failing would fragment the cache or, worse,
+// alias two different jobs onto one entry.
+func FuzzCanonicalSpec(f *testing.F) {
+	f.Add(true, "Nexus", "video", "capman", "", "NCA", int64(7), 0.25, 0.0, 0.0, 160.0, 16, 0, 7200.0)
+	f.Add(true, "", "", "", "chaos", "", int64(-1), 0.0, 3600.0, 2.5, 0.0, 1024, 3, 0.0)
+	f.Add(false, "Honor", "eta", "threshold", "none", "LMO", int64(42), 1.0, 1e6, 1.4, 2500.0, 0, 2, 86400.0)
+	f.Add(false, "", "", "", "", "", int64(0), 0.0, 0.0, 0.0, 0.0, 0, 0, 0.0)
+
+	f.Fuzz(func(t *testing.T, tte bool, profile, workload, policy, faultPlan, chem string,
+		seed int64, dt, maxTimeS, thresholdW, mAh float64, twins, cycles int, horizonS float64) {
+		for _, v := range []float64{dt, maxTimeS, thresholdW, mAh, horizonS} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Skip("non-finite floats are rejected before canonicalization")
+			}
+		}
+		spec := JobSpec{
+			Profile: profile, Workload: workload, Seed: seed,
+			Policy: policy, ThresholdW: thresholdW,
+			DT: dt, MaxTimeS: maxTimeS, Cycles: cycles, FaultPlan: faultPlan,
+		}
+		if tte {
+			spec.Kind = "tte"
+			spec.TTE = &TTEParams{Twins: twins, HorizonS: horizonS, Chemistry: chem, MAh: mAh}
+		} else {
+			spec.BigChemistry, spec.LittleChemistry = chem, chem
+		}
+
+		canon, err := spec.Canonical()
+		if err != nil {
+			t.Fatalf("canonicalize: %v", err)
+		}
+		var round JobSpec
+		if err := json.Unmarshal(canon, &round); err != nil {
+			t.Fatalf("canonical bytes do not decode: %v\n%s", err, canon)
+		}
+		again, err := round.Canonical()
+		if err != nil {
+			t.Fatalf("re-canonicalize: %v", err)
+		}
+		if !bytes.Equal(canon, again) {
+			t.Errorf("canonicalization not idempotent:\nfirst:  %s\nsecond: %s", canon, again)
+		}
+
+		hash, err := spec.Hash()
+		if err != nil {
+			t.Fatalf("hash: %v", err)
+		}
+		sameHash := func(name string, m JobSpec) {
+			t.Helper()
+			h, err := m.Hash()
+			if err != nil {
+				t.Fatalf("%s: hash: %v", name, err)
+			}
+			if h != hash {
+				mc, _ := m.Canonical()
+				t.Errorf("%s changed the cache key:\nbase:   %s\nmutant: %s", name, canon, mc)
+			}
+		}
+		if tte {
+			// Every sim-only knob is scrubbed on a tte job; no value a client
+			// smuggles in may fragment the cohort's cache entry.
+			m := spec
+			m.Policy, m.ThresholdW = "practice", thresholdW+1
+			m.BigChemistry, m.LittleChemistry = "LCO", "NCA"
+			m.BigMAh, m.LittleMAh = mAh+100, mAh+200
+			m.MaxTimeS = maxTimeS + 500
+			m.Cycles = cycles + 2
+			m.FaultPlan = faultPlan + "-x"
+			sameHash("sim-only knobs on a tte job", m)
+		} else {
+			m := spec
+			m.Kind = "sim"
+			sameHash(`kind "sim" spelling`, m)
+			if spec.FaultPlan == "" {
+				m = spec
+				m.FaultPlan = "none"
+				sameHash(`fault plan "none" spelling`, m)
+			}
+			m = spec
+			m.TTE = &TTEParams{Twins: twins + 1, MAh: mAh + 1}
+			sameHash("tte block on a sim job", m)
+		}
+	})
+}

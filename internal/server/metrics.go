@@ -58,6 +58,11 @@ type Metrics struct {
 	PhaseSeconds    *metrics.CounterFloatVec // cumulative step-phase wall clock, by phase
 	Degrades        *metrics.CounterVec      // guard transitions, by reason
 
+	// InvariantViolations counts safety-invariant breaches reported by
+	// running simulations and finished twin batches, by contract and
+	// severity.
+	InvariantViolations *metrics.CounterVec
+
 	// SLOBreaches counts watchdog burn-rate breaches, labeled by objective.
 	SLOBreaches *metrics.CounterVec
 
@@ -127,6 +132,10 @@ func NewMetrics() *Metrics {
 		Degrades: reg.CounterVec("capman_degrade_total",
 			"Graceful-degradation transitions streamed live from running simulations, by guard mode.",
 			"reason"),
+
+		InvariantViolations: reg.CounterVec("capman_invariant_violations_total",
+			"Safety-invariant violations observed by the runtime checker, by contract and severity.",
+			"invariant", "severity"),
 
 		SLOBreaches: reg.CounterVec("capmand_slo_breach_total",
 			"SLO watchdog burn-rate breaches, by objective.", "slo"),

@@ -13,6 +13,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"strings"
 
 	"repro/internal/fault"
 )
@@ -109,9 +110,30 @@ const (
 // Spec errors.
 var ErrBadSpec = errors.New("server: invalid job spec")
 
+// scrubUTF8 replaces invalid UTF-8 in the spec's string fields with the
+// replacement rune — exactly what the JSON round trip through the wire does.
+// Without it Canonical would not be a fixed point for in-process callers:
+// json.Marshal escapes an invalid byte as the six-byte sequence \ufffd,
+// which decodes to the actual replacement rune and re-encodes as different
+// bytes, splitting one job across two cache keys.
+func (s *JobSpec) scrubUTF8() {
+	for _, p := range []*string{
+		&s.Kind, &s.Profile, &s.Workload, &s.Policy,
+		&s.BigChemistry, &s.LittleChemistry, &s.FaultPlan,
+	} {
+		*p = strings.ToValidUTF8(*p, "�")
+	}
+	if s.TTE != nil {
+		t := *s.TTE // never mutate the caller's block through the pointer
+		t.Chemistry = strings.ToValidUTF8(t.Chemistry, "�")
+		s.TTE = &t
+	}
+}
+
 // withDefaults fills unset knobs so that two specs that resolve to the
 // same simulation canonicalize to the same bytes.
 func (s JobSpec) withDefaults() JobSpec {
+	s.scrubUTF8()
 	if s.Kind == "sim" {
 		s.Kind = "" // canonicalize: both spellings mean a simulation job
 	}

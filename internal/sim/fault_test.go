@@ -8,25 +8,30 @@ import (
 	"repro/internal/battery"
 	"repro/internal/device"
 	"repro/internal/fault"
+	"repro/internal/invariant"
 	"repro/internal/sched"
 	"repro/internal/tec"
 	"repro/internal/workload"
 )
 
 // smallConfig is a fast cycle (small cells, short span) for fault tests.
+// Every fault test runs under the safety-invariant checker: injected faults
+// must degrade the run, never break the physics.
 func smallConfig(p sched.Policy) Config {
 	dev := tec.ATE31()
 	pack := battery.DefaultPackConfig()
 	pack.Big = battery.MustParams(battery.NCA, 300)
 	pack.Little = battery.MustParams(battery.LMO, 300)
+	inv := invariant.DefaultConfig()
 	return Config{
-		Profile:  device.Nexus(),
-		Workload: func() workload.Generator { return workload.NewVideo(42) },
-		Policy:   p,
-		Pack:     pack,
-		TEC:      &dev,
-		DT:       0.25,
-		MaxTimeS: 20_000,
+		Profile:    device.Nexus(),
+		Workload:   func() workload.Generator { return workload.NewVideo(42) },
+		Policy:     p,
+		Pack:       pack,
+		TEC:        &dev,
+		DT:         0.25,
+		MaxTimeS:   20_000,
+		Invariants: &inv,
 	}
 }
 
@@ -188,6 +193,31 @@ func TestFallbackPerFaultMode(t *testing.T) {
 				t.Errorf("degradation mode %q, want %q (events %+v)", gotMode, c.wantMode, res.Degradations)
 			}
 			c.check(t, res)
+		})
+	}
+}
+
+// TestFaultPlanLibraryNoFatalViolations runs every named fault plan under
+// the checker: injected faults corrupt what the policy *sees* and what the
+// actuators *do*, never the physics itself, so no plan may produce a fatal
+// (bug-class) violation. This is also the scripts/check.sh invariant smoke.
+func TestFaultPlanLibraryNoFatalViolations(t *testing.T) {
+	for _, name := range fault.Plans() {
+		t.Run(name, func(t *testing.T) {
+			plan, err := fault.ByName(name, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := smallConfig(sched.NewDual())
+			cfg.Faults = plan
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("plan %s errored: %v", name, err)
+			}
+			if res.Invariants != nil && res.Invariants.Fatal {
+				t.Fatalf("plan %s produced fatal invariant violations: %+v",
+					name, res.Invariants.Violations)
+			}
 		})
 	}
 }

@@ -3,6 +3,7 @@ package sim
 import (
 	"time"
 
+	"repro/internal/invariant"
 	"repro/internal/obs"
 	"repro/internal/sched"
 )
@@ -23,6 +24,9 @@ type MetricsSink struct {
 	// OnDegrade, when non-nil, is invoked synchronously for every guard
 	// degradation transition (entries and recoveries).
 	OnDegrade func(sched.DegradeEvent)
+	// OnViolation, when non-nil, is invoked synchronously for every safety
+	// invariant violation the run's checker observes (Config.Invariants).
+	OnViolation func(invariant.Violation)
 }
 
 // Timing is a run's self-measured host-side cost breakdown, populated in

@@ -14,6 +14,7 @@ import (
 	"repro/internal/battery"
 	"repro/internal/device"
 	"repro/internal/fault"
+	"repro/internal/invariant"
 	"repro/internal/mdp"
 	"repro/internal/obs"
 	"repro/internal/sched"
@@ -79,6 +80,17 @@ type Config struct {
 	// bit-identical to an unobserved run. capmand attaches one per job to
 	// feed its unified registry.
 	Metrics *MetricsSink
+
+	// Invariants, when non-nil, mounts the runtime safety-invariant
+	// checker: every step is vetted against the thermal/battery/TEC/switch
+	// contracts in internal/invariant, violations stream through
+	// Metrics.OnViolation and the flight recorder, and the run's summary
+	// lands in Result.Invariants. A fatal violation trips the degradation
+	// guard (mounted automatically, as with Faults) so the run degrades
+	// instead of integrating garbage. The checker observes true physics
+	// state only — never fault-corrupted sensor views — and a nil config
+	// is bit-identical to an unchecked run at one nil check per step.
+	Invariants *invariant.Config
 
 	// DT is the simulation step in seconds (default 0.25).
 	DT float64
@@ -183,6 +195,10 @@ type Result struct {
 	// decision-latency histogram; nil unless tracing was on (see
 	// Config.Recorder).
 	Timing *Timing `json:",omitempty"`
+
+	// Invariants summarizes safety-contract violations; nil for a clean
+	// run or when the checker was off (see Config.Invariants).
+	Invariants *invariant.Report `json:",omitempty"`
 }
 
 // LittleRatio returns the fraction of active time spent on the LITTLE
@@ -245,12 +261,32 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		return nil, err
 	}
 	var guard *sched.Guard
-	if cfg.Faults != nil || cfg.Guard != nil {
+	if cfg.Faults != nil || cfg.Guard != nil || cfg.Invariants != nil {
 		gc := sched.DefaultGuardConfig()
 		if cfg.Guard != nil {
 			gc = *cfg.Guard
 		}
 		guard = sched.NewGuard(gc)
+	}
+	// The invariant checker needs the chemistry cutoffs and TEC rating to
+	// evaluate the electrical contracts; a custom Source hides its cutoff,
+	// which simply disables that one contract.
+	var checker *invariant.Checker
+	var invBigCutoffV, invLittleCutoffV, invTECMaxA float64
+	if cfg.Invariants != nil {
+		checker = invariant.NewChecker(*cfg.Invariants)
+		if cfg.Source == nil {
+			if cfg.Single != nil {
+				invBigCutoffV = cfg.Single.CutoffV
+				invLittleCutoffV = cfg.Single.CutoffV
+			} else {
+				invBigCutoffV = cfg.Pack.Big.CutoffV
+				invLittleCutoffV = cfg.Pack.Little.CutoffV
+			}
+		}
+		if cfg.TEC != nil {
+			invTECMaxA = cfg.TEC.MaxCurrentA
+		}
 	}
 	if p, ok := source.(*battery.Pack); ok && inj != nil {
 		p.SetSwitchGate(func(now float64, to battery.Selection, forced bool) bool {
@@ -304,6 +340,22 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 				"at":        fmt.Sprintf("%.1fs", ev.At),
 				"recovered": fmt.Sprintf("%t", ev.Recovered),
 			})
+		})
+	}
+	// Invariant violations stream the same way: into the metrics sink on
+	// every breach, and into the black box on the first breach per contract
+	// so a long-running ceiling excursion cannot flood the bounded ring.
+	if checker != nil && (fl != nil || (sink != nil && sink.OnViolation != nil)) {
+		checker.SetOnViolation(func(v invariant.Violation) {
+			if sink != nil && sink.OnViolation != nil {
+				sink.OnViolation(v)
+			}
+			if v.First {
+				fl.RecordAttrs(obs.FlightInvariant, v.Invariant, v.Detail, map[string]string{
+					"severity": string(v.Severity),
+					"at":       fmt.Sprintf("%.1fs", v.At),
+				})
+			}
 		})
 	}
 	fl.Recordf(obs.FlightNote, "sim.run", "start policy=%s workload=%s phone=%s",
@@ -374,9 +426,9 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		}
 
 		var tecOut tec.Output
+		var cond tec.Condition
 		if cooler != nil {
 			t0 = timer.begin()
-			var cond tec.Condition
 			if inj != nil {
 				cond.ForcedOff, cond.Derate = inj.TECCondition(now)
 			}
@@ -399,6 +451,9 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		t0 = timer.begin()
 		bigState := source.CellState(battery.SelectBig)
 		littleState := source.CellState(battery.SelectLittle)
+		// The checker vets the true cell states; sensor faults below only
+		// corrupt the copies the policy observes.
+		trueBig, trueLittle := bigState, littleState
 		socStaleS := 0.0
 		if inj != nil {
 			var sb, sl float64
@@ -489,6 +544,53 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		}
 		timer.lapThermal(t0)
 
+		// Safety contracts, evaluated on true physics state only. A fatal
+		// violation latches the guard into its invariant mode, so from the
+		// next review on the run holds the current battery with the TEC
+		// off instead of integrating a state the contracts disown.
+		if checker != nil {
+			degraded := false
+			if guard != nil {
+				degraded, _ = guard.Degraded()
+			}
+			activeCutoffV := invBigCutoffV
+			if stepRes.Active == battery.SelectLittle {
+				activeCutoffV = invLittleCutoffV
+			}
+			checker.CheckSim(invariant.SimStep{
+				Now:  now,
+				DT:   dt,
+				Step: res.Steps,
+
+				CPUTempC:     cpuTemp,
+				BatteryTempC: battTemp,
+				BodyTempC:    bodyTemp,
+
+				BigSoC:         trueBig.SoC,
+				BigAvailSoC:    trueBig.AvailSoC,
+				LittleSoC:      trueLittle.SoC,
+				LittleAvailSoC: trueLittle.AvailSoC,
+
+				StepOK:         true,
+				ActivePowerW:   demandW,
+				ActiveVoltageV: stepRes.Cell.Voltage,
+				ActiveCutoffV:  activeCutoffV,
+
+				TECPowerW:      tecOut.PowerW,
+				TECCoolingW:    tecOut.CPUCoolingW,
+				TECCurrentA:    tecOut.CurrentA,
+				TECMaxCurrentA: invTECMaxA,
+				TECForcedOff:   cond.ForcedOff,
+
+				Degraded:        degraded,
+				DecisionBattery: dec.Battery,
+				ActiveBattery:   ctx.State.Battery,
+			})
+			if v, fatal := checker.FatalViolation(); fatal && guard != nil {
+				guard.Trip(now, v.Detail)
+			}
+		}
+
 		// Reward: step energy efficiency in [0, 1].
 		useful := demandW * dt
 		waste := stepRes.HeatW * dt
@@ -566,6 +668,9 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 			res.Degradations = evs
 		}
 		res.DegradedTimeS = guard.DegradedTimeS()
+	}
+	if checker != nil {
+		res.Invariants = checker.Report()
 	}
 	if timer != nil && rec != nil {
 		res.Timing = timer.timing()

@@ -33,6 +33,7 @@ import (
 
 	"repro/internal/battery"
 	"repro/internal/device"
+	"repro/internal/invariant"
 	"repro/internal/tec"
 	"repro/internal/thermal"
 	"repro/internal/workload"
@@ -84,6 +85,14 @@ type Config struct {
 	// the deterministic trajectory exactly.
 	LoadNoise    NoiseConfig
 	AmbientNoise NoiseConfig
+
+	// Invariants, when non-nil, checks every twin's step against the
+	// physics contracts in internal/invariant (lane-wise batch variant:
+	// atomic per-contract counters, so totals are deterministic at any
+	// worker count and the no-violation path allocates nothing). Summary
+	// gains the per-contract counts; nil is bit-identical to an unchecked
+	// batch.
+	Invariants *invariant.Config
 }
 
 // withDefaults mirrors sim.Config's defaulting.
@@ -207,6 +216,9 @@ type Batch struct {
 	aLoad, bLoad float64
 	aAmb, bAmb   float64
 
+	// inv is the lane-wise safety-invariant checker; nil when unchecked.
+	inv *invariant.BatchChecker
+
 	cursor int
 	now    float64
 	alive  int
@@ -295,6 +307,17 @@ func New(cfg Config) (*Batch, error) {
 	b.aLoad, b.bLoad = ouCoeffs(cfg.LoadNoise.Sigma, cfg.LoadNoise.TauS, cfg.DT)
 	b.aAmb, b.bAmb = ouCoeffs(cfg.AmbientNoise.Sigma, cfg.AmbientNoise.TauS, cfg.DT)
 
+	if cfg.Invariants != nil {
+		p := invariant.BatchParams{
+			CapacityC: cfg.Cell.CapacityCoulomb * cfg.Cell.UsableFraction,
+			CutoffV:   cfg.Cell.CutoffV,
+		}
+		if b.hasTEC {
+			p.TECMaxCurrentA = b.tecDev.MaxCurrentA
+		}
+		b.inv = invariant.NewBatchChecker(*cfg.Invariants, n, p)
+	}
+
 	b.Reset()
 	return b, nil
 }
@@ -320,6 +343,12 @@ func (b *Batch) Reset() {
 		b.ambX[i] = 0
 		b.tteS[i] = 0
 		b.end[i] = endAlive
+		if b.inv != nil {
+			b.inv.Prime(i, b.cells.Avail[i]+b.cells.Bound[i],
+				b.nodes[thermal.NodeCPU].InitialC,
+				b.nodes[thermal.NodeBattery].InitialC,
+				b.nodes[thermal.NodeBody].InitialC)
+		}
 	}
 	b.cursor = 0
 	b.now = 0
@@ -433,6 +462,31 @@ func (b *Batch) stepRange(k, lo, hi int) int {
 
 		b.deliveredJ[i] += demandW * dt
 		b.wastedJ[i] += res.HeatW * dt
+
+		// Safety contracts over the raw lanes. Disjoint twin ranges keep
+		// the checker race-free for the same reason they keep the lanes
+		// race-free, and the no-violation path allocates nothing.
+		if b.inv != nil {
+			b.inv.CheckLane(invariant.LaneStep{
+				Twin: i,
+				Now:  now,
+				DT:   dt,
+
+				AvailC: b.cells.Avail[i],
+				BoundC: b.cells.Bound[i],
+
+				StepOK:   true,
+				PowerW:   demandW,
+				VoltageV: res.Voltage,
+
+				CPUTempC:     temps[thermal.NodeCPU],
+				BatteryTempC: temps[thermal.NodeBattery],
+				BodyTempC:    temps[thermal.NodeBody],
+
+				TECPowerW:   tecOut.PowerW,
+				TECCurrentA: tecOut.CurrentA,
+			})
+		}
 	}
 	return died
 }
@@ -560,6 +614,16 @@ func (b *Batch) WastedJ(i int) float64 { return b.wastedJ[i] }
 // TECEnergyJ returns twin i's cumulative TEC electrical energy.
 func (b *Batch) TECEnergyJ(i int) float64 { return b.tecEnergyJ[i] }
 
+// Invariants returns the cohort's safety-contract violation report, or nil
+// when the checker was off or the cohort was clean. The detail list's order
+// depends on worker interleaving; the counts do not.
+func (b *Batch) Invariants() *invariant.Report {
+	if b.inv == nil {
+		return nil
+	}
+	return b.inv.Report()
+}
+
 // Summary is the Monte Carlo TTE estimate for one cohort.
 type Summary struct {
 	Phone     string `json:"phone"`
@@ -593,6 +657,13 @@ type Summary struct {
 	MeanEnergyJ     float64 `json:"mean_energy_j"`
 	MeanMaxCPUTempC float64 `json:"mean_max_cpu_temp_c"`
 	MeanTECEnergyJ  float64 `json:"mean_tec_energy_j"`
+
+	// InvariantViolations tallies safety-contract breaches per contract
+	// name across the whole cohort; nil when the checker was off or the
+	// cohort was clean. The counts are deterministic at any worker count.
+	InvariantViolations map[string]int `json:"invariant_violations,omitempty"`
+	// InvariantFatal reports whether any fatal-severity contract fired.
+	InvariantFatal bool `json:"invariant_fatal,omitempty"`
 }
 
 // Summarize reduces the cohort to its TTE distribution. Twins still alive
@@ -630,6 +701,10 @@ func (b *Batch) Summarize() *Summary {
 		s.MeanEnergyJ += b.deliveredJ[i]
 		s.MeanMaxCPUTempC += b.maxCPU[i]
 		s.MeanTECEnergyJ += b.tecEnergyJ[i]
+	}
+	if b.inv != nil {
+		s.InvariantViolations = b.inv.Counts()
+		s.InvariantFatal = b.inv.Fatal()
 	}
 	sort.Float64s(ttes)
 	s.TTEMinS = ttes[0]

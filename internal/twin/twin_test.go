@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/battery"
 	"repro/internal/device"
+	"repro/internal/invariant"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/tec"
@@ -265,17 +266,90 @@ func TestConfigValidation(t *testing.T) {
 }
 
 // TestBatchedStepAllocFree pins the hot loop at zero allocations per
-// lockstep tick, noise channels on.
+// lockstep tick, noise channels on — with and without the invariant
+// checker, whose no-violation path must be equally free.
 func TestBatchedStepAllocFree(t *testing.T) {
-	cfg := testConfig(256, 320)
-	cfg.LoadNoise = NoiseConfig{Sigma: 0.1, TauS: 60}
-	cfg.AmbientNoise = NoiseConfig{Sigma: 1, TauS: 300}
-	b, err := New(cfg)
-	if err != nil {
-		t.Fatal(err)
+	for _, tc := range []struct {
+		name    string
+		checked bool
+	}{{"bare", false}, {"checked", true}} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := testConfig(256, 320)
+			cfg.LoadNoise = NoiseConfig{Sigma: 0.1, TauS: 60}
+			cfg.AmbientNoise = NoiseConfig{Sigma: 1, TauS: 300}
+			if tc.checked {
+				inv := invariant.DefaultConfig()
+				cfg.Invariants = &inv
+			}
+			b, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b.Step() // warm up
+			if allocs := testing.AllocsPerRun(100, func() { b.Step() }); allocs != 0 {
+				t.Errorf("Step allocates %v/op, want 0", allocs)
+			}
+		})
 	}
-	b.Step() // warm up
-	if allocs := testing.AllocsPerRun(100, func() { b.Step() }); allocs != 0 {
-		t.Errorf("Step allocates %v/op, want 0", allocs)
+}
+
+// TestBatchInvariantsBitIdentical: a clean cohort summarizes identically
+// with and without the checker — the monitor observes, never perturbs.
+func TestBatchInvariantsBitIdentical(t *testing.T) {
+	run := func(checked bool) *Summary {
+		cfg := testConfig(32, 160)
+		cfg.LoadNoise = NoiseConfig{Sigma: 0.15, TauS: 60}
+		if checked {
+			inv := invariant.DefaultConfig()
+			cfg.Invariants = &inv
+		}
+		b, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Run(context.Background(), 4); err != nil {
+			t.Fatal(err)
+		}
+		if checked && b.Invariants() != nil {
+			t.Fatalf("clean cohort reported violations: %+v", b.Invariants())
+		}
+		return b.Summarize()
+	}
+	plain, checked := run(false), run(true)
+	if !reflect.DeepEqual(plain, checked) {
+		t.Errorf("checked summary diverged:\nplain:   %+v\nchecked: %+v", plain, checked)
+	}
+}
+
+// TestBatchInvariantViolationsDeterministic seeds an envelope breach (a CPU
+// ceiling below what the workload reaches) and asserts the violation totals
+// land in the Summary identically at any worker count.
+func TestBatchInvariantViolationsDeterministic(t *testing.T) {
+	run := func(workers int) *Summary {
+		cfg := testConfig(64, 160)
+		cfg.LoadNoise = NoiseConfig{Sigma: 0.15, TauS: 60}
+		// The noisy cohort peaks around 38C; a 36C ceiling guarantees some
+		// twins breach it and some do not.
+		cfg.Invariants = &invariant.Config{MaxCPUTempC: 36}
+		b, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Run(context.Background(), workers); err != nil {
+			t.Fatal(err)
+		}
+		return b.Summarize()
+	}
+	base := run(1)
+	if base.InvariantViolations["thermal-ceiling-cpu"] == 0 {
+		t.Fatalf("seeded ceiling breach not detected: %v", base.InvariantViolations)
+	}
+	if base.InvariantFatal {
+		t.Errorf("ceiling warnings latched fatal: %v", base.InvariantViolations)
+	}
+	for _, workers := range []int{2, 8} {
+		if sum := run(workers); !reflect.DeepEqual(sum, base) {
+			t.Errorf("workers=%d summary differs:\n got %+v\nwant %+v", workers, sum, base)
+		}
 	}
 }

@@ -32,6 +32,14 @@ fi
 echo "== go build =="
 go build ./...
 
+# Safety-invariant smoke: the whole fault-plan library must run clean of
+# fatal violations under the runtime checker (faults perturb sensors and
+# actuators, never physics), the seeded-bug and thermal-breach detection
+# paths must fire, and the disabled-checker path must stay bit-identical.
+echo "== invariant smoke: fault library + seeded violations =="
+go test ./internal/sim -count=1 -run \
+    'TestFaultPlanLibraryNoFatalViolations|TestSeededSoCBugTripsCheckerAndGuard|TestTECDropoutBreachesThermalCeiling|TestRunInvariantsBitIdentical'
+
 # Fast-fail on the robustness layer (fault injection + capmand) before the
 # full suite: these packages carry the concurrency-heavy code paths.
 echo "== robustness focus: vet + race on fault/server =="

@@ -47,6 +47,14 @@ var methodKind = map[string]string{
 	"HistogramVec":     metrics.KindHistogram,
 }
 
+// requiredNames are metric families other tooling depends on by exact
+// name — dashboards, the check.sh invariant smoke, EXPERIMENTS.md. The
+// lint fails if no registration site declares them, so a rename or an
+// accidental deletion is caught here instead of by a silent scrape gap.
+var requiredNames = []string{
+	"capman_invariant_violations_total",
+}
+
 func main() {
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "metriclint:", err)
@@ -60,6 +68,7 @@ func run() error {
 		root = os.Args[1]
 	}
 	var problems []string
+	seen := make(map[string]bool)
 	fset := token.NewFileSet()
 	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
 		if err != nil {
@@ -119,6 +128,7 @@ func run() error {
 			if !ok {
 				return true
 			}
+			seen[name] = true
 			if e := metrics.CheckName(kind, name); e != nil {
 				problems = append(problems, fmt.Sprintf("%s: %v", fset.Position(lit.Pos()), e))
 			}
@@ -128,6 +138,12 @@ func run() error {
 	})
 	if err != nil {
 		return err
+	}
+	for _, name := range requiredNames {
+		if !seen[name] {
+			problems = append(problems,
+				fmt.Sprintf("required metric family %q has no registration site", name))
+		}
 	}
 	return report(problems)
 }
