@@ -10,7 +10,12 @@
 //
 // Submit work with POST /v1/jobs, poll GET /v1/jobs/{id}, cancel with
 // DELETE /v1/jobs/{id}; see /metrics, /healthz, /v1/jobs/{id}/events, and
-// /debug/buildinfo for observability (-pprof adds /debug/pprof/). On
+// /debug/buildinfo for observability (-pprof adds /debug/pprof/). The
+// telemetry plane — GET /v1/query range queries over the in-process
+// time-series store, the GET /v1/stream live event feed that capman-top
+// renders, and GET /v1/alerts — is on by default; tune it with
+// -telemetry-interval / -telemetry-retention / -anomaly-interval or turn
+// it off with -no-telemetry. On
 // SIGTERM or SIGINT the server stops accepting work, drains in-flight
 // jobs (up to -drain-timeout), and exits.
 package main
@@ -28,6 +33,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/invariant"
 	"repro/internal/obs"
 	"repro/internal/server"
 )
@@ -60,8 +66,13 @@ func run(ctx context.Context, args []string, out *os.File) error {
 	sloTTEP99 := fs.Duration("slo-tte-p99", 0, "SLO: p99 target for Monte Carlo time-to-empty job wall time; arms the burn-rate watchdog (0 disables)")
 	sloWindow := fs.Duration("slo-window", 0, "SLO burn-rate evaluation window (0 = default 5m)")
 	sloInterval := fs.Duration("slo-interval", 0, "SLO evaluation cadence (0 = default 15s)")
+	noTelemetry := fs.Bool("no-telemetry", false, "disable the telemetry plane (/v1/query, /v1/stream, /v1/alerts answer 503)")
+	telemetryInterval := fs.Duration("telemetry-interval", 0, "time-series store scrape period (0 = default 1s)")
+	telemetryRetention := fs.Int("telemetry-retention", 0, "points retained per series in the time-series store (0 = default 600)")
+	anomalyInterval := fs.Duration("anomaly-interval", 0, "anomaly detector evaluation cadence (0 = default 15s)")
 	noFlight := fs.Bool("no-flight", false, "disable per-job flight recording (failed jobs get no black box)")
 	noInvariants := fs.Bool("no-invariants", false, "disable the runtime safety-invariant checker on served jobs")
+	invariantCPUCeiling := fs.Float64("invariant-cpu-ceiling", 0, "override the checker's CPU thermal ceiling in degC (0 = calibrated default)")
 	logLevel := fs.String("log-level", "info", "log level: debug|info|warn|error")
 	logFormat := fs.String("log-format", obs.FormatText, "log format: text|json")
 	enablePprof := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
@@ -78,6 +89,10 @@ func run(ctx context.Context, args []string, out *os.File) error {
 		return err
 	}
 
+	var invOverride *invariant.Config
+	if *invariantCPUCeiling > 0 {
+		invOverride = &invariant.Config{MaxCPUTempC: *invariantCPUCeiling}
+	}
 	srv := server.New(server.Config{
 		Logger:      logger,
 		EnablePprof: *enablePprof,
@@ -90,6 +105,7 @@ func run(ctx context.Context, args []string, out *os.File) error {
 			QueueWaitWarn:     *queueWaitWarn,
 			DisableFlight:     *noFlight,
 			DisableInvariants: *noInvariants,
+			Invariants:        invOverride,
 			Breaker: server.BreakerConfig{
 				Threshold: *breakerThreshold,
 				Cooldown:  *breakerCooldown,
@@ -101,6 +117,12 @@ func run(ctx context.Context, args []string, out *os.File) error {
 			TTEP99:       *sloTTEP99,
 			Window:       *sloWindow,
 			Interval:     *sloInterval,
+		},
+		Telemetry: server.TelemetryConfig{
+			Disable:         *noTelemetry,
+			Interval:        *telemetryInterval,
+			Retention:       *telemetryRetention,
+			AnomalyInterval: *anomalyInterval,
 		},
 	})
 
@@ -121,6 +143,7 @@ func run(ctx context.Context, args []string, out *os.File) error {
 		"slo_tte_p99", sloTTEP99.String(),
 		"flight", !*noFlight,
 		"invariants", !*noInvariants,
+		"telemetry", !*noTelemetry,
 		"pprof", *enablePprof,
 		"log_level", level.String(),
 		"log_format", *logFormat)

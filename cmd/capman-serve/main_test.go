@@ -1,12 +1,14 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
 	"net"
 	"net/http"
 	"os"
+	"strings"
 	"testing"
 	"time"
 
@@ -85,6 +87,109 @@ func waitHealthy(t *testing.T, base string) {
 		time.Sleep(10 * time.Millisecond)
 	}
 	t.Fatal("server never became healthy")
+}
+
+// TestServeStreamSmoke is the telemetry-plane smoke run by check.sh: a
+// live daemon's /v1/stream must deliver telemetry samples and the
+// submitted job's completion event to a subscriber within 5 seconds.
+func TestServeStreamSmoke(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(server.Config{
+		Executor:  server.ExecutorConfig{Workers: 2},
+		Telemetry: server.TelemetryConfig{Interval: 50 * time.Millisecond},
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- serve(ctx, ln, srv, 60*time.Second, os.Stdout, obs.Nop()) }()
+	base := "http://" + ln.Addr().String()
+	waitHealthy(t, base)
+
+	req, err := http.NewRequest(http.MethodGet, base+"/v1/stream", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status %d", resp.StatusCode)
+	}
+
+	spec := server.JobSpec{
+		Workload: "video", Policy: "dual", Seed: 11,
+		BigMAh: 300, LittleMAh: 300, MaxTimeS: 2000,
+	}
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	post, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	var view server.View
+	if err := json.NewDecoder(post.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+
+	type sse struct{ event, data string }
+	events := make(chan sse, 64)
+	go func() {
+		defer close(events)
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		var cur sse
+		for sc.Scan() {
+			line := sc.Text()
+			switch {
+			case strings.HasPrefix(line, "event: "):
+				cur.event = strings.TrimPrefix(line, "event: ")
+			case strings.HasPrefix(line, "data: "):
+				cur.data = strings.TrimPrefix(line, "data: ")
+			case line == "" && cur.event != "":
+				events <- cur
+				cur = sse{}
+			}
+		}
+	}()
+
+	var gotSample, gotDone bool
+	deadline := time.After(5 * time.Second)
+	for !(gotSample && gotDone) {
+		select {
+		case <-deadline:
+			t.Fatalf("stream smoke incomplete after 5s: sample=%t done=%t", gotSample, gotDone)
+		case ev, ok := <-events:
+			if !ok {
+				t.Fatal("stream closed before delivering sample and job-done")
+			}
+			switch ev.event {
+			case "sample":
+				gotSample = true
+			case "job":
+				if strings.Contains(ev.data, view.ID) && strings.Contains(ev.data, `"type":"done"`) {
+					gotDone = true
+				}
+			}
+		}
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("serve returned %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("serve did not drain and exit")
+	}
 }
 
 func TestRunRejectsBadInput(t *testing.T) {

@@ -1,0 +1,324 @@
+// Command capman-top is a terminal dashboard for a running capmand. It
+// subscribes to the daemon's GET /v1/stream server-sent-event feed and
+// redraws a plain-ANSI frame on every telemetry sample: queue and worker
+// occupancy, trailing-minute latency quantiles with Unicode sparklines,
+// per-zone device temperatures from running simulations, shed/degrade/
+// violation/anomaly counters, and the most recent job lifecycle events
+// and anomaly alerts.
+//
+// Usage:
+//
+//	capman-top -addr http://localhost:8080
+//	capman-top -addr http://localhost:8080 -once        # one frame, then exit
+//	capman-top -frames 10 -width 40 -plain              # scripting / CI
+//
+// Only the standard library is used; the wire types come from the server
+// package so the client can never drift from the daemon.
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/obs/tsdb"
+	"repro/internal/server"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "capman-top:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("capman-top", flag.ContinueOnError)
+	addr := fs.String("addr", "http://localhost:8080", "base URL of the capmand to watch")
+	once := fs.Bool("once", false, "render a single frame and exit (implies -plain)")
+	frames := fs.Int("frames", 0, "exit after this many frames (0 = run until interrupted)")
+	width := fs.Int("width", 60, "sparkline width in characters")
+	plain := fs.Bool("plain", false, "do not clear the screen between frames")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *once {
+		*frames = 1
+		*plain = true
+	}
+	if *width < 8 {
+		*width = 8
+	}
+
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		strings.TrimRight(*addr, "/")+"/v1/stream", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil
+		}
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("%s/v1/stream answered %s (telemetry disabled?)", *addr, resp.Status)
+	}
+
+	m := newModel(*addr, *width)
+	rendered := 0
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var event, data string
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data = strings.TrimPrefix(line, "data: ")
+		case line == "":
+			if event == "" {
+				continue // heartbeat comment
+			}
+			redraw := m.apply(event, data)
+			event, data = "", ""
+			if !redraw {
+				continue
+			}
+			if !*plain {
+				fmt.Fprint(out, "\x1b[H\x1b[2J")
+			}
+			m.render(out)
+			rendered++
+			if *frames > 0 && rendered >= *frames {
+				return nil
+			}
+		}
+	}
+	if err := sc.Err(); err != nil && ctx.Err() == nil && !errors.Is(err, io.EOF) {
+		return fmt.Errorf("stream read: %w", err)
+	}
+	if ctx.Err() == nil {
+		fmt.Fprintln(out, "stream ended (capmand shut down?)")
+	}
+	return nil
+}
+
+// wireEvent mirrors tsdb.Event with the payload left raw so it can be
+// decoded by event type.
+type wireEvent struct {
+	Seq  uint64          `json:"seq"`
+	Type string          `json:"type"`
+	At   time.Time       `json:"at"`
+	Data json.RawMessage `json:"data"`
+}
+
+const historyLines = 6
+
+type model struct {
+	addr  string
+	width int
+
+	intervalMS int64
+	detectors  []string
+
+	sample server.StreamSample
+	at     time.Time
+
+	queue    []float64
+	busy     []float64
+	decision []float64
+	qwait    []float64
+	tte      []float64
+
+	jobs   []string
+	alerts []string
+}
+
+func newModel(addr string, width int) *model {
+	return &model{addr: addr, width: width}
+}
+
+// apply folds one SSE event into the model and reports whether the frame
+// should be redrawn (only telemetry samples drive the refresh cadence).
+func (m *model) apply(event, data string) bool {
+	var ev wireEvent
+	if err := json.Unmarshal([]byte(data), &ev); err != nil {
+		return false
+	}
+	switch event {
+	case "hello":
+		var hello struct {
+			IntervalMS int64    `json:"intervalMs"`
+			Detectors  []string `json:"detectors"`
+		}
+		if err := json.Unmarshal([]byte(data), &hello); err == nil {
+			m.intervalMS = hello.IntervalMS
+			m.detectors = hello.Detectors
+		}
+		return false
+	case tsdb.EventSample:
+		var s server.StreamSample
+		if err := json.Unmarshal(ev.Data, &s); err != nil {
+			return false
+		}
+		m.sample, m.at = s, ev.At
+		m.queue = push(m.queue, float64(s.QueueDepth), m.width)
+		m.busy = push(m.busy, float64(s.WorkersBusy), m.width)
+		m.decision = push(m.decision, s.DecisionP99S, m.width)
+		m.qwait = push(m.qwait, s.QueueWaitP95S, m.width)
+		m.tte = push(m.tte, s.TTEP99S, m.width)
+		return true
+	case tsdb.EventJob:
+		var j server.JobStreamEvent
+		if err := json.Unmarshal(ev.Data, &j); err != nil {
+			return false
+		}
+		line := fmt.Sprintf("%s  %-9s %s", ev.At.Format("15:04:05"), j.Type, j.JobID)
+		if j.Detail != "" {
+			line += "  " + j.Detail
+		}
+		m.jobs = push(m.jobs, line, historyLines)
+		return false
+	case tsdb.EventAlert:
+		var a tsdb.Alert
+		if err := json.Unmarshal(ev.Data, &a); err != nil {
+			return false
+		}
+		m.alerts = push(m.alerts,
+			fmt.Sprintf("%s  %s  %s", a.At.Format("15:04:05"), a.Detector, a.Message),
+			historyLines)
+		return false
+	case tsdb.EventDegrade, tsdb.EventInvariant:
+		m.jobs = push(m.jobs,
+			fmt.Sprintf("%s  %-9s %s", ev.At.Format("15:04:05"), event, compactJSON(ev.Data)),
+			historyLines)
+		return false
+	}
+	return false
+}
+
+func (m *model) render(w io.Writer) {
+	s := m.sample
+	fmt.Fprintf(w, "capman-top — %s — %s  (sample every %dms)\n",
+		m.addr, m.at.Format("15:04:05"), m.intervalMS)
+	fmt.Fprintf(w, "jobs submitted %d  completed %d  failed %d   breaker trips %d\n",
+		s.JobsSubmitted, s.JobsCompleted, s.JobsFailed, s.BreakerTrips)
+	fmt.Fprintf(w, "degrades %d  invariant violations %d  anomalies %d\n\n",
+		s.Degrades, s.Violations, s.Anomalies)
+
+	row := func(label string, hist []float64, cur string) {
+		fmt.Fprintf(w, "%-14s %s  %s\n", label, sparkline(hist, m.width), cur)
+	}
+	row("queue depth", m.queue, fmt.Sprintf("%d", s.QueueDepth))
+	row("workers busy", m.busy, fmt.Sprintf("%d", s.WorkersBusy))
+	row("decision p99", m.decision, fmtSeconds(s.DecisionP99S))
+	row("queue wait p95", m.qwait, fmtSeconds(s.QueueWaitP95S))
+	row("tte p99", m.tte, fmtSeconds(s.TTEP99S))
+
+	if len(s.ZoneTempC) > 0 {
+		zones := make([]string, 0, len(s.ZoneTempC))
+		for z := range s.ZoneTempC {
+			zones = append(zones, z)
+		}
+		sort.Strings(zones)
+		fmt.Fprint(w, "\nzone °C   ")
+		for _, z := range zones {
+			fmt.Fprintf(w, "  %s %.1f", z, s.ZoneTempC[z])
+		}
+		fmt.Fprintln(w)
+	}
+
+	if len(m.jobs) > 0 {
+		fmt.Fprintln(w, "\nrecent jobs")
+		for i := len(m.jobs) - 1; i >= 0; i-- {
+			fmt.Fprintln(w, "  "+m.jobs[i])
+		}
+	}
+	fmt.Fprintln(w, "\nalerts")
+	if len(m.alerts) == 0 {
+		fmt.Fprintf(w, "  none (%s armed)\n", strings.Join(m.detectors, ", "))
+	}
+	for i := len(m.alerts) - 1; i >= 0; i-- {
+		fmt.Fprintln(w, "  "+m.alerts[i])
+	}
+}
+
+// push appends v keeping at most max elements (oldest dropped).
+func push[T any](s []T, v T, max int) []T {
+	s = append(s, v)
+	if len(s) > max {
+		s = s[len(s)-max:]
+	}
+	return s
+}
+
+var sparks = []rune("▁▂▃▄▅▆▇█")
+
+// sparkline renders vals right-aligned into width cells, scaled to the
+// min/max of the visible window.
+func sparkline(vals []float64, width int) string {
+	cells := make([]rune, width)
+	for i := range cells {
+		cells[i] = ' '
+	}
+	if len(vals) == 0 {
+		return string(cells)
+	}
+	if len(vals) > width {
+		vals = vals[len(vals)-width:]
+	}
+	lo, hi := vals[0], vals[0]
+	for _, v := range vals {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	span := hi - lo
+	for i, v := range vals {
+		idx := 0
+		if span > 0 {
+			idx = int((v - lo) / span * float64(len(sparks)-1))
+		}
+		cells[width-len(vals)+i] = sparks[idx]
+	}
+	return string(cells)
+}
+
+// fmtSeconds renders a duration-in-seconds sample at a human scale, with
+// "-" for an empty window.
+func fmtSeconds(v float64) string {
+	if v <= 0 {
+		return "-"
+	}
+	return time.Duration(v * float64(time.Second)).Round(time.Microsecond).String()
+}
+
+// compactJSON flattens a raw payload to a short single line for the
+// event log.
+func compactJSON(raw json.RawMessage) string {
+	s := string(raw)
+	if len(s) > 80 {
+		s = s[:77] + "..."
+	}
+	return s
+}

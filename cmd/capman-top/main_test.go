@@ -1,0 +1,184 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs/tsdb"
+	"repro/internal/server"
+)
+
+// fakeStream serves a canned /v1/stream: hello, a few samples with a
+// rising queue, one job lifecycle, and one anomaly alert.
+func fakeStream(t *testing.T) *httptest.Server {
+	t.Helper()
+	return httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/stream" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/event-stream")
+		flusher := w.(http.Flusher)
+		emit := func(event string, seq uint64, data any) {
+			ev := tsdb.Event{Seq: seq, Type: event, At: time.Unix(1_700_000_000, 0).UTC(), Data: data}
+			b, err := json.Marshal(ev)
+			if err != nil {
+				t.Errorf("marshal %s: %v", event, err)
+				return
+			}
+			fmt.Fprintf(w, "event: %s\nid: %d\ndata: %s\n\n", event, seq, b)
+			flusher.Flush()
+		}
+		fmt.Fprint(w, "event: hello\ndata: {\"intervalMs\":1000,\"detectors\":[\"stuck_metric\"]}\n\n")
+		fmt.Fprint(w, ": ping\n\n") // heartbeat must be ignored
+		emit(tsdb.EventJob, 1, server.JobStreamEvent{
+			JobID: "j42", RequestID: "r1", State: server.StateQueued, Type: "submitted",
+		})
+		for i := 0; i < 3; i++ {
+			emit(tsdb.EventSample, uint64(2+i), server.StreamSample{
+				QueueDepth:    int64(i * 3),
+				WorkersBusy:   1,
+				JobsSubmitted: 1,
+				DecisionP99S:  20e-6,
+				ZoneTempC:     map[string]float64{"cpu": 41.5, "battery": 33.0},
+			})
+		}
+		emit(tsdb.EventAlert, 5, tsdb.Alert{
+			Detector: "rate_spike", Metric: "capman_degrade_total",
+			At: time.Unix(1_700_000_000, 0).UTC(), Message: "rate spiked 5.0x over baseline",
+		})
+		emit(tsdb.EventJob, 6, server.JobStreamEvent{
+			JobID: "j42", RequestID: "r1", State: server.StateDone, Type: "done",
+		})
+		emit(tsdb.EventSample, 7, server.StreamSample{QueueDepth: 0, JobsCompleted: 1})
+	}))
+}
+
+func TestDashboardRendersStream(t *testing.T) {
+	ts := fakeStream(t)
+	defer ts.Close()
+
+	var buf bytes.Buffer
+	err := run(context.Background(), []string{"-addr", ts.URL, "-frames", "4", "-plain"}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"capman-top",
+		"queue depth",
+		"decision p99",
+		"workers busy",
+		"cpu 41.5",
+		"battery 33.0",
+		"submitted",
+		"j42",
+		"rate_spike",
+		"rate spiked 5.0x over baseline",
+		"done",
+		"20µs",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q\n%s", want, out)
+		}
+	}
+	if !strings.ContainsAny(out, "▁▂▃▄▅▆▇█") {
+		t.Errorf("no sparkline glyphs rendered:\n%s", out)
+	}
+	// The last frame arrives after the alert, so it must be on screen.
+	if got := strings.Count(out, "capman-top —"); got != 4 {
+		t.Errorf("rendered %d frames, want 4", got)
+	}
+}
+
+func TestOnceRendersSingleFrame(t *testing.T) {
+	ts := fakeStream(t)
+	defer ts.Close()
+
+	var buf bytes.Buffer
+	if err := run(context.Background(), []string{"-addr", ts.URL, "-once"}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if got := strings.Count(buf.String(), "capman-top —"); got != 1 {
+		t.Errorf("-once rendered %d frames, want 1\n%s", got, buf.String())
+	}
+	if strings.Contains(buf.String(), "\x1b[2J") {
+		t.Error("-once must not emit clear-screen escapes")
+	}
+}
+
+func TestStreamEndReportsCleanly(t *testing.T) {
+	ts := fakeStream(t)
+	defer ts.Close()
+
+	// Ask for more frames than the canned stream delivers: run must exit
+	// nil and say the stream ended rather than hanging or erroring.
+	var buf bytes.Buffer
+	if err := run(context.Background(), []string{"-addr", ts.URL, "-frames", "99", "-plain"}, &buf); err != nil {
+		t.Fatalf("run after stream EOF: %v", err)
+	}
+	if !strings.Contains(buf.String(), "stream ended") {
+		t.Errorf("missing stream-ended notice:\n%s", buf.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(context.Background(), []string{"-bogus"}, &buf); err == nil {
+		t.Error("unknown flag accepted")
+	}
+	if err := run(context.Background(), []string{"-addr", "http://127.0.0.1:1"}, &buf); err == nil {
+		t.Error("unreachable daemon accepted")
+	}
+
+	// Telemetry disabled upstream → clear error, not a hang.
+	disabled := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "telemetry disabled", http.StatusServiceUnavailable)
+	}))
+	defer disabled.Close()
+	err := run(context.Background(), []string{"-addr", disabled.URL}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "503") {
+		t.Errorf("disabled telemetry: err %v, want 503 mention", err)
+	}
+}
+
+func TestCancelledContextExitsClean(t *testing.T) {
+	// A live (never-ending) stream must exit promptly and cleanly when
+	// the watcher is interrupted.
+	hold := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		fmt.Fprint(w, "event: hello\ndata: {}\n\n")
+		w.(http.Flusher).Flush()
+		select {
+		case <-hold:
+		case <-r.Context().Done():
+		}
+	}))
+	defer ts.Close()
+	defer close(hold)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	done := make(chan error, 1)
+	var buf bytes.Buffer
+	go func() { done <- run(ctx, []string{"-addr", ts.URL}, &buf) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("cancelled run returned %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("run did not exit on context cancel")
+	}
+}

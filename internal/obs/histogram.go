@@ -105,6 +105,36 @@ func (h *Histogram) Count() uint64 {
 	return n
 }
 
+// Bounds returns the histogram's finite bucket bounds. The slice is the
+// histogram's own storage and must not be mutated; bounds are fixed at
+// construction, so callers may cache it.
+func (h *Histogram) Bounds() []float64 {
+	if h == nil {
+		return nil
+	}
+	return h.bounds
+}
+
+// ReadInto copies the per-bucket counts into dst — which must have
+// len(Bounds())+1 elements, the last being the +Inf overflow — and
+// returns the sum and total count, all without allocating. It is the
+// zero-alloc sibling of Snapshot for samplers that own their scratch
+// (the tsdb sample path). Count is derived from the bucket counts read
+// in one pass, like Snapshot. A nil histogram reports zeros and leaves
+// dst untouched.
+func (h *Histogram) ReadInto(dst []uint64) (sum float64, count uint64) {
+	if h == nil {
+		return 0, 0
+	}
+	_ = dst[len(h.counts)-1] // bounds check once
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		dst[i] = c
+		count += c
+	}
+	return h.Sum(), count
+}
+
 // Snapshot captures the histogram's state. Count is derived from the
 // bucket counts read in one pass, so Count always equals the +Inf
 // cumulative count even while writers race; Sum may trail by in-flight

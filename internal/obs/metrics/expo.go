@@ -58,6 +58,8 @@ func writeSeries(w *bufio.Writer, f *family, s *series) {
 		writeSample(w, f.name, "", f.labels, s.labelValues, inst.Value())
 	case *Gauge:
 		writeSample(w, f.name, "", f.labels, s.labelValues, float64(inst.Value()))
+	case *GaugeFloat:
+		writeSample(w, f.name, "", f.labels, s.labelValues, inst.Value())
 	case *Histogram:
 		snap := inst.Snapshot()
 		cum := snap.Cumulative()
@@ -180,6 +182,8 @@ func (r *Registry) Gather() []Sample {
 				add(f, "", s.labelValues, inst.Value(), KindCounter)
 			case *Gauge:
 				add(f, "", s.labelValues, float64(inst.Value()), KindGauge)
+			case *GaugeFloat:
+				add(f, "", s.labelValues, inst.Value(), KindGauge)
 			case *Histogram:
 				add(f, "_sum", s.labelValues, inst.Sum(), KindCounter)
 				add(f, "_count", s.labelValues, float64(inst.Count()), KindCounter)

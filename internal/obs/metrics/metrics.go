@@ -110,6 +110,11 @@ func checkLabel(metric, label string) error {
 type Registry struct {
 	mu   sync.Mutex
 	fams map[string]*family
+	// sorted caches the name-ordered family list. Registration replaces
+	// it wholesale (never mutates in place), so families() can hand the
+	// shared slice to readers without copying — the tsdb sample path
+	// iterates it every tick and must not allocate.
+	sorted []*family
 }
 
 // NewRegistry builds an empty registry.
@@ -130,6 +135,12 @@ type family struct {
 	maxSeries int
 	overflow  *series
 	dropped   atomic.Uint64
+	// cache is the label-ordered series list (overflow sentinel last),
+	// rebuilt lazily after a new series invalidates it. Shared with
+	// readers: snapshotSeries hands it out uncopied so the per-scrape
+	// iteration (exposition, Gather, tsdb sampling) stays allocation-free
+	// once the series set is stable.
+	cache []*series
 
 	// collect, when non-nil, marks a function-backed family (GaugeFunc,
 	// CounterFunc, LabeledGaugeFunc, Info): samples are produced at
@@ -140,7 +151,7 @@ type family struct {
 // series is one label combination of a family.
 type series struct {
 	labelValues []string
-	inst        any // *Counter | *CounterFloat | *Gauge | *Histogram
+	inst        any // *Counter | *CounterFloat | *Gauge | *GaugeFloat | *Histogram
 }
 
 // register installs a family or panics on invalid/duplicate names.
@@ -163,18 +174,22 @@ func (r *Registry) register(f *family) *family {
 	}
 	f.series = map[string]*series{}
 	r.fams[f.name] = f
+	fams := make([]*family, 0, len(r.fams))
+	for _, g := range r.fams {
+		fams = append(fams, g)
+	}
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	r.sorted = fams
 	return f
 }
 
-// families returns the registered families sorted by name.
+// families returns the registered families sorted by name. The slice is
+// shared (rebuilt on registration, never mutated), so callers must only
+// read it.
 func (r *Registry) families() []*family {
 	r.mu.Lock()
-	fams := make([]*family, 0, len(r.fams))
-	for _, f := range r.fams {
-		fams = append(fams, f)
-	}
+	fams := r.sorted
 	r.mu.Unlock()
-	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
 	return fams
 }
 
@@ -207,6 +222,7 @@ func (f *family) get(values []string, mk func() any) any {
 				vals[i] = "overflow"
 			}
 			f.overflow = &series{labelValues: vals, inst: mk()}
+			f.cache = nil
 		}
 		return f.overflow.inst
 	}
@@ -214,25 +230,36 @@ func (f *family) get(values []string, mk func() any) any {
 	copy(vals, values)
 	s = &series{labelValues: vals, inst: mk()}
 	f.series[key] = s
+	f.cache = nil
 	return s.inst
 }
 
 // snapshotSeries returns the family's series sorted by label values,
-// with the overflow sentinel (if any) last.
+// with the overflow sentinel (if any) last. The slice is shared and
+// read-only for callers; it is rebuilt only after the series set grows.
 func (f *family) snapshotSeries() []*series {
 	f.mu.RLock()
-	out := make([]*series, 0, len(f.series)+1)
+	out := f.cache
+	f.mu.RUnlock()
+	if out != nil {
+		return out
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.cache != nil {
+		return f.cache
+	}
+	out = make([]*series, 0, len(f.series)+1)
 	for _, s := range f.series {
 		out = append(out, s)
 	}
-	ovf := f.overflow
-	f.mu.RUnlock()
 	sort.Slice(out, func(i, j int) bool {
 		return strings.Join(out[i].labelValues, labelSep) < strings.Join(out[j].labelValues, labelSep)
 	})
-	if ovf != nil {
-		out = append(out, ovf)
+	if f.overflow != nil {
+		out = append(out, f.overflow)
 	}
+	f.cache = out
 	return out
 }
 
@@ -315,6 +342,39 @@ func (g *Gauge) Value() int64 {
 	return g.v.Load()
 }
 
+// GaugeFloat is a settable float64 level (temperatures, ratios, burn
+// rates — levels an int64 Gauge would truncate).
+type GaugeFloat struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *GaugeFloat) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add adds delta (may be negative).
+func (g *GaugeFloat) Add(delta float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current level.
+func (g *GaugeFloat) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
 // Histogram wraps obs.Histogram with the registry's nil-safe contract.
 type Histogram struct{ h *obs.Histogram }
 
@@ -391,6 +451,18 @@ func (r *Registry) Gauge(name, help string) *Gauge {
 		return nil
 	}
 	g := &Gauge{}
+	f := &family{name: name, help: help, kind: KindGauge}
+	r.register(f)
+	f.series[""] = &series{inst: g}
+	return g
+}
+
+// GaugeFloat registers a float-valued gauge.
+func (r *Registry) GaugeFloat(name, help string) *GaugeFloat {
+	if r == nil {
+		return nil
+	}
+	g := &GaugeFloat{}
 	f := &family{name: name, help: help, kind: KindGauge}
 	r.register(f)
 	f.series[""] = &series{inst: g}
@@ -500,6 +572,35 @@ func (v *GaugeVec) WithLabelValues(values ...string) *Gauge {
 
 // Dropped reports overflow spills; see CounterVec.Dropped.
 func (v *GaugeVec) Dropped() uint64 {
+	if v == nil {
+		return 0
+	}
+	return v.fam.dropped.Load()
+}
+
+// GaugeFloatVec is a labeled family of GaugeFloats.
+type GaugeFloatVec struct{ fam *family }
+
+// GaugeFloatVec registers a labeled float-gauge family.
+func (r *Registry) GaugeFloatVec(name, help string, labels ...string) *GaugeFloatVec {
+	if r == nil {
+		return nil
+	}
+	f := &family{name: name, help: help, kind: KindGauge, labels: labels}
+	r.register(f)
+	return &GaugeFloatVec{fam: f}
+}
+
+// WithLabelValues returns the float gauge for one label combination.
+func (v *GaugeFloatVec) WithLabelValues(values ...string) *GaugeFloat {
+	if v == nil {
+		return nil
+	}
+	return v.fam.get(values, func() any { return &GaugeFloat{} }).(*GaugeFloat)
+}
+
+// Dropped reports overflow spills; see CounterVec.Dropped.
+func (v *GaugeFloatVec) Dropped() uint64 {
 	if v == nil {
 		return 0
 	}

@@ -1,0 +1,412 @@
+package tsdb
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/obs/metrics"
+)
+
+// at returns a fixed-epoch instant offset by d, so tests drive an exact
+// scrape schedule.
+func at(d time.Duration) time.Time {
+	return time.Unix(1_700_000_000, 0).UTC().Add(d)
+}
+
+func newTestStore(t *testing.T, reg *metrics.Registry, cfg Config) *Store {
+	t.Helper()
+	cfg.Registry = reg
+	st, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestQueryValue covers the raw-value op: grid alignment, label
+// filtering, and the staleness rule that turns missed scrapes into gaps.
+func TestQueryValue(t *testing.T) {
+	reg := metrics.NewRegistry()
+	gv := reg.GaugeVec("queue_depth", "depth", "queue")
+	fast, slow := gv.WithLabelValues("fast"), gv.WithLabelValues("slow")
+	st := newTestStore(t, reg, Config{})
+
+	for i := 0; i < 5; i++ {
+		fast.Set(int64(10 + i))
+		slow.Set(int64(20 + i))
+		st.Sample(at(time.Duration(i) * time.Second))
+	}
+	// A scrape hole: the next sample lands 5s later.
+	fast.Set(99)
+	slow.Set(99)
+	st.Sample(at(9 * time.Second))
+
+	res, err := st.Query(Query{
+		Metric: "queue_depth",
+		Match:  map[string]string{"queue": "fast"},
+		Start:  at(0),
+		End:    at(9 * time.Second),
+		Step:   time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != 1 {
+		t.Fatalf("series = %d, want 1 (match filter)", len(res.Series))
+	}
+	got := res.Series[0].Points
+	want := []Point{
+		{T: at(0).UnixMilli(), V: 10},
+		{T: at(1 * time.Second).UnixMilli(), V: 11},
+		{T: at(2 * time.Second).UnixMilli(), V: 12},
+		{T: at(3 * time.Second).UnixMilli(), V: 13},
+		{T: at(4 * time.Second).UnixMilli(), V: 14},
+		// 5s..8s: stale (no sample within one step) — omitted.
+		{T: at(9 * time.Second).UnixMilli(), V: 99},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("points = %v, want %v", got, want)
+	}
+	if res.Series[0].Labels["queue"] != "fast" {
+		t.Errorf("labels = %v", res.Series[0].Labels)
+	}
+}
+
+// TestQueryRateIncrease covers counter differencing per grid step.
+func TestQueryRateIncrease(t *testing.T) {
+	reg := metrics.NewRegistry()
+	c := reg.Counter("jobs_done_total", "done")
+	st := newTestStore(t, reg, Config{})
+
+	for i := 0; i < 6; i++ {
+		st.Sample(at(time.Duration(i) * time.Second))
+		c.Add(3) // 3 events per second, landing after each scrape
+	}
+
+	res, err := st.Query(Query{
+		Metric: "jobs_done_total",
+		Start:  at(time.Second),
+		End:    at(5 * time.Second),
+		Step:   time.Second,
+		Op:     OpIncrease,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Series[0].Points {
+		if p.V != 3 {
+			t.Fatalf("increase = %v, want 3 at every step: %v", p.V, res.Series[0].Points)
+		}
+	}
+
+	res, err = st.Query(Query{
+		Metric: "jobs_done_total",
+		Start:  at(time.Second),
+		End:    at(5 * time.Second),
+		Step:   time.Second,
+		Op:     OpRate,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range res.Series[0].Points {
+		if p.V != 3 {
+			t.Fatalf("rate = %v, want 3/s: %v", p.V, res.Series[0].Points)
+		}
+	}
+}
+
+// TestQueryQuantile covers windowed histogram quantiles from bucket
+// deltas: each step sees only that step's observations.
+func TestQueryQuantile(t *testing.T) {
+	reg := metrics.NewRegistry()
+	h := reg.Histogram("wait_seconds", "wait", []float64{1, 2, 4})
+	st := newTestStore(t, reg, Config{})
+
+	st.Sample(at(0))
+	h.Observe(0.5) // first step: all obs in (0,1]
+	h.Observe(0.5)
+	st.Sample(at(time.Second))
+	h.Observe(3) // second step: all obs in (2,4]
+	h.Observe(3)
+	st.Sample(at(2 * time.Second))
+
+	res, err := st.Query(Query{
+		Metric: "wait_seconds",
+		Start:  at(time.Second),
+		End:    at(2 * time.Second),
+		Step:   time.Second,
+		Op:     OpQuantile,
+		Q:      0.5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Series[0].Points
+	if len(got) != 2 {
+		t.Fatalf("points = %v, want 2", got)
+	}
+	// Step 1: rank 1 of 2 in bucket (0,1] → 0 + 1*(1/2) = 0.5.
+	if got[0].V != 0.5 {
+		t.Errorf("step-1 p50 = %v, want 0.5", got[0].V)
+	}
+	// Step 2: rank 1 of 2 in bucket (2,4] → 2 + 2*(1/2) = 3.
+	if got[1].V != 3 {
+		t.Errorf("step-2 p50 = %v, want 3", got[1].V)
+	}
+}
+
+// TestQueryValidation covers the error paths.
+func TestQueryValidation(t *testing.T) {
+	st := newTestStore(t, metrics.NewRegistry(), Config{})
+	for _, q := range []Query{
+		{},
+		{Metric: "x", Start: at(0), End: at(0)},
+		{Metric: "x", Start: at(0), End: at(time.Second), Op: "median"},
+		{Metric: "x", Start: at(0), End: at(time.Second), Op: OpQuantile, Q: 1.5},
+	} {
+		if _, err := st.Query(q); err == nil {
+			t.Errorf("Query(%+v) did not fail", q)
+		}
+	}
+}
+
+// TestQueryDeterminism pins the acceptance criterion: for fixed stored
+// contents, concurrent readers always get bit-identical range vectors.
+func TestQueryDeterminism(t *testing.T) {
+	reg := metrics.NewRegistry()
+	c := reg.Counter("jobs_total", "jobs")
+	h := reg.Histogram("lat_seconds", "lat", []float64{0.1, 1})
+	st := newTestStore(t, reg, Config{})
+	for i := 0; i < 30; i++ {
+		c.Add(uint64(i))
+		h.Observe(float64(i) / 10)
+		st.Sample(at(time.Duration(i) * time.Second))
+	}
+	q := Query{Metric: "lat_seconds", Start: at(0), End: at(30 * time.Second), Step: time.Second, Op: OpQuantile, Q: 0.9}
+	ref, err := st.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, 16)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				got, err := st.Query(q)
+				if err != nil {
+					errs <- err.Error()
+					return
+				}
+				if !reflect.DeepEqual(got, ref) {
+					errs <- "range vector diverged between concurrent readers"
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
+
+// TestRingWraps covers retention: only the newest Capacity points
+// survive.
+func TestRingWraps(t *testing.T) {
+	reg := metrics.NewRegistry()
+	g := reg.Gauge("level", "level")
+	st := newTestStore(t, reg, Config{Capacity: 4})
+	for i := 0; i < 10; i++ {
+		g.Set(int64(i))
+		st.Sample(at(time.Duration(i) * time.Second))
+	}
+	res, err := st.Query(Query{Metric: "level", Start: at(0), End: at(10 * time.Second), Step: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Series[0].Points
+	if len(got) != 4 || got[0].V != 6 || got[3].V != 9 {
+		t.Fatalf("retained points = %v, want values 6..9", got)
+	}
+}
+
+// TestMaxSeries covers the cardinality bound: series past the cap are
+// dropped and counted, and the survivors keep sampling.
+func TestMaxSeries(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Gauge("a_level", "a").Set(1)
+	reg.Gauge("b_level", "b").Set(2)
+	reg.Gauge("c_level", "c").Set(3)
+	st := newTestStore(t, reg, Config{MaxSeries: 2})
+	st.Sample(at(0))
+	st.Sample(at(time.Second))
+	if st.Dropped() == 0 {
+		t.Fatal("no series were dropped past MaxSeries")
+	}
+	if got := len(st.Metrics()); got != 2 {
+		t.Fatalf("tracked families = %d, want 2", got)
+	}
+}
+
+// TestWindowStats covers the windowed reductions the anomaly engine and
+// live stream consume.
+func TestWindowStats(t *testing.T) {
+	reg := metrics.NewRegistry()
+	c := reg.Counter("errs_total", "errs")
+	h := reg.Histogram("lat_seconds", "lat", []float64{0.1, 1})
+	st := newTestStore(t, reg, Config{})
+
+	st.Sample(at(0))
+	for i := 1; i <= 10; i++ {
+		c.Add(2)
+		h.Observe(0.05) // good
+		if i > 7 {
+			h.Observe(5) // bad, last 3 ticks
+		}
+		st.Sample(at(time.Duration(i) * time.Second))
+	}
+
+	ws := st.Window("errs_total", nil, at(0), at(10*time.Second))
+	if len(ws) != 1 {
+		t.Fatalf("windows = %d, want 1", len(ws))
+	}
+	w := ws[0]
+	if w.Delta != 20 || w.Samples != 10 {
+		t.Errorf("Delta=%v Samples=%v, want 20, 10", w.Delta, w.Samples)
+	}
+	if r := w.Rate(); r != 2 {
+		t.Errorf("Rate = %v, want 2/s", r)
+	}
+
+	hw := st.Window("lat_seconds", nil, at(0), at(10*time.Second))[0]
+	if !hw.Hist || hw.Delta != 13 {
+		t.Fatalf("hist window = %+v, want 13 observations", hw)
+	}
+	bad, total := hw.BadAbove(1)
+	if bad != 3 || total != 13 {
+		t.Errorf("BadAbove(1) = %d/%d, want 3/13", bad, total)
+	}
+	if q, ok := hw.Quantile(0.5); !ok || q > 0.1 {
+		t.Errorf("windowed p50 = %v (ok=%v), want ≤ 0.1", q, ok)
+	}
+
+	// A window covering only the tail sees only the tail's observations.
+	tail := st.Window("lat_seconds", nil, at(7*time.Second), at(10*time.Second))[0]
+	bad, total = tail.BadAbove(1)
+	if bad != 3 || total != 6 {
+		t.Errorf("tail BadAbove(1) = %d/%d, want 3/6", bad, total)
+	}
+}
+
+// TestMetricsDiscovery covers the /v1/query discovery payload.
+func TestMetricsDiscovery(t *testing.T) {
+	reg := metrics.NewRegistry()
+	gv := reg.GaugeVec("queue_depth", "depth", "queue")
+	gv.WithLabelValues("fast").Set(1)
+	gv.WithLabelValues("slow").Set(2)
+	reg.Counter("jobs_total", "jobs").Inc()
+	st := newTestStore(t, reg, Config{})
+	st.Sample(at(0))
+	mis := st.Metrics()
+	byName := map[string]MetricInfo{}
+	for _, mi := range mis {
+		byName[mi.Name] = mi
+	}
+	if mi := byName["queue_depth"]; mi.Series != 2 || mi.Kind != metrics.KindGauge {
+		t.Errorf("queue_depth info = %+v", mi)
+	}
+	if mi := byName["jobs_total"]; mi.Series != 1 || mi.Kind != metrics.KindCounter {
+		t.Errorf("jobs_total info = %+v", mi)
+	}
+	// The store's own tick counter is stored too.
+	if _, ok := byName["capman_tsdb_samples_total"]; !ok {
+		t.Error("store meta-counter not tracked")
+	}
+}
+
+// TestStoreStartStop exercises the real ticker loop briefly.
+func TestStoreStartStop(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Gauge("level", "level").Set(7)
+	st := newTestStore(t, reg, Config{Interval: time.Millisecond})
+	st.Start()
+	deadline := time.Now().Add(2 * time.Second)
+	for st.Samples() < 3 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	st.Stop()
+	if st.Samples() < 3 {
+		t.Fatalf("samples = %d after 2s at 1ms interval", st.Samples())
+	}
+}
+
+// TestBus covers fan-out, bounded-buffer drops, and unsubscribe
+// semantics.
+func TestBus(t *testing.T) {
+	b := NewBus()
+	s1 := b.Subscribe(4)
+	s2 := b.Subscribe(1)
+	if b.Subscribers() != 2 {
+		t.Fatalf("subscribers = %d", b.Subscribers())
+	}
+	for i := 0; i < 4; i++ {
+		b.Publish(EventSample, at(0), i)
+	}
+	if got := len(s1.C()); got != 4 {
+		t.Errorf("s1 buffered %d, want 4", got)
+	}
+	if s2.Dropped() != 3 {
+		t.Errorf("s2 dropped %d, want 3", s2.Dropped())
+	}
+	ev := <-s1.C()
+	if ev.Seq != 1 || ev.Type != EventSample || ev.Data != 0 {
+		t.Errorf("first event = %+v", ev)
+	}
+	b.Unsubscribe(s1)
+	b.Unsubscribe(s1) // idempotent
+	// Channel is drained then closed.
+	n := 0
+	for range s1.C() {
+		n++
+	}
+	if n != 3 {
+		t.Errorf("drained %d after unsubscribe, want 3", n)
+	}
+	b.Publish(EventJob, at(0), nil) // must not panic with s1 gone
+	if b.Subscribers() != 1 {
+		t.Errorf("subscribers = %d after unsubscribe", b.Subscribers())
+	}
+}
+
+func TestBusClose(t *testing.T) {
+	b := NewBus()
+	s := b.Subscribe(4)
+	b.Publish(EventSample, at(0), 1)
+	b.Close()
+	b.Close() // idempotent
+
+	// Buffered events drain, then the channel reports closed — this is
+	// what unblocks streaming handlers during shutdown.
+	if ev, ok := <-s.C(); !ok || ev.Data != 1 {
+		t.Fatalf("pre-close event = %+v ok=%t", ev, ok)
+	}
+	if _, ok := <-s.C(); ok {
+		t.Fatal("channel still open after Close")
+	}
+	b.Unsubscribe(s)                // must not double-close
+	b.Publish(EventJob, at(0), nil) // no-op, no panic
+	if b.Subscribers() != 0 {
+		t.Errorf("subscribers = %d after close", b.Subscribers())
+	}
+	if late := b.Subscribe(1); late.C() == nil {
+		t.Fatal("late subscriber has nil channel")
+	} else if _, ok := <-late.C(); ok {
+		t.Fatal("late subscriber channel not closed")
+	}
+}

@@ -69,3 +69,14 @@ type Timeline struct {
 	Events    []Event `json:"events"`
 	Dropped   int     `json:"dropped,omitempty"`
 }
+
+// JobStreamEvent is the payload of "job" events on /v1/stream: one job
+// lifecycle transition, mirroring the entry appended to the job's
+// timeline at the same moment.
+type JobStreamEvent struct {
+	JobID     string `json:"jobId"`
+	RequestID string `json:"requestId"`
+	State     State  `json:"state"`
+	Type      string `json:"type"`
+	Detail    string `json:"detail,omitempty"`
+}

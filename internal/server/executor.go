@@ -13,6 +13,7 @@ import (
 	"repro/internal/invariant"
 	"repro/internal/obs"
 	"repro/internal/obs/metrics"
+	"repro/internal/obs/tsdb"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/twin"
@@ -104,6 +105,11 @@ type ExecutorConfig struct {
 	// Metrics receives the executor's instrumentation (default a fresh
 	// panel; share one with the Server to expose it over /metrics).
 	Metrics *Metrics
+	// Stream, when set, receives live ops events: every job lifecycle
+	// transition (tsdb.EventJob carrying a JobStreamEvent), plus degrade
+	// and invariant events streamed out of running simulations. The
+	// Server wires its /v1/stream bus here.
+	Stream *tsdb.Bus
 	// Logger receives job lifecycle logs, each line tagged with the
 	// submission's request ID (default: discard).
 	Logger *slog.Logger
@@ -166,6 +172,7 @@ type Executor struct {
 	flightOff  bool
 	flightLen  int
 	invariants *invariant.Config                                          // nil when DisableInvariants
+	stream     *tsdb.Bus                                                  // nil: no live event stream
 	runFn      func(context.Context, JobSpec, resolved) (*Outcome, error) // test seam
 
 	mu       sync.Mutex
@@ -194,6 +201,7 @@ func NewExecutor(cfg ExecutorConfig) *Executor {
 		flightOff:  cfg.DisableFlight,
 		flightLen:  cfg.FlightEvents,
 		invariants: cfg.Invariants,
+		stream:     cfg.Stream,
 		runFn:      runJob,
 		jobs:       make(map[string]*Job),
 		inflight:   make(map[string]*Job),
@@ -215,6 +223,19 @@ func NewExecutor(cfg ExecutorConfig) *Executor {
 		go e.worker()
 	}
 	return e
+}
+
+// notify mirrors one job lifecycle transition onto the live event
+// stream. Nil-safe and non-blocking (the bus drops for slow consumers),
+// so it is safe to call under the executor lock.
+func (e *Executor) notify(job *Job, typ, detail string) {
+	if e.stream == nil {
+		return
+	}
+	e.stream.Publish(tsdb.EventJob, time.Now(), JobStreamEvent{
+		JobID: job.ID, RequestID: job.RequestID, State: job.State,
+		Type: typ, Detail: detail,
+	})
 }
 
 // Submit validates and enqueues one job, returning its snapshot. A spec
@@ -255,12 +276,14 @@ func (e *Executor) Submit(spec JobSpec) (View, error) {
 		job.timeline.add(EventCacheHit, "served from result cache")
 		job.timeline.add(EventDone, "")
 		e.jobs[job.ID] = job
+		e.notify(job, EventDone, "served from result cache")
 		log.Info("job served from cache", "job_id", job.ID, "hash", short(hash))
 		return job.view(), nil
 	}
 	if job, ok := e.inflight[hash]; ok {
 		e.metrics.CacheHits.Inc()
 		job.timeline.add(EventCoalesced, "request "+reqID+" coalesced onto this job")
+		e.notify(job, EventCoalesced, "request "+reqID+" coalesced onto this job")
 		log.Info("submission coalesced onto in-flight job",
 			"job_id", job.ID, "job_request_id", job.RequestID, "hash", short(hash))
 		return job.view(), nil
@@ -288,6 +311,7 @@ func (e *Executor) Submit(spec JobSpec) (View, error) {
 	job.timeline.add(EventQueued, fmt.Sprintf("position %d", len(e.queue)))
 	e.jobs[job.ID] = job
 	e.inflight[hash] = job
+	e.notify(job, EventSubmitted, specDetail(spec))
 	e.metrics.QueueDepth.Set(int64(len(e.queue)))
 	log.Info("job submitted", "job_id", job.ID, "hash", short(hash),
 		"workload", spec.Workload, "policy", spec.Policy, "queue_depth", len(e.queue))
@@ -382,6 +406,7 @@ func (e *Executor) Cancel(id string) (View, error) {
 		job.Err = context.Canceled.Error()
 		job.FinishedAt = time.Now()
 		job.timeline.add(EventCancelled, "cancelled while queued")
+		e.notify(job, EventCancelled, "cancelled while queued")
 		delete(e.inflight, job.Hash)
 		e.metrics.JobsCancelled.Inc()
 		e.logger.Info("job cancelled while queued",
@@ -435,6 +460,11 @@ func (e *Executor) worker() {
 		} else {
 			ctx, cancel = context.WithCancel(ctx)
 		}
+		// The job context carries the request ID and a request-tagged
+		// logger, so everything downstream — sim runs, twin batches, flight
+		// breadcrumbs — logs under the submission's identity.
+		ctx = obs.WithRequestID(ctx, job.RequestID)
+		ctx = obs.WithLogger(ctx, e.logger.With("request_id", job.RequestID, "job_id", job.ID))
 		job.State = StateRunning
 		job.StartedAt = time.Now()
 		job.cancel = cancel
@@ -442,6 +472,7 @@ func (e *Executor) worker() {
 		wait := job.StartedAt.Sub(job.SubmittedAt)
 		e.metrics.QueueWaitSeconds.Observe(wait.Seconds())
 		job.timeline.add(EventRunning, fmt.Sprintf("after %.3fs queued", wait.Seconds()))
+		e.notify(job, EventRunning, fmt.Sprintf("after %.3fs queued", wait.Seconds()))
 		if e.queueWarn > 0 && wait > e.queueWarn {
 			e.metrics.QueueWaitWarnings.Inc()
 			job.timeline.add(EventQueueWaitWarning,
@@ -504,17 +535,20 @@ func (e *Executor) worker() {
 			job.State = StateDone
 			job.Outcome = out
 			job.timeline.add(EventDone, fmt.Sprintf("%d attempt(s)", attempts))
+			e.notify(job, EventDone, fmt.Sprintf("%d attempt(s)", attempts))
 			e.cache.Put(job.Hash, out)
 			e.metrics.JobsCompleted.Inc()
 		case errors.Is(err, context.Canceled):
 			job.State = StateCancelled
 			job.Err = err.Error()
 			job.timeline.add(EventCancelled, err.Error())
+			e.notify(job, EventCancelled, err.Error())
 			e.metrics.JobsCancelled.Inc()
 		default:
 			job.State = StateFailed
 			job.Err = err.Error()
 			job.timeline.add(EventFailed, err.Error())
+			e.notify(job, EventFailed, err.Error())
 			e.metrics.JobsFailed.Inc()
 		}
 		state := job.State
@@ -584,21 +618,40 @@ func (e *Executor) worker() {
 
 // sink builds the MetricsSink that streams a running job's instrumentation
 // into the shared panel: per-decision host latency, per-phase wall clock,
-// and guard degradation entries by mode.
+// live zone temperatures, and guard degradation entries by mode. Degrade
+// and invariant events are additionally mirrored onto the live event
+// stream when one is attached.
 func (e *Executor) sink() *sim.MetricsSink {
+	// Resolve the per-zone gauges once, outside the per-step callback.
+	cpu := e.metrics.ZoneTemp.WithLabelValues("cpu")
+	body := e.metrics.ZoneTemp.WithLabelValues("body")
+	batt := e.metrics.ZoneTemp.WithLabelValues("battery")
+	spreader := e.metrics.ZoneTemp.WithLabelValues("spreader")
 	return &sim.MetricsSink{
 		DecisionLatency: e.metrics.DecisionLatency.Base(),
 		PhaseSeconds: func(phase string, s float64) {
 			e.metrics.PhaseSeconds.WithLabelValues(phase).Add(s)
 		},
+		ZoneTemps: func(c, b, ba, sp float64) {
+			cpu.Set(c)
+			body.Set(b)
+			batt.Set(ba)
+			spreader.Set(sp)
+		},
 		OnDegrade: func(ev sched.DegradeEvent) {
 			if !ev.Recovered {
 				e.metrics.Degrades.WithLabelValues(ev.Mode).Inc()
+			}
+			if e.stream != nil {
+				e.stream.Publish(tsdb.EventDegrade, time.Now(), ev)
 			}
 		},
 		OnViolation: func(v invariant.Violation) {
 			e.metrics.InvariantViolations.
 				WithLabelValues(v.Invariant, string(v.Severity)).Inc()
+			if e.stream != nil {
+				e.stream.Publish(tsdb.EventInvariant, time.Now(), v)
+			}
 		},
 	}
 }
@@ -628,6 +681,8 @@ func (e *Executor) runWithRetries(ctx context.Context, job *Job, spec JobSpec, c
 		e.mu.Lock()
 		job.timeline.add(EventRetrying,
 			fmt.Sprintf("attempt %d failed (%v); backing off %s", attempts, err, delay.Round(time.Millisecond)))
+		e.notify(job, EventRetrying,
+			fmt.Sprintf("attempt %d failed; backing off %s", attempts, delay.Round(time.Millisecond)))
 		e.mu.Unlock()
 		fl.Recordf(obs.FlightTimeline, "job.retry",
 			"attempt %d failed (%v); backing off %s", attempts, err, delay.Round(time.Millisecond))
@@ -704,23 +759,36 @@ func runJob(ctx context.Context, spec JobSpec, cfg resolved) (*Outcome, error) {
 // content-addressed by spec alone.
 func runTTEJob(ctx context.Context, cfg twin.Config) (*Outcome, error) {
 	fl := obs.FlightFrom(ctx)
+	// The worker bound the submission's identity into the context; carry
+	// it into the twin engine's logs and the black-box breadcrumbs so a
+	// TTE failure is traceable back to its request.
+	log, reqID := obs.Logger(ctx), obs.RequestID(ctx)
 	b, err := twin.New(cfg)
 	if err != nil {
 		return nil, err
 	}
-	fl.Recordf(obs.FlightTimeline, "tte.start",
-		"cohort of %d twins, %d steps each", b.Twins(), b.Steps())
+	log.Debug("tte batch start", "twins", b.Twins(), "steps", b.Steps())
+	fl.RecordAttrs(obs.FlightTimeline, "tte.start",
+		fmt.Sprintf("cohort of %d twins, %d steps each", b.Twins(), b.Steps()),
+		map[string]string{"request_id": reqID})
 	if err := b.Run(ctx, 0); err != nil {
+		log.Warn("tte batch aborted", "error", err)
 		return nil, err
 	}
 	s := b.Summarize()
 	for name, n := range s.InvariantViolations {
 		fl.RecordAttrs(obs.FlightInvariant, name,
 			fmt.Sprintf("%d violation(s) across the cohort", n),
-			map[string]string{"severity": string(invariant.SeverityOfName(name))})
+			map[string]string{
+				"severity":   string(invariant.SeverityOfName(name)),
+				"request_id": reqID,
+			})
 	}
-	fl.Recordf(obs.FlightTimeline, "tte.done",
-		"%d emptied, %d censored; p50 %.0fs", s.Emptied, s.Censored, s.TTEP50S)
+	log.Debug("tte batch done",
+		"emptied", s.Emptied, "censored", s.Censored, "tte_p50_s", s.TTEP50S)
+	fl.RecordAttrs(obs.FlightTimeline, "tte.done",
+		fmt.Sprintf("%d emptied, %d censored; p50 %.0fs", s.Emptied, s.Censored, s.TTEP50S),
+		map[string]string{"request_id": reqID})
 	return &Outcome{TTE: s}, nil
 }
 
@@ -767,6 +835,7 @@ func (e *Executor) Drain(ctx context.Context) error {
 				job.Err = context.Canceled.Error()
 				job.FinishedAt = time.Now()
 				job.timeline.add(EventCancelled, "drain budget exhausted")
+				e.notify(job, EventCancelled, "drain budget exhausted")
 				delete(e.inflight, job.Hash)
 				e.metrics.JobsCancelled.Inc()
 				cancelled++

@@ -58,10 +58,17 @@ type Metrics struct {
 	PhaseSeconds    *metrics.CounterFloatVec // cumulative step-phase wall clock, by phase
 	Degrades        *metrics.CounterVec      // guard transitions, by reason
 
+	// ZoneTemp holds the latest zone temperatures streamed live from
+	// running simulations, by thermal node (cpu, body, battery, spreader).
+	ZoneTemp *metrics.GaugeFloatVec
+
 	// InvariantViolations counts safety-invariant breaches reported by
 	// running simulations and finished twin batches, by contract and
 	// severity.
 	InvariantViolations *metrics.CounterVec
+
+	// Anomalies counts anomaly-engine alerts, by detector.
+	Anomalies *metrics.CounterVec
 
 	// SLOBreaches counts watchdog burn-rate breaches, labeled by objective.
 	SLOBreaches *metrics.CounterVec
@@ -133,9 +140,17 @@ func NewMetrics() *Metrics {
 			"Graceful-degradation transitions streamed live from running simulations, by guard mode.",
 			"reason"),
 
+		ZoneTemp: reg.GaugeFloatVec("capman_zone_temp_celsius",
+			"Latest zone temperatures streamed live from running simulations, by thermal node.",
+			"zone"),
+
 		InvariantViolations: reg.CounterVec("capman_invariant_violations_total",
 			"Safety-invariant violations observed by the runtime checker, by contract and severity.",
 			"invariant", "severity"),
+
+		Anomalies: reg.CounterVec("capman_anomaly_total",
+			"Anomaly-engine alerts fired over the in-process time-series store, by detector.",
+			"detector"),
 
 		SLOBreaches: reg.CounterVec("capmand_slo_breach_total",
 			"SLO watchdog burn-rate breaches, by objective.", "slo"),

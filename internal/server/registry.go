@@ -12,6 +12,7 @@ import (
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/tec"
+	"repro/internal/thermal"
 	"repro/internal/twin"
 	"repro/internal/workload"
 )
@@ -147,6 +148,10 @@ func (r *Registry) Resolve(spec JobSpec) (sim.Config, error) {
 		Pack:     pack,
 		DT:       spec.DT,
 		MaxTimeS: spec.MaxTimeS,
+	}
+	if spec.AmbientC != 0 {
+		cfg.Thermal = thermal.DefaultPhoneConfig()
+		cfg.Thermal.AmbientC = spec.AmbientC
 	}
 	if !spec.DisableTEC {
 		dev := tec.ATE31()

@@ -12,7 +12,9 @@ import (
 	"runtime/debug"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/obs/metrics"
+	"repro/internal/obs/tsdb"
 )
 
 // Config assembles a Server; zero values defer to ExecutorConfig defaults.
@@ -35,6 +37,12 @@ type Config struct {
 	// SLO arms the burn-rate watchdog over the metrics panel's latency
 	// histograms; the zero value runs no watchdog.
 	SLO SLOConfig
+
+	// Telemetry tunes the live telemetry plane — the in-process
+	// time-series store (GET /v1/query), the ops event stream
+	// (GET /v1/stream), and the anomaly engine (GET /v1/alerts). The zero
+	// value enables it with defaults.
+	Telemetry TelemetryConfig
 }
 
 // SLOConfig configures the server's SLO watchdog. Each non-zero threshold
@@ -71,6 +79,9 @@ type SLOConfig struct {
 //	GET    /v1/jobs/{id}/flight  a failed job's black box (flight recorder snapshot)
 //	DELETE /v1/jobs/{id}         cancel a queued or running job
 //	GET    /v1/registry          enumerate registered workloads and policies
+//	GET    /v1/query             range-query the in-process time-series store
+//	GET    /v1/stream            live ops event feed (Server-Sent Events)
+//	GET    /v1/alerts            recent anomaly-engine alerts
 //	GET    /healthz              liveness probe
 //	GET    /metrics              Prometheus text-format metrics
 //	GET    /debug/buildinfo      version, Go runtime, and uptime
@@ -82,6 +93,14 @@ type Server struct {
 	version  string
 	started  time.Time
 	watchdog *metrics.Watchdog
+
+	// Telemetry plane; all nil when Config.Telemetry.Disable is set.
+	store    *tsdb.Store
+	bus      *tsdb.Bus
+	engine   *tsdb.Engine
+	ops      *obs.FlightRecorder // service-level breadcrumbs (anomaly alerts)
+	pumpStop chan struct{}
+	pumpDone chan struct{}
 }
 
 // New builds the service and starts its worker pool.
@@ -91,12 +110,24 @@ func New(cfg Config) *Server {
 	}
 	ecfg := cfg.Executor.withDefaults()
 	s := &Server{
-		exec:    NewExecutor(ecfg),
-		metrics: ecfg.Metrics,
-		mux:     http.NewServeMux(),
-		version: cfg.Version,
-		started: time.Now(),
+		metrics:  ecfg.Metrics,
+		mux:      http.NewServeMux(),
+		version:  cfg.Version,
+		started:  time.Now(),
+		pumpStop: make(chan struct{}),
+		pumpDone: make(chan struct{}),
 	}
+	// The telemetry plane comes up before the executor so job lifecycle
+	// events have a bus to land on from the first submission.
+	if !cfg.Telemetry.Disable {
+		if err := s.initTelemetry(cfg, ecfg); err != nil {
+			// Only a nil registry can fail construction, and ecfg always
+			// carries one; treat a failure as a programming error.
+			panic(err)
+		}
+		ecfg.Stream = s.bus
+	}
+	s.exec = NewExecutor(ecfg)
 	if s.version == "" {
 		s.version = buildVersion()
 	}
@@ -148,6 +179,9 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/flight", s.handleFlight)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/registry", s.handleRegistry)
+	s.mux.HandleFunc("GET /v1/query", s.handleQuery)
+	s.mux.HandleFunc("GET /v1/stream", s.handleStream)
+	s.mux.HandleFunc("GET /v1/alerts", s.handleAlerts)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /debug/buildinfo", s.handleBuildInfo)
@@ -157,6 +191,9 @@ func New(cfg Config) *Server {
 		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	if s.store != nil {
+		s.startTelemetry()
 	}
 	return s
 }
@@ -170,14 +207,26 @@ func (s *Server) Executor() *Executor { return s.exec }
 // Watchdog exposes the SLO watchdog, nil when no SLO is configured.
 func (s *Server) Watchdog() *metrics.Watchdog { return s.watchdog }
 
-// Drain stops the SLO watchdog and gracefully stops the job engine; see
-// Executor.Drain.
+// Drain stops the SLO watchdog and the telemetry plane, then gracefully
+// stops the job engine; see Executor.Drain.
 func (s *Server) Drain(ctx context.Context) error {
 	if s.watchdog != nil {
 		s.watchdog.Stop()
 	}
+	s.stopTelemetry()
 	return s.exec.Drain(ctx)
 }
+
+// Store exposes the in-process time-series store; nil when telemetry is
+// disabled.
+func (s *Server) Store() *tsdb.Store { return s.store }
+
+// Bus exposes the live event bus; nil when telemetry is disabled.
+func (s *Server) Bus() *tsdb.Bus { return s.bus }
+
+// AnomalyEngine exposes the anomaly engine; nil when telemetry is
+// disabled.
+func (s *Server) AnomalyEngine() *tsdb.Engine { return s.engine }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var spec JobSpec
@@ -242,11 +291,18 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, view)
 }
 
+// handleEvents serves a job's lifecycle timeline. The contract is
+// two-valued and regression-tested: an unknown job ID is a 404, while a
+// known job with an empty timeline is a 200 with a JSON `[]` (never
+// null), so clients can tell "no such job" from "no events yet".
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	tl, err := s.exec.Events(r.PathValue("id"))
 	if err != nil {
 		writeError(w, statusFor(err), err)
 		return
+	}
+	if tl.Events == nil {
+		tl.Events = []Event{}
 	}
 	writeJSON(w, http.StatusOK, tl)
 }

@@ -57,6 +57,11 @@ type JobSpec struct {
 	// DisableTEC removes the thermoelectric cooler (mounted by default).
 	DisableTEC bool `json:"disableTEC,omitempty"`
 
+	// AmbientC moves the thermal network's ambient node (default 25 °C
+	// — room temperature), so hot-room / cold-start scenarios are one
+	// knob away. Sim jobs only; 0 means the default.
+	AmbientC float64 `json:"ambientC,omitempty"`
+
 	// Simulation knobs, defaulted as in sim.Config.
 	DT       float64 `json:"dt,omitempty"`
 	MaxTimeS float64 `json:"maxTimeS,omitempty"`
@@ -155,6 +160,7 @@ func (s JobSpec) withDefaults() JobSpec {
 		s.MaxTimeS = 0
 		s.Cycles = 0
 		s.FaultPlan = ""
+		s.AmbientC = 0
 		t := TTEParams{}
 		if s.TTE != nil {
 			t = *s.TTE
@@ -229,6 +235,8 @@ func (s JobSpec) Validate() error {
 		return fmt.Errorf("%w: non-positive capacity", ErrBadSpec)
 	case s.ThresholdW < 0:
 		return fmt.Errorf("%w: negative threshold %v", ErrBadSpec, s.ThresholdW)
+	case s.AmbientC < -40 || s.AmbientC > 60:
+		return fmt.Errorf("%w: ambient %v °C outside [-40, 60]", ErrBadSpec, s.AmbientC)
 	}
 	if _, err := fault.ByName(s.FaultPlan, s.Seed); err != nil {
 		return fmt.Errorf("%w: %v", ErrBadSpec, err)

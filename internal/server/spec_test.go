@@ -63,6 +63,8 @@ func TestSpecValidate(t *testing.T) {
 		{Cycles: -1},
 		{BigMAh: -100},
 		{ThresholdW: -0.5},
+		{AmbientC: -41},
+		{AmbientC: 61},
 	}
 	for i, s := range bad {
 		if err := s.Validate(); err == nil {
@@ -71,6 +73,9 @@ func TestSpecValidate(t *testing.T) {
 	}
 	if err := (JobSpec{}).Validate(); err != nil {
 		t.Errorf("zero spec (all defaults) rejected: %v", err)
+	}
+	if err := (JobSpec{AmbientC: 30}).Validate(); err != nil {
+		t.Errorf("hot-room spec rejected: %v", err)
 	}
 }
 
@@ -89,6 +94,13 @@ func TestRegistryResolveAndExtension(t *testing.T) {
 	}
 	if cfg.Single == nil {
 		t.Error("practice policy did not install a single cell")
+	}
+	cfg, err = r.Resolve(JobSpec{Workload: "video", Policy: "dual", AmbientC: 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Thermal.AmbientC != 30 {
+		t.Errorf("ambientC not applied: thermal ambient %v", cfg.Thermal.AmbientC)
 	}
 	if _, err := r.Resolve(JobSpec{Workload: "mystery", Policy: "capman"}); err == nil ||
 		!strings.Contains(err.Error(), "mystery") {

@@ -1,0 +1,286 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// newTelemetryServer boots a server with a fast-ticking telemetry plane.
+func newTelemetryServer(t *testing.T, ecfg ExecutorConfig) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(Config{
+		Executor:  ecfg,
+		Telemetry: TelemetryConfig{Interval: 10 * time.Millisecond},
+	})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := contextWithTimeout(2 * time.Second)
+		defer cancel()
+		_ = s.Drain(ctx)
+	})
+	return s, ts
+}
+
+// TestEventsEndpointContract is the regression test for the 404-vs-empty
+// inconsistency: an unknown job must be a 404, while a known job with an
+// empty timeline must be a 200 carrying a JSON [] — never null — so
+// clients can tell the two apart.
+func TestEventsEndpointContract(t *testing.T) {
+	s, ts := newTestServer(t, ExecutorConfig{Workers: 1})
+
+	resp, err := http.Get(ts.URL + "/v1/jobs/j99999999/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job events: status %d, want 404", resp.StatusCode)
+	}
+
+	// A known job with an empty timeline (planted directly — normal
+	// submission always records at least EventSubmitted).
+	s.exec.mu.Lock()
+	s.exec.jobs["jempty"] = &Job{ID: "jempty", RequestID: "r-test", State: StateQueued}
+	s.exec.mu.Unlock()
+	resp, err = http.Get(ts.URL + "/v1/jobs/jempty/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("empty-timeline job events: status %d, want 200", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), `"events":[]`) {
+		t.Fatalf("empty timeline must serialize as [], got: %s", body)
+	}
+
+	// And a normally-submitted job answers 200 with its real events.
+	v, _ := submit(t, ts, fastSpec())
+	awaitJob(t, ts, v.ID, func(v View) bool { return v.State.Terminal() }, "terminal")
+	resp, err = http.Get(ts.URL + "/v1/jobs/" + v.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tl Timeline
+	if err := json.NewDecoder(resp.Body).Decode(&tl); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(tl.Events) == 0 {
+		t.Fatalf("job events: status %d, %d events", resp.StatusCode, len(tl.Events))
+	}
+}
+
+// TestQueryEndpoint covers /v1/query: discovery without a metric, range
+// vectors with one, and parameter validation.
+func TestQueryEndpoint(t *testing.T) {
+	_, ts := newTelemetryServer(t, ExecutorConfig{Workers: 1})
+
+	v, _ := submit(t, ts, fastSpec())
+	awaitJob(t, ts, v.ID, func(v View) bool { return v.State.Terminal() }, "terminal")
+	time.Sleep(50 * time.Millisecond) // a few store ticks past completion
+
+	resp, err := http.Get(ts.URL + "/v1/query?metric=capmand_jobs_completed_total&window=1m")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res struct {
+		Metric string `json:"metric"`
+		Series []struct {
+			Points []struct {
+				T int64   `json:"t"`
+				V float64 `json:"v"`
+			} `json:"points"`
+		} `json:"series"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || len(res.Series) == 0 || len(res.Series[0].Points) == 0 {
+		t.Fatalf("query: status %d, result %+v", resp.StatusCode, res)
+	}
+	last := res.Series[0].Points[len(res.Series[0].Points)-1]
+	if last.V < 1 {
+		t.Errorf("jobs_completed_total range vector ends at %v, want >= 1", last.V)
+	}
+
+	// Discovery payload.
+	resp, err = http.Get(ts.URL + "/v1/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "capmand_jobs_completed_total") {
+		t.Fatalf("discovery: status %d body %s", resp.StatusCode, body)
+	}
+
+	// Validation.
+	for _, q := range []string{
+		"?metric=x&window=banana",
+		"?metric=x&op=median",
+		"?metric=x&op=quantile&q=2",
+		"?metric=x&match=nosep",
+	} {
+		resp, err := http.Get(ts.URL + "/v1/query" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("query %s: status %d, want 400", q, resp.StatusCode)
+		}
+	}
+}
+
+// TestAlertsEndpoint covers /v1/alerts: always a 200 with the detector
+// inventory, and an empty (non-null) alert list on a healthy system.
+func TestAlertsEndpoint(t *testing.T) {
+	_, ts := newTelemetryServer(t, ExecutorConfig{Workers: 1})
+	resp, err := http.Get(ts.URL + "/v1/alerts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var payload struct {
+		Alerts    []json.RawMessage `json:"alerts"`
+		Detectors []string          `json:"detectors"`
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err := json.Unmarshal(body, &payload); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || len(payload.Detectors) == 0 {
+		t.Fatalf("alerts: status %d, detectors %v", resp.StatusCode, payload.Detectors)
+	}
+	if !strings.Contains(string(body), `"alerts":[]`) {
+		t.Errorf("healthy alerts list must be [], got %s", body)
+	}
+}
+
+// TestTelemetryDisabled pins the 503 contract when the plane is off.
+func TestTelemetryDisabled(t *testing.T) {
+	s := New(Config{
+		Executor:  ExecutorConfig{Workers: 1},
+		Telemetry: TelemetryConfig{Disable: true},
+	})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := contextWithTimeout(2 * time.Second)
+		defer cancel()
+		_ = s.Drain(ctx)
+	})
+	for _, path := range []string{"/v1/query?metric=x", "/v1/stream", "/v1/alerts"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Errorf("%s with telemetry off: status %d, want 503", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestStreamDeliversSamplesAndJobEvents is the live-stream acceptance
+// test: a subscriber sees telemetry samples and the submitted job's
+// lifecycle — through to done — within seconds.
+func TestStreamDeliversSamplesAndJobEvents(t *testing.T) {
+	_, ts := newTelemetryServer(t, ExecutorConfig{Workers: 2})
+
+	req, err := http.NewRequest(http.MethodGet, ts.URL+"/v1/stream", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("stream content type %q", ct)
+	}
+
+	// Subscribe first, then submit: the stream must carry the whole
+	// lifecycle.
+	v, _ := submit(t, ts, fastSpec())
+
+	type sse struct {
+		event string
+		data  string
+	}
+	events := make(chan sse, 64)
+	go func() {
+		defer close(events)
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		cur := sse{}
+		for sc.Scan() {
+			line := sc.Text()
+			switch {
+			case strings.HasPrefix(line, "event: "):
+				cur.event = strings.TrimPrefix(line, "event: ")
+			case strings.HasPrefix(line, "data: "):
+				cur.data = strings.TrimPrefix(line, "data: ")
+			case line == "" && cur.event != "":
+				events <- cur
+				cur = sse{}
+			}
+		}
+	}()
+
+	var gotHello, gotSample, gotSubmitted, gotDone bool
+	deadline := time.After(5 * time.Second)
+	for !(gotSample && gotDone) {
+		select {
+		case <-deadline:
+			t.Fatalf("stream incomplete after 5s: hello=%t sample=%t submitted=%t done=%t",
+				gotHello, gotSample, gotSubmitted, gotDone)
+		case ev, ok := <-events:
+			if !ok {
+				t.Fatal("stream closed early")
+			}
+			switch ev.event {
+			case "hello":
+				gotHello = true
+			case "sample":
+				gotSample = true
+				if !strings.Contains(ev.data, "queueDepth") {
+					t.Fatalf("sample payload missing fields: %s", ev.data)
+				}
+			case "job":
+				if !strings.Contains(ev.data, v.ID) {
+					continue
+				}
+				if strings.Contains(ev.data, `"type":"submitted"`) {
+					gotSubmitted = true
+				}
+				if strings.Contains(ev.data, `"type":"done"`) {
+					gotDone = true
+				}
+			}
+		}
+	}
+	if !gotHello {
+		t.Error("no hello event")
+	}
+	if !gotSubmitted {
+		t.Error("job done event arrived without a submitted event")
+	}
+}

@@ -21,6 +21,12 @@ type MetricsSink struct {
 	// phase ("workload", "policy", "battery", "thermal", "tec") with the
 	// cumulative wall-clock seconds that phase consumed.
 	PhaseSeconds func(phase string, seconds float64)
+	// ZoneTemps, when non-nil, receives every step's true zone
+	// temperatures in °C (cpu, body, battery, spreader), so a live
+	// telemetry plane can expose thermal state while the run is still in
+	// flight. Callbacks must be cheap: the hot loop calls this once per
+	// simulated step.
+	ZoneTemps func(cpu, body, battery, spreader float64)
 	// OnDegrade, when non-nil, is invoked synchronously for every guard
 	// degradation transition (entries and recoveries).
 	OnDegrade func(sched.DegradeEvent)

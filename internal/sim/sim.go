@@ -417,6 +417,9 @@ func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 		battTemp := net.Temperature(thermal.NodeBattery)
 		spreaderTemp := net.Temperature(thermal.NodeSpreader)
 		timer.lapThermal(t0)
+		if sink != nil && sink.ZoneTemps != nil {
+			sink.ZoneTemps(cpuTemp, bodyTemp, battTemp, spreaderTemp)
+		}
 
 		// Sensing faults corrupt what the controller and policy observe;
 		// the physics below keeps integrating the true temperatures.

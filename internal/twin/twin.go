@@ -34,6 +34,7 @@ import (
 	"repro/internal/battery"
 	"repro/internal/device"
 	"repro/internal/invariant"
+	"repro/internal/obs"
 	"repro/internal/tec"
 	"repro/internal/thermal"
 	"repro/internal/workload"
@@ -525,6 +526,12 @@ func (b *Batch) Run(ctx context.Context, workers int) error {
 		workers = nChunks
 	}
 
+	// Log under the caller's identity: capmand binds a request-tagged
+	// logger into the job context, so these lines carry the request ID.
+	log := obs.Logger(ctx)
+	log.Debug("twin: batch run start",
+		"twins", n, "steps", len(b.nows), "workers", workers)
+
 	spans := make(chan [2]int, nChunks)
 	for lo := 0; lo < n; lo += chunkTwins {
 		hi := lo + chunkTwins
@@ -568,11 +575,13 @@ func (b *Batch) Run(ctx context.Context, workers int) error {
 	}
 	wg.Wait()
 	if firstErr != nil {
+		log.Warn("twin: batch run aborted", "error", firstErr)
 		return fmt.Errorf("twin: aborted: %w", firstErr)
 	}
 	b.cursor = len(b.nows)
 	b.now = b.endNow
 	b.alive = 0
+	log.Debug("twin: batch run done", "twins", n)
 	return nil
 }
 

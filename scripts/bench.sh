@@ -5,18 +5,23 @@
 # hot-path allocation guard: the disabled registry and cached-handle
 # paths must stay at 0 allocs/op or benchjson fails the run), then the
 # twin batch engine benchmark into BENCH_twin.json (twins/op, derived
-# single-core twin-step throughput, and the zero-allocs/step guard).
+# single-core twin-step throughput, and the zero-allocs/step guard), then
+# the telemetry store scrape benchmark into BENCH_obs.json (ns per full
+# registry sample and the zero-allocs/tick hard gate: benchjson fails the
+# run if BenchmarkStoreSample ever allocates).
 #
 # Environment:
 #   BENCHTIME  go test -benchtime value (default 2s; use 1x for a smoke run)
 #   OUT        simstruct output path (default BENCH_simstruct.json at the repo root)
 #   OUT_TWIN   twin output path (default BENCH_twin.json at the repo root)
+#   OUT_OBS    telemetry output path (default BENCH_obs.json at the repo root)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCHTIME="${BENCHTIME:-2s}"
 OUT="${OUT:-BENCH_simstruct.json}"
 OUT_TWIN="${OUT_TWIN:-BENCH_twin.json}"
+OUT_OBS="${OUT_OBS:-BENCH_obs.json}"
 
 raw="$(mktemp)"
 trap 'rm -f "$raw"' EXIT
@@ -33,3 +38,9 @@ go test -run '^$' -bench 'BenchmarkBatchedStep' \
     -benchmem -benchtime "$BENCHTIME" ./internal/twin | tee "$raw"
 go run ./scripts/benchjson < "$raw" > "$OUT_TWIN"
 echo "bench.sh: wrote $OUT_TWIN"
+
+: > "$raw"
+go test -run '^$' -bench 'BenchmarkStoreSample' \
+    -benchmem -benchtime "$BENCHTIME" ./internal/obs/tsdb | tee "$raw"
+go run ./scripts/benchjson < "$raw" > "$OUT_OBS"
+echo "bench.sh: wrote $OUT_OBS"

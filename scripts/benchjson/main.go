@@ -63,6 +63,12 @@ type derived struct {
 	TwinTwinsPerOp         *float64 `json:"twin_twins_per_op,omitempty"`
 	TwinStepsPerSecPerCore *float64 `json:"twin_steps_per_sec_per_core,omitempty"`
 	TwinAllocsPerStep      *float64 `json:"twin_allocs_per_step,omitempty"`
+	// Telemetry store scrape tick (BenchmarkStoreSample): ns per full
+	// registry sample and allocs per tick — contractually zero
+	// (TestSamplePathAllocFree pins it in-package); run() fails on a
+	// regression.
+	TsdbSampleNs     *float64 `json:"tsdb_sample_ns,omitempty"`
+	TsdbSampleAllocs *float64 `json:"tsdb_sample_allocs,omitempty"`
 }
 
 // benchLine matches "BenchmarkName[-P]  <iters>  <value> <unit> ...".
@@ -136,6 +142,11 @@ func run() error {
 	if a := out.Derived.TwinAllocsPerStep; a != nil && *a != 0 {
 		return fmt.Errorf("BenchmarkBatchedStep allocates %g/op, want 0", *a)
 	}
+	// The telemetry store's sample path must never allocate: it runs every
+	// scrape tick for the lifetime of the daemon.
+	if a := out.Derived.TsdbSampleAllocs; a != nil && *a != 0 {
+		return fmt.Errorf("BenchmarkStoreSample allocates %g/op, want 0", *a)
+	}
 
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
@@ -184,6 +195,11 @@ func deriveMetrics(results []result) derived {
 			throughput := twins / r.NsPerOp * 1e9
 			d.TwinStepsPerSecPerCore = &throughput
 		}
+	}
+	if r, ok := byName["BenchmarkStoreSample"]; ok {
+		ns, allocs := r.NsPerOp, r.AllocsOp
+		d.TsdbSampleNs = &ns
+		d.TsdbSampleAllocs = &allocs
 	}
 	if emd, ok := byName["BenchmarkEMD"]; ok {
 		d.EMDAllocsChecked = emd.AllocsOp

@@ -46,6 +46,12 @@ echo "== robustness focus: vet + race on fault/server =="
 go vet ./internal/fault ./internal/server
 go test -race ./internal/fault ./internal/server
 
+# Telemetry-plane smoke: a live capmand's /v1/stream must deliver
+# telemetry samples and the submitted job's completion event to a
+# subscriber within 5 seconds, end to end over real HTTP.
+echo "== telemetry smoke: /v1/stream samples + job-done =="
+go test ./cmd/capman-serve -count=1 -run 'TestServeStreamSmoke'
+
 echo "== go test -race =="
 go test -race ./...
 
@@ -60,7 +66,8 @@ go test -run='^$' -bench=. -benchtime=1x ./... > /dev/null
 echo "== bench trajectory smoke (bench.sh) =="
 smoke_out="$(mktemp)"
 smoke_twin="$(mktemp)"
-BENCHTIME=1x OUT="$smoke_out" OUT_TWIN="$smoke_twin" ./scripts/bench.sh > /dev/null
-rm -f "$smoke_out" "$smoke_twin"
+smoke_obs="$(mktemp)"
+BENCHTIME=1x OUT="$smoke_out" OUT_TWIN="$smoke_twin" OUT_OBS="$smoke_obs" ./scripts/bench.sh > /dev/null
+rm -f "$smoke_out" "$smoke_twin" "$smoke_obs"
 
 echo "all checks passed"

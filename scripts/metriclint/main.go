@@ -53,6 +53,7 @@ var methodKind = map[string]string{
 // accidental deletion is caught here instead of by a silent scrape gap.
 var requiredNames = []string{
 	"capman_invariant_violations_total",
+	"capman_anomaly_total",
 }
 
 func main() {
