@@ -1,0 +1,167 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestClosedLoopInprocess is the end-to-end smoke: boot a loopback
+// capmand, prime an 8-key mixed sim/tte space, drive 120 closed-loop
+// requests, and check the report adds up — every request a cache hit,
+// zero errors, coherent quantiles.
+func TestClosedLoopInprocess(t *testing.T) {
+	reportPath := filepath.Join(t.TempDir(), "load.json")
+	var buf bytes.Buffer
+	err := run(context.Background(), []string{
+		"-inprocess", "-requests", "120", "-concurrency", "4",
+		"-keyspace", "8", "-tte-frac", "0.25", "-seed", "3",
+		"-report", reportPath, "-expect-no-errors", "-min-hit-rate", "0.99",
+	}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, buf.String())
+	}
+
+	raw, err := os.ReadFile(reportPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("report does not decode: %v\n%s", err, raw)
+	}
+	if rep.Mode != "closed" || rep.Requests != 120 {
+		t.Errorf("mode %q requests %d, want closed/120", rep.Mode, rep.Requests)
+	}
+	if rep.Errors != 0 || rep.Hits != 120 || rep.HitRate != 1 {
+		t.Errorf("hits %d errors %d hitRate %v, want 120/0/1 after priming", rep.Hits, rep.Errors, rep.HitRate)
+	}
+	if rep.ThroughputRPS <= 0 {
+		t.Errorf("throughput %v, want > 0", rep.ThroughputRPS)
+	}
+	if rep.Latency.P50Ms <= 0 || rep.Latency.P99Ms < rep.Latency.P50Ms || rep.Latency.MaxMs < rep.Latency.P99Ms {
+		t.Errorf("incoherent quantiles: %+v", rep.Latency)
+	}
+	if n := len(rep.Histogram); n == 0 || rep.Histogram[n-1].Count != rep.Requests {
+		t.Errorf("histogram +Inf bucket must count every request: %+v", rep.Histogram)
+	}
+	if !strings.Contains(buf.String(), "hit rate 1.00") {
+		t.Errorf("summary line missing hit rate:\n%s", buf.String())
+	}
+}
+
+// TestOpenLoopInprocess drives the fixed-clock mode briefly and checks
+// the report carries the open-loop fields.
+func TestOpenLoopInprocess(t *testing.T) {
+	var buf bytes.Buffer
+	err := run(context.Background(), []string{
+		"-inprocess", "-mode", "open", "-rps", "400", "-requests", "60",
+		"-keyspace", "4", "-tte-frac", "0", "-seed", "5",
+	}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, buf.String())
+	}
+	var rep Report
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatalf("report does not decode: %v\n%s", err, buf.String())
+	}
+	if rep.Mode != "open" || rep.TargetRPS != 400 {
+		t.Errorf("mode %q targetRPS %v, want open/400", rep.Mode, rep.TargetRPS)
+	}
+	if rep.Requests+rep.DroppedLocal != 60 {
+		t.Errorf("requests %d + droppedLocal %d != 60 dispatches", rep.Requests, rep.DroppedLocal)
+	}
+	if rep.Errors != 0 {
+		t.Errorf("open loop errored %d times: %v", rep.Errors, rep.StatusCounts)
+	}
+}
+
+// TestHitRateFollowsKeyspace: without priming, first touches of each key
+// miss, so a keyspace as large as the request count keeps the hit rate
+// far below the primed case. This pins the -keyspace knob's meaning.
+func TestHitRateFollowsKeyspace(t *testing.T) {
+	var buf bytes.Buffer
+	err := run(context.Background(), []string{
+		"-inprocess", "-requests", "40", "-concurrency", "1",
+		"-keyspace", "40", "-tte-frac", "0", "-prime=false", "-seed", "7",
+	}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, buf.String())
+	}
+	var rep Report
+	if err := json.Unmarshal(buf.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.HitRate > 0.8 {
+		t.Errorf("hit rate %v over a cold 40-key space, want well below the primed 1.0", rep.HitRate)
+	}
+	if rep.Accepted == 0 {
+		t.Error("cold keyspace produced no 202-accepted submissions")
+	}
+}
+
+func TestGatesAndFlagErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(context.Background(), []string{"-bogus"}, &buf); err == nil {
+		t.Error("unknown flag accepted")
+	}
+	if err := run(context.Background(), []string{"-inprocess", "-mode", "sideways"}, &buf); err == nil {
+		t.Error("bad -mode accepted")
+	}
+	if err := run(context.Background(), []string{"-requests", "1"}, &buf); err == nil {
+		t.Error("missing -addr/-inprocess accepted")
+	}
+	// An unreachable daemon with -expect-no-errors must fail the run.
+	err := run(context.Background(), []string{
+		"-addr", "http://127.0.0.1:1", "-requests", "3", "-concurrency", "1",
+		"-prime=false", "-expect-no-errors", "-timeout", "500ms",
+	}, &buf)
+	if err == nil || !strings.Contains(err.Error(), "errored") {
+		t.Errorf("unreachable daemon passed -expect-no-errors: %v", err)
+	}
+}
+
+// TestBuildSpecsDeterministic pins the traffic mix: same flags, same
+// specs; the tte slice is exactly round(frac*keyspace) wide.
+func TestBuildSpecsDeterministic(t *testing.T) {
+	a := buildSpecs(10, 0.25, 9)
+	b := buildSpecs(10, 0.25, 9)
+	ttes := 0
+	for i := range a {
+		aj, _ := json.Marshal(a[i])
+		bj, _ := json.Marshal(b[i])
+		if !bytes.Equal(aj, bj) {
+			t.Errorf("key %d differs across identical builds", i)
+		}
+		if a[i].Kind == "tte" {
+			ttes++
+			if a[i].TTE == nil {
+				t.Errorf("key %d: tte spec without params", i)
+			}
+		}
+	}
+	if ttes != 3 { // round(0.25 * 10)
+		t.Errorf("tte keys %d, want 3", ttes)
+	}
+	if other := buildSpecs(10, 0.25, 10); other[5].Seed == a[5].Seed {
+		t.Error("different -seed runs share spec seeds (cache populations collide)")
+	}
+}
+
+// TestQuantileNearestRank pins the quantile helper on hand-checked cases.
+func TestQuantileNearestRank(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := quantile(sorted, 0.5); got != 6 {
+		t.Errorf("p50 = %v, want 6", got)
+	}
+	if got := quantile(sorted, 0.99); got != 10 {
+		t.Errorf("p99 = %v, want 10", got)
+	}
+	if got := quantile(nil, 0.5); got != 0 {
+		t.Errorf("empty quantile = %v, want 0", got)
+	}
+}

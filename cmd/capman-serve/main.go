@@ -70,6 +70,13 @@ func run(ctx context.Context, args []string, out *os.File) error {
 	telemetryInterval := fs.Duration("telemetry-interval", 0, "time-series store scrape period (0 = default 1s)")
 	telemetryRetention := fs.Int("telemetry-retention", 0, "points retained per series in the time-series store (0 = default 600)")
 	anomalyInterval := fs.Duration("anomaly-interval", 0, "anomaly detector evaluation cadence (0 = default 15s)")
+	shedWatermark := fs.Int("shed-watermark", 0, "queue depth at which the admission gate sheds new work with 429 (0 disables)")
+	shedRetryAfter := fs.Duration("shed-retry-after", 0, "Retry-After hint attached to shed responses (0 = default 1s)")
+	shedOnBurn := fs.Bool("shed-on-burn", false, "let SLO burn-rate breaches arm the load-shedding gate for one evaluation interval")
+	readHeaderTimeout := fs.Duration("read-header-timeout", 5*time.Second, "http server limit for reading request headers (0 = none)")
+	readTimeout := fs.Duration("read-timeout", time.Minute, "http server limit for reading a full request (0 = none; streams exempt themselves)")
+	writeTimeout := fs.Duration("write-timeout", time.Minute, "http server limit for writing a response (0 = none; streams exempt themselves)")
+	maxHeaderBytes := fs.Int("max-header-bytes", 1<<20, "http server cap on request header size")
 	noFlight := fs.Bool("no-flight", false, "disable per-job flight recording (failed jobs get no black box)")
 	noInvariants := fs.Bool("no-invariants", false, "disable the runtime safety-invariant checker on served jobs")
 	invariantCPUCeiling := fs.Float64("invariant-cpu-ceiling", 0, "override the checker's CPU thermal ceiling in degC (0 = calibrated default)")
@@ -97,15 +104,17 @@ func run(ctx context.Context, args []string, out *os.File) error {
 		Logger:      logger,
 		EnablePprof: *enablePprof,
 		Executor: server.ExecutorConfig{
-			Workers:           *workers,
-			QueueDepth:        *queue,
-			CacheSize:         *cache,
-			JobTimeout:        *jobTimeout,
-			MaxRetries:        *retries,
-			QueueWaitWarn:     *queueWaitWarn,
-			DisableFlight:     *noFlight,
-			DisableInvariants: *noInvariants,
-			Invariants:        invOverride,
+			Workers:            *workers,
+			QueueDepth:         *queue,
+			CacheSize:          *cache,
+			JobTimeout:         *jobTimeout,
+			MaxRetries:         *retries,
+			QueueWaitWarn:      *queueWaitWarn,
+			ShedQueueWatermark: *shedWatermark,
+			ShedRetryAfter:     *shedRetryAfter,
+			DisableFlight:      *noFlight,
+			DisableInvariants:  *noInvariants,
+			Invariants:         invOverride,
 			Breaker: server.BreakerConfig{
 				Threshold: *breakerThreshold,
 				Cooldown:  *breakerCooldown,
@@ -117,6 +126,7 @@ func run(ctx context.Context, args []string, out *os.File) error {
 			TTEP99:       *sloTTEP99,
 			Window:       *sloWindow,
 			Interval:     *sloInterval,
+			ShedOnBurn:   *shedOnBurn,
 		},
 		Telemetry: server.TelemetryConfig{
 			Disable:         *noTelemetry,
@@ -141,6 +151,8 @@ func run(ctx context.Context, args []string, out *os.File) error {
 		"slo_decision_p99", sloDecisionP99.String(),
 		"slo_queue_wait_p95", sloQueueWaitP95.String(),
 		"slo_tte_p99", sloTTEP99.String(),
+		"shed_watermark", *shedWatermark,
+		"shed_on_burn", *shedOnBurn,
 		"flight", !*noFlight,
 		"invariants", !*noInvariants,
 		"telemetry", !*noTelemetry,
@@ -148,14 +160,29 @@ func run(ctx context.Context, args []string, out *os.File) error {
 		"log_level", level.String(),
 		"log_format", *logFormat)
 	fmt.Fprintf(out, "capmand listening on %s\n", ln.Addr())
-	return serve(ctx, ln, srv, *drainTimeout, out, logger)
+	httpSrv := hardenedServer(srv.Handler(), *readHeaderTimeout, *readTimeout, *writeTimeout, *maxHeaderBytes)
+	return serve(ctx, ln, srv, httpSrv, *drainTimeout, out, logger)
+}
+
+// hardenedServer builds the http.Server with slow-client limits: header
+// and request read deadlines, a response write deadline, and a header
+// size cap. Long-lived SSE streams opt out per connection — handleStream
+// clears its read and write deadlines via http.ResponseController — so
+// the daemon-wide timeouts only police request/response endpoints.
+func hardenedServer(h http.Handler, readHeader, read, write time.Duration, maxHeader int) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: readHeader,
+		ReadTimeout:       read,
+		WriteTimeout:      write,
+		MaxHeaderBytes:    maxHeader,
+	}
 }
 
 // serve runs the HTTP server on ln until ctx is cancelled, then performs
 // the graceful drain: stop accepting connections, let in-flight jobs
 // finish within the drain budget, cancel whatever remains.
-func serve(ctx context.Context, ln net.Listener, srv *server.Server, drainTimeout time.Duration, out *os.File, logger *slog.Logger) error {
-	httpSrv := &http.Server{Handler: srv.Handler()}
+func serve(ctx context.Context, ln net.Listener, srv *server.Server, httpSrv *http.Server, drainTimeout time.Duration, out *os.File, logger *slog.Logger) error {
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
 

@@ -28,7 +28,9 @@ func TestServeLifecycle(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	done := make(chan error, 1)
-	go func() { done <- serve(ctx, ln, srv, 60*time.Second, os.Stdout, obs.Nop()) }()
+	go func() {
+		done <- serve(ctx, ln, srv, defaultTestServer(srv), 60*time.Second, os.Stdout, obs.Nop())
+	}()
 
 	base := "http://" + ln.Addr().String()
 	waitHealthy(t, base)
@@ -73,6 +75,11 @@ func TestServeLifecycle(t *testing.T) {
 	}
 }
 
+// defaultTestServer mirrors run()'s production hardening defaults.
+func defaultTestServer(srv *server.Server) *http.Server {
+	return hardenedServer(srv.Handler(), 5*time.Second, time.Minute, time.Minute, 1<<20)
+}
+
 func waitHealthy(t *testing.T, base string) {
 	t.Helper()
 	deadline := time.Now().Add(10 * time.Second)
@@ -104,7 +111,9 @@ func TestServeStreamSmoke(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	done := make(chan error, 1)
-	go func() { done <- serve(ctx, ln, srv, 60*time.Second, os.Stdout, obs.Nop()) }()
+	go func() {
+		done <- serve(ctx, ln, srv, defaultTestServer(srv), 60*time.Second, os.Stdout, obs.Nop())
+	}()
 	base := "http://" + ln.Addr().String()
 	waitHealthy(t, base)
 
@@ -189,6 +198,107 @@ func TestServeStreamSmoke(t *testing.T) {
 		}
 	case <-time.After(30 * time.Second):
 		t.Fatal("serve did not drain and exit")
+	}
+}
+
+// TestSlowHeaderClientDisconnected pins the slowloris defence: a client
+// that dribbles headers past ReadHeaderTimeout is cut off instead of
+// pinning a connection forever.
+func TestSlowHeaderClientDisconnected(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(server.Config{Executor: server.ExecutorConfig{Workers: 1}})
+	httpSrv := hardenedServer(srv.Handler(), 100*time.Millisecond, time.Minute, time.Minute, 1<<20)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- serve(ctx, ln, srv, httpSrv, 10*time.Second, os.Stdout, obs.Nop()) }()
+	waitHealthy(t, "http://"+ln.Addr().String())
+
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Send a partial header block and then stall, never finishing it.
+	if _, err := conn.Write([]byte("GET /healthz HTTP/1.1\r\nHost: capmand\r\nX-Slow:")); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	start := time.Now()
+	buf := make([]byte, 512)
+	for {
+		_, err := conn.Read(buf)
+		if err != nil {
+			break // server hung up on us — the desired outcome
+		}
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Errorf("slow-header connection survived %v, want close near the 100ms header timeout", elapsed)
+	}
+
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("serve did not exit")
+	}
+}
+
+// TestStreamSurvivesWriteTimeout: the SSE stream must keep delivering
+// samples well past the daemon's WriteTimeout, because handleStream
+// clears its per-connection deadlines. Without that exemption a 200ms
+// write timeout would sever the stream at the first flush after 200ms.
+func TestStreamSurvivesWriteTimeout(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(server.Config{
+		Executor:  server.ExecutorConfig{Workers: 1},
+		Telemetry: server.TelemetryConfig{Interval: 50 * time.Millisecond},
+	})
+	httpSrv := hardenedServer(srv.Handler(), 5*time.Second, 200*time.Millisecond, 200*time.Millisecond, 1<<20)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- serve(ctx, ln, srv, httpSrv, 10*time.Second, os.Stdout, obs.Nop()) }()
+	base := "http://" + ln.Addr().String()
+	waitHealthy(t, base)
+
+	resp, err := http.Get(base + "/v1/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream status %d", resp.StatusCode)
+	}
+	connected := time.Now()
+	var lastSample time.Time
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if strings.HasPrefix(sc.Text(), "event: sample") {
+			lastSample = time.Now()
+			if lastSample.Sub(connected) > 500*time.Millisecond {
+				break // survived well past the 200ms write timeout
+			}
+		}
+	}
+	if lastSample.IsZero() {
+		t.Fatal("stream delivered no samples")
+	}
+	if got := lastSample.Sub(connected); got <= 500*time.Millisecond {
+		t.Errorf("stream died %v after connect; write timeout severed the SSE feed", got)
+	}
+
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("serve did not exit")
 	}
 }
 

@@ -4,7 +4,9 @@
 // occupancy, trailing-minute latency quantiles with Unicode sparklines,
 // per-zone device temperatures from running simulations, shed/degrade/
 // violation/anomaly counters, and the most recent job lifecycle events
-// and anomaly alerts.
+// and anomaly alerts. If the stream drops after a successful subscribe,
+// capman-top resubscribes with capped exponential backoff and jitter
+// (disable with -reconnect=false); history carries across reconnects.
 //
 // Usage:
 //
@@ -24,6 +26,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
 	"os"
 	"os/signal"
@@ -45,6 +48,8 @@ func main() {
 	}
 }
 
+const maxReconnectBackoff = 15 * time.Second
+
 func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("capman-top", flag.ContinueOnError)
 	addr := fs.String("addr", "http://localhost:8080", "base URL of the capmand to watch")
@@ -52,6 +57,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	frames := fs.Int("frames", 0, "exit after this many frames (0 = run until interrupted)")
 	width := fs.Int("width", 60, "sparkline width in characters")
 	plain := fs.Bool("plain", false, "do not clear the screen between frames")
+	reconnect := fs.Bool("reconnect", true, "resubscribe with backoff when the stream drops (after at least one successful connect)")
+	reconnectBackoff := fs.Duration("reconnect-backoff", 500*time.Millisecond,
+		"initial reconnect delay; doubles per failed attempt up to 15s, with jitter")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -62,26 +70,80 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if *width < 8 {
 		*width = 8
 	}
-
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
-		strings.TrimRight(*addr, "/")+"/v1/stream", nil)
-	if err != nil {
-		return err
+	if *reconnectBackoff <= 0 {
+		*reconnectBackoff = 500 * time.Millisecond
 	}
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
+
+	// The model survives reconnects: sparkline history and event logs keep
+	// accumulating across subscriptions, and the frame budget is global.
+	m := newModel(*addr, *width)
+	rendered := 0
+	backoff := *reconnectBackoff
+	everSubscribed := false
+	for {
+		budget := 0
+		if *frames > 0 {
+			budget = *frames - rendered
+		}
+		n, subscribed, err := streamOnce(ctx, *addr, m, *plain, budget, out)
+		rendered += n
 		if ctx.Err() != nil {
 			return nil
 		}
-		return err
+		if *frames > 0 && rendered >= *frames {
+			return nil
+		}
+		if !everSubscribed && !subscribed {
+			// Never managed to subscribe: surface the failure instead of
+			// retrying against a daemon that may simply not exist.
+			return err
+		}
+		everSubscribed = true
+		if subscribed {
+			backoff = *reconnectBackoff // healthy connect resets the ramp
+		}
+		if !*reconnect {
+			if err != nil {
+				return err
+			}
+			fmt.Fprintln(out, "stream ended (capmand shut down?)")
+			return nil
+		}
+		// Capped exponential backoff with up to 50% jitter so a fleet of
+		// watchers does not stampede a restarting daemon.
+		delay := backoff + time.Duration(rand.Int63n(int64(backoff/2)+1))
+		fmt.Fprintf(out, "stream dropped; reconnecting in %s\n", delay.Round(time.Millisecond))
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-time.After(delay):
+		}
+		if backoff *= 2; backoff > maxReconnectBackoff {
+			backoff = maxReconnectBackoff
+		}
+	}
+}
+
+// streamOnce subscribes to /v1/stream and renders frames until the
+// stream ends, the context is cancelled, or the frame budget (0 = no
+// limit) is spent. It reports how many frames it rendered and whether
+// the subscription itself succeeded — the reconnect loop only retries
+// drops that happen after a successful subscribe.
+func streamOnce(ctx context.Context, addr string, m *model, plain bool, budget int, out io.Writer) (rendered int, subscribed bool, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		strings.TrimRight(addr, "/")+"/v1/stream", nil)
+	if err != nil {
+		return 0, false, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return 0, false, err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return fmt.Errorf("%s/v1/stream answered %s (telemetry disabled?)", *addr, resp.Status)
+		return 0, false, fmt.Errorf("%s/v1/stream answered %s (telemetry disabled?)", addr, resp.Status)
 	}
 
-	m := newModel(*addr, *width)
-	rendered := 0
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var event, data string
@@ -101,23 +163,20 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			if !redraw {
 				continue
 			}
-			if !*plain {
+			if !plain {
 				fmt.Fprint(out, "\x1b[H\x1b[2J")
 			}
 			m.render(out)
 			rendered++
-			if *frames > 0 && rendered >= *frames {
-				return nil
+			if budget > 0 && rendered >= budget {
+				return rendered, true, nil
 			}
 		}
 	}
 	if err := sc.Err(); err != nil && ctx.Err() == nil && !errors.Is(err, io.EOF) {
-		return fmt.Errorf("stream read: %w", err)
+		return rendered, true, fmt.Errorf("stream read: %w", err)
 	}
-	if ctx.Err() == nil {
-		fmt.Fprintln(out, "stream ended (capmand shut down?)")
-	}
-	return nil
+	return rendered, true, nil
 }
 
 // wireEvent mirrors tsdb.Event with the payload left raw so it can be

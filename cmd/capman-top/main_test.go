@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -118,14 +119,63 @@ func TestStreamEndReportsCleanly(t *testing.T) {
 	ts := fakeStream(t)
 	defer ts.Close()
 
-	// Ask for more frames than the canned stream delivers: run must exit
-	// nil and say the stream ended rather than hanging or erroring.
+	// Ask for more frames than the canned stream delivers: with reconnect
+	// off, run must exit nil and say the stream ended rather than hanging
+	// or erroring.
 	var buf bytes.Buffer
-	if err := run(context.Background(), []string{"-addr", ts.URL, "-frames", "99", "-plain"}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-addr", ts.URL, "-frames", "99", "-plain", "-reconnect=false"}, &buf); err != nil {
 		t.Fatalf("run after stream EOF: %v", err)
 	}
 	if !strings.Contains(buf.String(), "stream ended") {
 		t.Errorf("missing stream-ended notice:\n%s", buf.String())
+	}
+}
+
+// TestStreamReconnects drops the stream after two samples and checks the
+// watcher resubscribes with backoff and keeps counting frames across
+// connections: 4 frames arrive over 2 subscriptions.
+func TestStreamReconnects(t *testing.T) {
+	var conns atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/stream" {
+			http.NotFound(w, r)
+			return
+		}
+		n := conns.Add(1)
+		w.Header().Set("Content-Type", "text/event-stream")
+		flusher := w.(http.Flusher)
+		fmt.Fprint(w, "event: hello\ndata: {\"intervalMs\":1000,\"detectors\":[]}\n\n")
+		for i := 0; i < 2; i++ {
+			ev := tsdb.Event{Seq: uint64(i + 1), Type: tsdb.EventSample,
+				At:   time.Unix(1_700_000_000, 0).UTC(),
+				Data: server.StreamSample{QueueDepth: n*10 + int64(i)}}
+			b, err := json.Marshal(ev)
+			if err != nil {
+				t.Errorf("marshal: %v", err)
+				return
+			}
+			fmt.Fprintf(w, "event: sample\ndata: %s\n\n", b)
+			flusher.Flush()
+		}
+		// Handler returns: the connection drops mid-watch.
+	}))
+	defer ts.Close()
+
+	var buf bytes.Buffer
+	err := run(context.Background(), []string{
+		"-addr", ts.URL, "-frames", "4", "-plain", "-reconnect-backoff", "10ms",
+	}, &buf)
+	if err != nil {
+		t.Fatalf("run across reconnects: %v\n%s", err, buf.String())
+	}
+	if got := conns.Load(); got < 2 {
+		t.Errorf("watcher opened %d connections, want >= 2 (never reconnected)", got)
+	}
+	if !strings.Contains(buf.String(), "reconnecting in") {
+		t.Errorf("missing reconnect notice:\n%s", buf.String())
+	}
+	if got := strings.Count(buf.String(), "capman-top —"); got != 4 {
+		t.Errorf("rendered %d frames across reconnects, want 4\n%s", got, buf.String())
 	}
 }
 

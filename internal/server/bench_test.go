@@ -1,0 +1,158 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// BenchmarkAdmissionPath measures Submit's serving hot path. The "hit"
+// subbenchmark is the one bench.sh hard-gates at 0 allocs/op: a cached
+// spec must be served from the pooled canonicalization buffer and the
+// shard lookup without touching the heap. "key" isolates the
+// canonicalize+hash step shared by every request.
+func BenchmarkAdmissionPath(b *testing.B) {
+	spec := JobSpec{Workload: "video", Policy: "dual", Seed: 7,
+		BigMAh: 300, LittleMAh: 300, MaxTimeS: 2000}
+
+	b.Run("hit", func(b *testing.B) {
+		e := NewExecutor(ExecutorConfig{Workers: 2})
+		defer drainBench(b, e)
+		v, err := e.Submit(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		awaitBench(b, e, v.ID)
+		if v, err := e.Submit(spec); err != nil || !v.CacheHit {
+			b.Fatalf("warmup hit failed: %+v %v", v, err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			v, err := e.Submit(spec)
+			if err != nil || !v.CacheHit {
+				b.Fatal("hit path missed")
+			}
+		}
+	})
+
+	b.Run("key", func(b *testing.B) {
+		specKey(spec) // warm the pool
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, ok := specKey(spec); !ok {
+				b.Fatal("specKey bailed")
+			}
+		}
+	})
+
+	b.Run("hit-parallel", func(b *testing.B) {
+		e := NewExecutor(ExecutorConfig{Workers: 2, CacheSize: 256})
+		defer drainBench(b, e)
+		// Prime 64 distinct cached outcomes so parallel readers spread
+		// across shards instead of serializing on one entry's shard.
+		specs := make([]JobSpec, 64)
+		for i := range specs {
+			specs[i] = spec
+			specs[i].Seed = int64(i)
+			v, err := e.Submit(specs[i])
+			if err != nil {
+				b.Fatal(err)
+			}
+			awaitBench(b, e, v.ID)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			i := 0
+			for pb.Next() {
+				v, err := e.Submit(specs[i&63])
+				if err != nil || !v.CacheHit {
+					b.Fatal("hit path missed")
+				}
+				i++
+			}
+		})
+	})
+}
+
+// BenchmarkShardedCache isolates the cache layer: uncontended get/put,
+// then the contended parallel read that motivated sharding.
+func BenchmarkShardedCache(b *testing.B) {
+	const entries = 256
+	build := func(shards int) (*Cache, []CacheKey) {
+		c := NewShardedCache(entries, shards)
+		keys := make([]CacheKey, entries)
+		out := &Outcome{}
+		for i := range keys {
+			keys[i] = traceKey(i)
+			c.put(&cacheEntry{key: keys[i], outcome: out})
+		}
+		return c, keys
+	}
+
+	b.Run("get", func(b *testing.B) {
+		c, keys := build(16)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, ok := c.lookup(keys[i&(entries-1)]); !ok {
+				b.Fatal("miss")
+			}
+		}
+	})
+
+	b.Run("put", func(b *testing.B) {
+		c, keys := build(16)
+		out := &Outcome{}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.put(&cacheEntry{key: keys[i&(entries-1)], outcome: out})
+		}
+	})
+
+	for _, shards := range []int{1, 16} {
+		b.Run(fmt.Sprintf("get-parallel/shards%d", shards), func(b *testing.B) {
+			c, keys := build(shards)
+			b.ReportAllocs()
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				i := 0
+				for pb.Next() {
+					if _, ok := c.lookup(keys[i&(entries-1)]); !ok {
+						b.Fatal("miss")
+					}
+					i++
+				}
+			})
+		})
+	}
+}
+
+func drainBench(b *testing.B, e *Executor) {
+	b.Helper()
+	ctx, cancel := contextWithTimeout(5 * time.Second)
+	defer cancel()
+	_ = e.Drain(ctx)
+}
+
+func awaitBench(b *testing.B, e *Executor, id string) {
+	b.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		v, err := e.Get(id)
+		if err != nil {
+			b.Fatalf("Get(%s): %v", id, err)
+		}
+		if v.State.Terminal() {
+			if v.State != StateDone {
+				b.Fatalf("job %s ended %s: %s", id, v.State, v.Error)
+			}
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	b.Fatalf("job %s never finished", id)
+}

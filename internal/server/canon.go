@@ -1,0 +1,307 @@
+package server
+
+import (
+	"crypto/sha256"
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// This file is the zero-allocation canonicalization path for the serving
+// hot loop. Submit must turn a JobSpec into its content address — the
+// SHA-256 of the canonical JSON encoding — on every request, so the
+// encoding here is hand-rolled to append into a pooled buffer while
+// producing bytes identical to the json.Marshal oracle in
+// JobSpec.Canonical. The equivalence is pinned by TestAppendCanonicalMatchesOracle
+// and FuzzCanonicalSpec; any divergence would fragment the result cache.
+
+// canonBuf is a pooled canonicalization scratch buffer. SHA-256 state
+// lives on the stack (sha256.Sum256), so the buffer is the only heap
+// object the hot path would otherwise allocate per request.
+type canonBuf struct{ buf []byte }
+
+var canonPool = sync.Pool{
+	New: func() any { return &canonBuf{buf: make([]byte, 0, 512)} },
+}
+
+// specKey computes a spec's cache key without allocating: normalize,
+// encode canonically into a pooled buffer, hash on the stack. ok is false
+// when the encoder cannot represent the spec (non-finite floats — exactly
+// the specs json.Marshal rejects); callers fall back to the oracle for
+// the error.
+func specKey(spec JobSpec) (CacheKey, bool) {
+	norm, tte, isTTE := spec.normalized()
+	cb := canonPool.Get().(*canonBuf)
+	b, ok := appendCanonical(cb.buf[:0], norm, tte, isTTE)
+	var key CacheKey
+	if ok {
+		key = sha256.Sum256(b)
+	}
+	cb.buf = b // keep the grown capacity for the next request
+	canonPool.Put(cb)
+	return key, ok
+}
+
+// scrubString is scrubUTF8 for one field; strings.ToValidUTF8 returns its
+// input unchanged (no copy) when it is already valid, which is every
+// string that arrived through the JSON decoder.
+func scrubString(s string) string { return strings.ToValidUTF8(s, "�") }
+
+// normalized is withDefaults without the *TTEParams allocation: the TTE
+// block is returned by value (meaningful only when isTTE) and the
+// returned spec always carries a nil TTE pointer. withDefaults wraps it;
+// the hot path uses it directly.
+func (s JobSpec) normalized() (norm JobSpec, tte TTEParams, isTTE bool) {
+	s.Kind = scrubString(s.Kind)
+	s.Profile = scrubString(s.Profile)
+	s.Workload = scrubString(s.Workload)
+	s.Policy = scrubString(s.Policy)
+	s.BigChemistry = scrubString(s.BigChemistry)
+	s.LittleChemistry = scrubString(s.LittleChemistry)
+	s.FaultPlan = scrubString(s.FaultPlan)
+
+	if s.Kind == "sim" {
+		s.Kind = "" // canonicalize: both spellings mean a simulation job
+	}
+	if s.Profile == "" {
+		s.Profile = "Nexus"
+	}
+	if s.Workload == "" {
+		s.Workload = "video"
+	}
+	if s.DT == 0 {
+		s.DT = 0.25
+	}
+	if s.Kind == "tte" {
+		// TTE jobs ignore the policy/pack/cycle/fault knobs; zero them so
+		// spelling variants can't fragment the content-addressed cache.
+		s.Policy, s.ThresholdW = "", 0
+		s.BigChemistry, s.LittleChemistry = "", ""
+		s.BigMAh, s.LittleMAh = 0, 0
+		s.MaxTimeS = 0
+		s.Cycles = 0
+		s.FaultPlan = ""
+		s.AmbientC = 0
+		var t TTEParams
+		if s.TTE != nil {
+			t = *s.TTE // never mutate the caller's block through the pointer
+			t.Chemistry = scrubString(t.Chemistry)
+		}
+		if t.HorizonS == 0 {
+			t.HorizonS = 86400
+		}
+		if t.Chemistry == "" {
+			t.Chemistry = "NCA"
+		}
+		if t.MAh == 0 {
+			t.MAh = 2500
+		}
+		if t.NoiseTauS == 0 {
+			t.NoiseTauS = 60
+		}
+		s.TTE = nil
+		return s, t, true
+	}
+	s.TTE = nil // sim jobs carry no TTE parameters
+	if s.Policy == "" {
+		s.Policy = "capman"
+	}
+	if s.BigChemistry == "" {
+		s.BigChemistry = "NCA"
+	}
+	if s.LittleChemistry == "" {
+		s.LittleChemistry = "LMO"
+	}
+	if s.BigMAh == 0 {
+		s.BigMAh = 2500
+	}
+	if s.LittleMAh == 0 {
+		s.LittleMAh = 2500
+	}
+	if s.MaxTimeS == 0 {
+		s.MaxTimeS = 1e6
+	}
+	if s.Cycles == 0 {
+		s.Cycles = 1
+	}
+	if s.FaultPlan == "none" {
+		s.FaultPlan = "" // canonicalize: both spellings mean fault-free
+	}
+	return s, TTEParams{}, false
+}
+
+// canonEnc is the canonical-JSON field emitter. It is a plain value
+// struct (not closures) so the encoder state stays on the stack and the
+// hot path performs zero heap allocations beyond the pooled buffer.
+type canonEnc struct {
+	b     []byte
+	first bool
+	ok    bool
+}
+
+func (e *canonEnc) field(name string) {
+	if !e.first {
+		e.b = append(e.b, ',')
+	}
+	e.first = false
+	e.b = append(e.b, '"')
+	e.b = append(e.b, name...)
+	e.b = append(e.b, '"', ':')
+}
+
+func (e *canonEnc) str(name, v string, omitEmpty bool) {
+	if omitEmpty && v == "" {
+		return
+	}
+	e.field(name)
+	e.b = appendJSONString(e.b, v)
+}
+
+func (e *canonEnc) num(name string, v float64, omitEmpty bool) {
+	if omitEmpty && v == 0 {
+		return
+	}
+	e.field(name)
+	var fok bool
+	e.b, fok = appendJSONFloat(e.b, v)
+	e.ok = e.ok && fok
+}
+
+func (e *canonEnc) integer(name string, v int64, omitEmpty bool) {
+	if omitEmpty && v == 0 {
+		return
+	}
+	e.field(name)
+	e.b = strconv.AppendInt(e.b, v, 10)
+}
+
+func (e *canonEnc) boolean(name string, v, omitEmpty bool) {
+	if omitEmpty && !v {
+		return
+	}
+	e.field(name)
+	e.b = strconv.AppendBool(e.b, v)
+}
+
+// appendCanonical appends the canonical JSON encoding of a normalized
+// spec — byte-identical to json.Marshal of the withDefaults form. Field
+// order and omitempty behavior mirror the JobSpec/TTEParams struct tags;
+// keep all three in sync. ok is false for non-finite floats, which
+// json.Marshal rejects with an error.
+func appendCanonical(b []byte, s JobSpec, tte TTEParams, isTTE bool) ([]byte, bool) {
+	e := canonEnc{b: b, first: true, ok: true}
+	e.b = append(e.b, '{')
+	e.str("kind", s.Kind, true)
+	e.str("profile", s.Profile, false)
+	e.str("workload", s.Workload, false)
+	e.integer("seed", s.Seed, false)
+	e.num("eta", s.Eta, true)
+	e.num("periodS", s.PeriodS, true)
+	e.str("policy", s.Policy, false)
+	e.num("thresholdW", s.ThresholdW, true)
+	e.str("bigChemistry", s.BigChemistry, true)
+	e.str("littleChemistry", s.LittleChemistry, true)
+	e.num("bigMAh", s.BigMAh, true)
+	e.num("littleMAh", s.LittleMAh, true)
+	e.boolean("disableTEC", s.DisableTEC, true)
+	e.num("ambientC", s.AmbientC, true)
+	e.num("dt", s.DT, true)
+	e.num("maxTimeS", s.MaxTimeS, true)
+	e.integer("cycles", int64(s.Cycles), true)
+	e.str("faultPlan", s.FaultPlan, true)
+	if isTTE {
+		e.field("tte")
+		e.b = append(e.b, '{')
+		e.first = true
+		e.integer("twins", int64(tte.Twins), true)
+		e.num("horizonS", tte.HorizonS, true)
+		e.str("chemistry", tte.Chemistry, true)
+		e.num("mAh", tte.MAh, true)
+		e.num("loadNoiseFrac", tte.LoadNoiseFrac, true)
+		e.num("ambientNoiseC", tte.AmbientNoiseC, true)
+		e.num("noiseTauS", tte.NoiseTauS, true)
+		e.b = append(e.b, '}')
+	}
+	e.b = append(e.b, '}')
+	return e.b, e.ok
+}
+
+// appendJSONFloat encodes one float64 exactly as encoding/json does:
+// shortest 'f' form, switching to 'e' outside [1e-6, 1e21) with the
+// exponent's leading zero stripped. Non-finite values report ok=false
+// (json.Marshal fails on them).
+func appendJSONFloat(b []byte, f float64) ([]byte, bool) {
+	if math.IsInf(f, 0) || math.IsNaN(f) {
+		return b, false
+	}
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	b = strconv.AppendFloat(b, f, format, -1, 64)
+	if format == 'e' {
+		// clean up e-09 to e-9, as encoding/json does
+		n := len(b)
+		if n >= 4 && b[n-4] == 'e' && b[n-3] == '-' && b[n-2] == '0' {
+			b[n-2] = b[n-1]
+			b = b[:n-1]
+		}
+	}
+	return b, true
+}
+
+const jsonHex = "0123456789abcdef"
+
+// appendJSONString encodes one string exactly as encoding/json with its
+// default HTML escaping: `<`, `>`, `&` become </>/&,
+// control characters become \n, \r, \t, \b, \f or \u00xx, and U+2028/U+2029 are
+// escaped for JavaScript embedding. Input is valid UTF-8 (normalized
+// specs are scrubbed), so no � replacement is needed.
+func appendJSONString(b []byte, s string) []byte {
+	b = append(b, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		c := s[i]
+		if c < 0x80 {
+			if c >= 0x20 && c != '"' && c != '\\' && c != '<' && c != '>' && c != '&' {
+				i++
+				continue
+			}
+			b = append(b, s[start:i]...)
+			switch c {
+			case '\\', '"':
+				b = append(b, '\\', c)
+			case '\n':
+				b = append(b, '\\', 'n')
+			case '\r':
+				b = append(b, '\\', 'r')
+			case '\t':
+				b = append(b, '\\', 't')
+			case '\b':
+				b = append(b, '\\', 'b')
+			case '\f':
+				b = append(b, '\\', 'f')
+			default:
+				// Other control characters and the HTML-sensitive trio.
+				b = append(b, '\\', 'u', '0', '0', jsonHex[c>>4], jsonHex[c&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		// Multibyte rune. U+2028 and U+2029 are E2 80 A8 / E2 80 A9.
+		if c == 0xE2 && i+2 < len(s) && s[i+1] == 0x80 && s[i+2]&^1 == 0xA8 {
+			b = append(b, s[start:i]...)
+			b = append(b, '\\', 'u', '2', '0', '2', jsonHex[s[i+2]&0xF])
+			i += 3
+			start = i
+			continue
+		}
+		i++
+	}
+	b = append(b, s[start:]...)
+	b = append(b, '"')
+	return b
+}

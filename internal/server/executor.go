@@ -2,12 +2,15 @@ package server
 
 import (
 	"context"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"log/slog"
 	"math/rand"
 	"runtime"
+	"runtime/pprof"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/invariant"
@@ -32,7 +35,25 @@ var (
 	ErrNotFound  = errors.New("server: no such job")
 	ErrQueueFull = errors.New("server: queue full")
 	ErrDraining  = errors.New("server: draining, not accepting jobs")
+	// ErrShed matches (via errors.Is) submissions rejected by the admission
+	// gate; the concrete error is always a *ShedError carrying the reason
+	// and the suggested Retry-After.
+	ErrShed = errors.New("server: shedding load")
 )
+
+// ShedError is an admission-gate rejection: the daemon is overloaded
+// (queue past its watermark, or an SLO burn-rate breach armed the gate)
+// and the client should retry after RetryAfter. Mapped to HTTP 429.
+type ShedError struct {
+	Reason     string // "queue-depth" or "burn-rate", the capmand_shed_total label
+	RetryAfter time.Duration
+}
+
+func (e *ShedError) Error() string {
+	return fmt.Sprintf("server: shedding load (%s); retry in %s", e.Reason, e.RetryAfter)
+}
+
+func (e *ShedError) Is(target error) bool { return target == ErrShed }
 
 // ErrRetryable marks transient job failures: a job whose error wraps it
 // (or implements Retryable() bool) is re-run with backoff up to
@@ -76,8 +97,17 @@ type ExecutorConfig struct {
 	// load after consecutive failures (see BreakerConfig for defaults).
 	Breaker BreakerConfig
 	// CacheSize bounds the content-addressed result cache (default 256;
-	// negative disables caching).
+	// negative disables caching). The cache is sharded across up to 16
+	// power-of-two shards sized from this capacity.
 	CacheSize int
+	// ShedQueueWatermark arms the queue-depth admission gate: submissions
+	// that would have to queue while the backlog is at or past this depth
+	// are rejected with a *ShedError (HTTP 429) instead of waiting for the
+	// queue to fill completely. Zero disables the gate.
+	ShedQueueWatermark int
+	// ShedRetryAfter is the Retry-After hint attached to shed responses
+	// (default 1s).
+	ShedRetryAfter time.Duration
 	// QueueWaitWarn is the queue-wait threshold above which a dequeued
 	// job logs a warning (with its request ID) and increments
 	// capmand_queue_wait_warnings_total (default 30s; negative disables).
@@ -137,6 +167,9 @@ func (c ExecutorConfig) withDefaults() ExecutorConfig {
 	if c.QueueWaitWarn == 0 {
 		c.QueueWaitWarn = 30 * time.Second
 	}
+	if c.ShedRetryAfter <= 0 {
+		c.ShedRetryAfter = time.Second
+	}
 	if c.QueueWaitWarn < 0 {
 		c.QueueWaitWarn = 0 // any negative value means "never warn"
 	}
@@ -157,29 +190,42 @@ func (c ExecutorConfig) withDefaults() ExecutorConfig {
 
 // Executor owns the job table and the bounded worker pool that drains the
 // FIFO queue. Concurrent identical submissions coalesce onto one in-flight
-// job (single flight), and finished outcomes are served from the
-// content-addressed cache.
+// job (single flight, tracked per cache shard), and finished outcomes are
+// served from the content-addressed cache — the hot path touches only a
+// shard lock and allocates nothing.
+//
+// Lock order: e.mu before any cacheShard.mu; the shard locks are leaves.
+// Every single-flight mutation (setFlight/clearFlight and the coalesce
+// check) happens with e.mu held, so the flight table and the job table
+// can never disagree; the Submit fast path takes only the shard lock.
 type Executor struct {
-	registry   *Registry
-	metrics    *Metrics
-	cache      *Cache
-	timeout    time.Duration
-	maxRetries int
-	retryBase  time.Duration
-	queueWarn  time.Duration
-	breakers   *breakerSet
-	logger     *slog.Logger
-	flightOff  bool
-	flightLen  int
-	invariants *invariant.Config                                          // nil when DisableInvariants
-	stream     *tsdb.Bus                                                  // nil: no live event stream
-	runFn      func(context.Context, JobSpec, resolved) (*Outcome, error) // test seam
+	registry       *Registry
+	metrics        *Metrics
+	cache          *Cache
+	timeout        time.Duration
+	maxRetries     int
+	retryBase      time.Duration
+	queueWarn      time.Duration
+	shedWatermark  int
+	shedRetryAfter time.Duration
+	breakers       *breakerSet
+	logger         *slog.Logger
+	flightOff      bool
+	flightLen      int
+	invariants     *invariant.Config                                          // nil when DisableInvariants
+	stream         *tsdb.Bus                                                  // nil: no live event stream
+	runFn          func(context.Context, JobSpec, resolved) (*Outcome, error) // test seam
 
-	mu       sync.Mutex
-	jobs     map[string]*Job
-	inflight map[string]*Job // content hash → queued or running job
-	seq      int
-	draining bool
+	// draining is read lock-free on the Submit fast path; it is only ever
+	// set under e.mu (Drain), which also serializes the queue close.
+	draining atomic.Bool
+	// shedUntil is the burn-rate gate: a unix-nano deadline until which
+	// new work is shed. Written by ShedFor (CAS max), read lock-free.
+	shedUntil atomic.Int64
+
+	mu   sync.Mutex
+	jobs map[string]*Job
+	seq  int
 
 	queue chan *Job
 	wg    sync.WaitGroup
@@ -189,23 +235,24 @@ type Executor struct {
 func NewExecutor(cfg ExecutorConfig) *Executor {
 	cfg = cfg.withDefaults()
 	e := &Executor{
-		registry:   cfg.Registry,
-		metrics:    cfg.Metrics,
-		cache:      NewCache(cfg.CacheSize),
-		timeout:    cfg.JobTimeout,
-		maxRetries: cfg.MaxRetries,
-		retryBase:  cfg.RetryBaseDelay,
-		queueWarn:  cfg.QueueWaitWarn,
-		breakers:   newBreakerSet(cfg.Breaker),
-		logger:     cfg.Logger,
-		flightOff:  cfg.DisableFlight,
-		flightLen:  cfg.FlightEvents,
-		invariants: cfg.Invariants,
-		stream:     cfg.Stream,
-		runFn:      runJob,
-		jobs:       make(map[string]*Job),
-		inflight:   make(map[string]*Job),
-		queue:      make(chan *Job, cfg.QueueDepth),
+		registry:       cfg.Registry,
+		metrics:        cfg.Metrics,
+		cache:          NewShardedCache(cfg.CacheSize, cacheShardsFor(cfg.CacheSize)),
+		timeout:        cfg.JobTimeout,
+		maxRetries:     cfg.MaxRetries,
+		retryBase:      cfg.RetryBaseDelay,
+		queueWarn:      cfg.QueueWaitWarn,
+		shedWatermark:  cfg.ShedQueueWatermark,
+		shedRetryAfter: cfg.ShedRetryAfter,
+		breakers:       newBreakerSet(cfg.Breaker),
+		logger:         cfg.Logger,
+		flightOff:      cfg.DisableFlight,
+		flightLen:      cfg.FlightEvents,
+		invariants:     cfg.Invariants,
+		stream:         cfg.Stream,
+		runFn:          runJob,
+		jobs:           make(map[string]*Job),
+		queue:          make(chan *Job, cfg.QueueDepth),
 	}
 	if e.maxRetries < 0 {
 		e.maxRetries = 0
@@ -239,48 +286,62 @@ func (e *Executor) notify(job *Job, typ, detail string) {
 }
 
 // Submit validates and enqueues one job, returning its snapshot. A spec
-// whose outcome is already cached returns an immediately-done job marked
-// as a cache hit; a spec identical to a queued or running job coalesces
-// onto that job instead of enqueueing a duplicate. A registry entry whose
-// recent jobs kept failing is shed with ErrBreakerOpen — but cache hits
-// and coalesced submissions still succeed, since they run nothing.
+// whose outcome is already cached is served straight from the shard — a
+// terminal cache-hit View with no job ID, since nothing was minted; the
+// steady-state hit path performs zero heap allocations (pooled canonical
+// buffer, stack hash, shard-lock lookup). A spec identical to a queued or
+// running job coalesces onto that job instead of enqueueing a duplicate.
+// A registry entry whose recent jobs kept failing is shed with
+// ErrBreakerOpen, and an overloaded daemon sheds new work with *ShedError
+// — but cache hits and coalesced submissions still succeed, since they
+// run nothing.
 func (e *Executor) Submit(spec JobSpec) (View, error) {
+	if e.draining.Load() {
+		return View{}, ErrDraining
+	}
+	key, ok := specKey(spec)
+	if !ok {
+		// Non-finite floats: surface the oracle's canonicalization error.
+		if _, err := spec.Canonical(); err != nil {
+			return View{}, err
+		}
+		return View{}, fmt.Errorf("%w: spec not canonicalizable", ErrBadSpec)
+	}
+	if ent, hit := e.cache.lookup(key); hit {
+		e.metrics.JobsSubmitted.Inc()
+		e.metrics.CacheHits.Inc()
+		return ent.hitView(time.Now()), nil
+	}
+	return e.submitSlow(spec, key)
+}
+
+// submitSlow is the cache-miss continuation of Submit: resolve through
+// the registry, then under the executor lock re-check the cache (a
+// concurrent worker may have just published), coalesce onto an in-flight
+// job, pass the admission gates, and enqueue.
+func (e *Executor) submitSlow(spec JobSpec, key CacheKey) (View, error) {
 	cfg, err := e.resolve(spec)
 	if err != nil {
 		return View{}, err
 	}
 	spec = spec.withDefaults()
-	hash, err := spec.Hash()
-	if err != nil {
-		return View{}, err
-	}
+	hash := hex.EncodeToString(key[:])
 	reqID := obs.NewRequestID()
 	log := e.logger.With("request_id", reqID)
 
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.draining {
+	if e.draining.Load() {
 		return View{}, ErrDraining
 	}
 	e.metrics.JobsSubmitted.Inc()
 
-	if out, ok := e.cache.Get(hash); ok {
+	if ent, ok := e.cache.lookup(key); ok { // published since the fast path
 		e.metrics.CacheHits.Inc()
-		now := time.Now()
-		job := &Job{
-			ID: e.nextID(), RequestID: reqID, Hash: hash, Spec: spec,
-			State: StateDone, Outcome: out, CacheHit: true,
-			SubmittedAt: now, StartedAt: now, FinishedAt: now,
-		}
-		job.timeline.add(EventSubmitted, specDetail(spec))
-		job.timeline.add(EventCacheHit, "served from result cache")
-		job.timeline.add(EventDone, "")
-		e.jobs[job.ID] = job
-		e.notify(job, EventDone, "served from result cache")
-		log.Info("job served from cache", "job_id", job.ID, "hash", short(hash))
-		return job.view(), nil
+		log.Info("job served from cache", "hash", short(hash))
+		return ent.hitView(time.Now()), nil
 	}
-	if job, ok := e.inflight[hash]; ok {
+	if job, ok := e.cache.flight(key); ok {
 		e.metrics.CacheHits.Inc()
 		job.timeline.add(EventCoalesced, "request "+reqID+" coalesced onto this job")
 		e.notify(job, EventCoalesced, "request "+reqID+" coalesced onto this job")
@@ -288,34 +349,71 @@ func (e *Executor) Submit(spec JobSpec) (View, error) {
 			"job_id", job.ID, "job_request_id", job.RequestID, "hash", short(hash))
 		return job.view(), nil
 	}
-	key := breakerKey(spec)
-	if err := e.breakers.Admit(key); err != nil {
-		log.Warn("submission shed by open circuit breaker", "entry", key)
+	if reason := e.shedReason(); reason != "" {
+		e.metrics.Shed.WithLabelValues(reason).Inc()
+		log.Warn("submission shed by admission gate",
+			"reason", reason, "queue_depth", len(e.queue), "retry_after", e.shedRetryAfter.String())
+		return View{}, &ShedError{Reason: reason, RetryAfter: e.shedRetryAfter}
+	}
+	bkey := breakerKey(spec)
+	if err := e.breakers.Admit(bkey); err != nil {
+		log.Warn("submission shed by open circuit breaker", "entry", bkey)
 		return View{}, err
 	}
 	e.metrics.CacheMisses.Inc()
 
 	job := &Job{
-		ID: e.nextID(), RequestID: reqID, Hash: hash, Spec: spec,
+		ID: e.nextID(), RequestID: reqID, Hash: hash, Spec: spec, key: key,
 		State: StateQueued, SubmittedAt: time.Now(), cfg: cfg,
 	}
 	job.timeline.add(EventSubmitted, specDetail(spec))
 	select {
 	case e.queue <- job:
 	default:
-		e.breakers.AbortProbe(key) // don't leak a half-open probe slot
+		e.breakers.AbortProbe(bkey) // don't leak a half-open probe slot
 		e.metrics.JobsFailed.Inc()
 		log.Warn("submission rejected: queue full", "depth", cap(e.queue))
 		return View{}, fmt.Errorf("%w (depth %d)", ErrQueueFull, cap(e.queue))
 	}
 	job.timeline.add(EventQueued, fmt.Sprintf("position %d", len(e.queue)))
 	e.jobs[job.ID] = job
-	e.inflight[hash] = job
+	e.cache.setFlight(key, job)
 	e.notify(job, EventSubmitted, specDetail(spec))
 	e.metrics.QueueDepth.Set(int64(len(e.queue)))
 	log.Info("job submitted", "job_id", job.ID, "hash", short(hash),
 		"workload", spec.Workload, "policy", spec.Policy, "queue_depth", len(e.queue))
 	return job.view(), nil
+}
+
+// shedReason evaluates the admission gate, cheapest check first; empty
+// means admit. Callers hold e.mu (len(e.queue) is racy but monotone
+// enough for a watermark either way).
+func (e *Executor) shedReason() string {
+	if e.shedWatermark > 0 && len(e.queue) >= e.shedWatermark {
+		return "queue-depth"
+	}
+	if until := e.shedUntil.Load(); until != 0 && time.Now().UnixNano() < until {
+		return "burn-rate"
+	}
+	return ""
+}
+
+// ShedFor arms the burn-rate admission gate for the next d: new work
+// (cache hits and coalesced submissions excepted) is rejected with a
+// *ShedError until the deadline passes. Deadlines only ratchet forward —
+// concurrent callers keep the farthest one. The SLO watchdog calls this
+// on breach when SLOConfig.ShedOnBurn is set.
+func (e *Executor) ShedFor(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	deadline := time.Now().Add(d).UnixNano()
+	for {
+		cur := e.shedUntil.Load()
+		if cur >= deadline || e.shedUntil.CompareAndSwap(cur, deadline) {
+			return
+		}
+	}
 }
 
 // resolve builds a spec's executable form through the registry, branching
@@ -407,7 +505,7 @@ func (e *Executor) Cancel(id string) (View, error) {
 		job.FinishedAt = time.Now()
 		job.timeline.add(EventCancelled, "cancelled while queued")
 		e.notify(job, EventCancelled, "cancelled while queued")
-		delete(e.inflight, job.Hash)
+		e.cache.clearFlight(job.key, job)
 		e.metrics.JobsCancelled.Inc()
 		e.logger.Info("job cancelled while queued",
 			"request_id", job.RequestID, "job_id", job.ID)
@@ -521,22 +619,41 @@ func (e *Executor) worker() {
 				})
 		}
 
+		// Label the execution for CPU profiles: with -pprof, samples segment
+		// by job kind and the request that submitted the work.
+		kind := "sim"
+		if cfg.twin != nil {
+			kind = "tte"
+		}
+		var (
+			out      *Outcome
+			attempts int
+			err      error
+		)
 		e.metrics.WorkersBusy.Add(1)
-		out, attempts, err := e.runWithRetries(ctx, job, spec, cfg)
+		pprof.Do(ctx, pprof.Labels("kind", kind, "request_id", job.RequestID),
+			func(ctx context.Context) {
+				out, attempts, err = e.runWithRetries(ctx, job, spec, cfg)
+			})
 		cancel()
 		e.metrics.WorkersBusy.Add(-1)
+		if err == nil {
+			// Encode the outcome once, outside the lock, so every future
+			// cache hit reuses the bytes instead of re-marshaling.
+			out.primeRaw()
+		}
 
 		e.mu.Lock()
 		job.Attempts = attempts
 		job.FinishedAt = time.Now()
-		delete(e.inflight, job.Hash)
+		e.cache.clearFlight(job.key, job)
 		switch {
 		case err == nil:
 			job.State = StateDone
 			job.Outcome = out
 			job.timeline.add(EventDone, fmt.Sprintf("%d attempt(s)", attempts))
 			e.notify(job, EventDone, fmt.Sprintf("%d attempt(s)", attempts))
-			e.cache.Put(job.Hash, out)
+			e.cache.putOutcome(job, out)
 			e.metrics.JobsCompleted.Inc()
 		case errors.Is(err, context.Canceled):
 			job.State = StateCancelled
@@ -807,9 +924,8 @@ func (e *Executor) Drain(ctx context.Context) error {
 			running++
 		}
 	}
-	if !e.draining {
-		e.draining = true
-		close(e.queue)
+	if !e.draining.Swap(true) {
+		close(e.queue) // e.mu serializes the close against queue sends
 	}
 	e.mu.Unlock()
 	e.logger.Info("drain started", "queued", queued, "running", running)
@@ -836,7 +952,7 @@ func (e *Executor) Drain(ctx context.Context) error {
 				job.FinishedAt = time.Now()
 				job.timeline.add(EventCancelled, "drain budget exhausted")
 				e.notify(job, EventCancelled, "drain budget exhausted")
-				delete(e.inflight, job.Hash)
+				e.cache.clearFlight(job.key, job)
 				e.metrics.JobsCancelled.Inc()
 				cancelled++
 			}

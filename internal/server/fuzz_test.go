@@ -44,6 +44,17 @@ func FuzzCanonicalSpec(f *testing.F) {
 		if err != nil {
 			t.Fatalf("canonicalize: %v", err)
 		}
+		// Differential: the zero-alloc encoder on the admission hot path
+		// must agree byte-for-byte with the json.Marshal oracle, or one job
+		// would hash to two different cache keys depending on the path.
+		norm, tteParams, isTTE := spec.normalized()
+		fast, ok := appendCanonical(nil, norm, tteParams, isTTE)
+		if !ok {
+			t.Fatalf("appendCanonical bailed on an oracle-encodable spec:\n%s", canon)
+		}
+		if !bytes.Equal(fast, canon) {
+			t.Errorf("zero-alloc encoder diverged from oracle:\nfast:   %s\noracle: %s", fast, canon)
+		}
 		var round JobSpec
 		if err := json.Unmarshal(canon, &round); err != nil {
 			t.Fatalf("canonical bytes do not decode: %v\n%s", err, canon)

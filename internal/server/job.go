@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"encoding/json"
 	"time"
 
 	"repro/internal/sim"
@@ -35,6 +36,37 @@ type Outcome struct {
 	Run    *sim.Result       `json:"run,omitempty"`
 	Cycles *sim.CyclesResult `json:"cycles,omitempty"`
 	TTE    *twin.Summary     `json:"tte,omitempty"`
+
+	// raw is the outcome's JSON encoding, primed once by the worker that
+	// produced it (primeRaw) so every cache hit reuses the bytes instead
+	// of re-marshaling a large result. Never written after publication.
+	raw []byte
+}
+
+// outcomePlain strips Outcome's methods so primeRaw/MarshalJSON can use
+// the stock struct encoding without recursing.
+type outcomePlain Outcome
+
+// primeRaw encodes the outcome once and memoizes the bytes. Idempotent;
+// called by the worker before the outcome is published, so raw needs no
+// lock afterwards.
+func (o *Outcome) primeRaw() {
+	if o == nil || o.raw != nil {
+		return
+	}
+	if b, err := json.Marshal((*outcomePlain)(o)); err == nil {
+		o.raw = b
+	}
+}
+
+// MarshalJSON serves the primed bytes when present, falling back to stock
+// encoding for outcomes that never passed through a worker (tests,
+// legacy Put callers).
+func (o *Outcome) MarshalJSON() ([]byte, error) {
+	if o.raw != nil {
+		return o.raw, nil
+	}
+	return json.Marshal((*outcomePlain)(o))
 }
 
 // Job is one submitted simulation. All mutable fields are guarded by the
@@ -48,6 +80,9 @@ type Job struct {
 	RequestID string
 	Hash      string
 	Spec      JobSpec
+	// key is the raw content address (Hash is its hex form); the cache is
+	// indexed by it so completion paths never re-decode the hex string.
+	key CacheKey
 
 	State    State
 	Err      string

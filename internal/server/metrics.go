@@ -73,6 +73,10 @@ type Metrics struct {
 	// SLOBreaches counts watchdog burn-rate breaches, labeled by objective.
 	SLOBreaches *metrics.CounterVec
 
+	// Shed counts submissions rejected by the admission gate before any
+	// work was queued, by reason (queue-depth, burn-rate).
+	Shed *metrics.CounterVec
+
 	// BreakerStates, when set (the executor installs it), enumerates the
 	// per-registry-entry circuit breakers for the labeled breaker_state
 	// gauge: 0 closed, 1 half-open, 2 open.
@@ -154,6 +158,9 @@ func NewMetrics() *Metrics {
 
 		SLOBreaches: reg.CounterVec("capmand_slo_breach_total",
 			"SLO watchdog burn-rate breaches, by objective.", "slo"),
+
+		Shed: reg.CounterVec("capmand_shed_total",
+			"Submissions shed by the admission gate, by reason.", "reason"),
 	}
 	reg.LabeledGaugeFunc("capmand_breaker_state",
 		"Per-registry-entry circuit breaker state (0 closed, 1 half-open, 2 open).",

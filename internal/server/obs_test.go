@@ -420,8 +420,8 @@ func TestQueueWaitWarning(t *testing.T) {
 }
 
 // TestEventsEndpoint exercises GET /v1/jobs/{id}/events over HTTP,
-// including the cache-hit path where a second submission's timeline
-// records the hit instead of a queue/run cycle.
+// including the cache-hit path, which mints no job at all: the hit view
+// has no ID, and the original job's timeline is untouched by the hit.
 func TestEventsEndpoint(t *testing.T) {
 	srv := New(Config{Executor: ExecutorConfig{Workers: 1}})
 	t.Cleanup(func() {
@@ -447,7 +447,8 @@ func TestEventsEndpoint(t *testing.T) {
 		t.Errorf("HTTP lifecycle = %v", got)
 	}
 
-	// Resubmit: the cache serves it, and the new job's timeline says so.
+	// Resubmit: the cache serves it without minting a job, so the hit view
+	// carries no ID and the original timeline stays exactly as it was.
 	hit, err := srv.Executor().Submit(fastSpec())
 	if err != nil {
 		t.Fatal(err)
@@ -455,11 +456,13 @@ func TestEventsEndpoint(t *testing.T) {
 	if !hit.CacheHit {
 		t.Fatal("resubmission was not a cache hit")
 	}
-	var hitTL Timeline
-	getJSON(t, ts.URL+"/v1/jobs/"+hit.ID+"/events", &hitTL)
-	types := eventTypes(hitTL.Events)
-	if strings.Join(types, ",") != strings.Join([]string{EventSubmitted, EventCacheHit, EventDone}, ",") {
-		t.Errorf("cache-hit lifecycle = %v", types)
+	if hit.ID != "" {
+		t.Errorf("cache hit minted job %q; hits should not create jobs", hit.ID)
+	}
+	var afterTL Timeline
+	getJSON(t, ts.URL+"/v1/jobs/"+v.ID+"/events", &afterTL)
+	if got, want := eventTypes(afterTL.Events), eventTypes(tl.Events); strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("original timeline changed by a cache hit: %v, was %v", got, want)
 	}
 
 	resp, err := ts.Client().Get(ts.URL + "/v1/jobs/nope/events")

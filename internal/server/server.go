@@ -1,6 +1,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -10,6 +11,8 @@ import (
 	"net/http/pprof"
 	"runtime"
 	"runtime/debug"
+	"strconv"
+	"sync"
 	"time"
 
 	"repro/internal/obs"
@@ -67,6 +70,10 @@ type SLOConfig struct {
 	// MaxBurn is the burn rate above which a breach fires (default 1.0,
 	// i.e. burning the error budget exactly as fast as it accrues).
 	MaxBurn float64
+	// ShedOnBurn additionally arms the executor's admission gate on every
+	// breach: new submissions are shed with 429 (reason "burn-rate") for
+	// one evaluation interval, long enough to reach the next verdict.
+	ShedOnBurn bool
 }
 
 // Server is capmand's HTTP surface:
@@ -159,6 +166,13 @@ func New(cfg Config) *Server {
 		})
 	}
 	if len(objectives) > 0 {
+		shedFor := time.Duration(0)
+		if cfg.SLO.ShedOnBurn {
+			shedFor = cfg.SLO.Interval
+			if shedFor <= 0 {
+				shedFor = 15 * time.Second // the watchdog's default cadence
+			}
+		}
 		s.watchdog = metrics.NewWatchdog(metrics.WatchdogConfig{
 			Interval: cfg.SLO.Interval,
 			Window:   cfg.SLO.Window,
@@ -166,6 +180,9 @@ func New(cfg Config) *Server {
 			Logger:   ecfg.Logger,
 			OnBreach: func(b metrics.Breach) {
 				s.metrics.SLOBreaches.WithLabelValues(b.SLO).Inc()
+				if shedFor > 0 {
+					s.exec.ShedFor(shedFor)
+				}
 			},
 		}, objectives...)
 		s.watchdog.Start()
@@ -238,7 +255,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	view, err := s.exec.Submit(spec)
 	if err != nil {
-		writeError(w, statusFor(err), err)
+		writeSubmitError(w, err)
 		return
 	}
 	status := http.StatusAccepted
@@ -268,7 +285,7 @@ func (s *Server) handleTTE(w http.ResponseWriter, r *http.Request) {
 	spec.Kind = "tte"
 	view, err := s.exec.Submit(spec)
 	if err != nil {
-		writeError(w, statusFor(err), err)
+		writeSubmitError(w, err)
 		return
 	}
 	status := http.StatusAccepted
@@ -374,6 +391,8 @@ func statusFor(err error) int {
 		return http.StatusNotFound
 	case errors.Is(err, ErrBadSpec):
 		return http.StatusBadRequest
+	case errors.Is(err, ErrShed):
+		return http.StatusTooManyRequests
 	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrDraining), errors.Is(err, ErrBreakerOpen):
 		return http.StatusServiceUnavailable
 	default:
@@ -381,10 +400,56 @@ func statusFor(err error) int {
 	}
 }
 
+// writeSubmitError is writeError plus the Retry-After header that shed
+// (429) responses carry, telling well-behaved clients when to come back.
+func writeSubmitError(w http.ResponseWriter, err error) {
+	var sh *ShedError
+	if errors.As(err, &sh) {
+		secs := int(sh.RetryAfter.Seconds())
+		if secs < 1 {
+			secs = 1 // Retry-After is integer seconds; round sub-second hints up
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+	}
+	writeError(w, statusFor(err), err)
+}
+
+// respBuf is a pooled response-encoding buffer: writeJSON encodes into it
+// and copies once to the wire, so the per-request encoder allocation and
+// its growth churn disappear at high RPS.
+type respBuf struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var respPool = sync.Pool{
+	New: func() any {
+		b := &respBuf{}
+		b.enc = json.NewEncoder(&b.buf)
+		return b
+	},
+}
+
+// maxPooledResponse caps what writeJSON returns to the pool; a giant
+// outcome body shouldn't pin its buffer forever.
+const maxPooledResponse = 1 << 20
+
 func writeJSON(w http.ResponseWriter, status int, v any) {
+	b := respPool.Get().(*respBuf)
+	b.buf.Reset()
+	if err := b.enc.Encode(v); err != nil {
+		respPool.Put(b)
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		fmt.Fprintf(w, `{"error":%q}`+"\n", "encode response: "+err.Error())
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	_ = json.NewEncoder(w).Encode(v)
+	_, _ = w.Write(b.buf.Bytes())
+	if b.buf.Cap() <= maxPooledResponse {
+		respPool.Put(b)
+	}
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {

@@ -13,7 +13,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"strings"
 
 	"repro/internal/fault"
 )
@@ -115,97 +114,22 @@ const (
 // Spec errors.
 var ErrBadSpec = errors.New("server: invalid job spec")
 
-// scrubUTF8 replaces invalid UTF-8 in the spec's string fields with the
-// replacement rune — exactly what the JSON round trip through the wire does.
-// Without it Canonical would not be a fixed point for in-process callers:
-// json.Marshal escapes an invalid byte as the six-byte sequence \ufffd,
-// which decodes to the actual replacement rune and re-encodes as different
-// bytes, splitting one job across two cache keys.
-func (s *JobSpec) scrubUTF8() {
-	for _, p := range []*string{
-		&s.Kind, &s.Profile, &s.Workload, &s.Policy,
-		&s.BigChemistry, &s.LittleChemistry, &s.FaultPlan,
-	} {
-		*p = strings.ToValidUTF8(*p, "�")
-	}
-	if s.TTE != nil {
-		t := *s.TTE // never mutate the caller's block through the pointer
-		t.Chemistry = strings.ToValidUTF8(t.Chemistry, "�")
-		s.TTE = &t
-	}
-}
-
 // withDefaults fills unset knobs so that two specs that resolve to the
-// same simulation canonicalize to the same bytes.
+// same simulation canonicalize to the same bytes. String fields are
+// scrubbed to valid UTF-8 first — exactly what the JSON round trip
+// through the wire does; without it Canonical would not be a fixed point
+// for in-process callers (json.Marshal escapes an invalid byte as the
+// six-byte sequence \ufffd, which decodes to the actual replacement rune
+// and re-encodes as different bytes, splitting one job across two cache
+// keys). The field-by-field work lives in normalized (canon.go), which
+// the zero-alloc admission path calls directly to avoid the *TTEParams
+// allocation made here.
 func (s JobSpec) withDefaults() JobSpec {
-	s.scrubUTF8()
-	if s.Kind == "sim" {
-		s.Kind = "" // canonicalize: both spellings mean a simulation job
+	n, t, isTTE := s.normalized()
+	if isTTE {
+		n.TTE = &t
 	}
-	if s.Profile == "" {
-		s.Profile = "Nexus"
-	}
-	if s.Workload == "" {
-		s.Workload = "video"
-	}
-	if s.DT == 0 {
-		s.DT = 0.25
-	}
-	if s.Kind == "tte" {
-		// TTE jobs ignore the policy/pack/cycle/fault knobs; zero them so
-		// spelling variants can't fragment the content-addressed cache.
-		s.Policy, s.ThresholdW = "", 0
-		s.BigChemistry, s.LittleChemistry = "", ""
-		s.BigMAh, s.LittleMAh = 0, 0
-		s.MaxTimeS = 0
-		s.Cycles = 0
-		s.FaultPlan = ""
-		s.AmbientC = 0
-		t := TTEParams{}
-		if s.TTE != nil {
-			t = *s.TTE
-		}
-		if t.HorizonS == 0 {
-			t.HorizonS = 86400
-		}
-		if t.Chemistry == "" {
-			t.Chemistry = "NCA"
-		}
-		if t.MAh == 0 {
-			t.MAh = 2500
-		}
-		if t.NoiseTauS == 0 {
-			t.NoiseTauS = 60
-		}
-		s.TTE = &t
-		return s
-	}
-	s.TTE = nil // sim jobs carry no TTE parameters
-	if s.Policy == "" {
-		s.Policy = "capman"
-	}
-	if s.BigChemistry == "" {
-		s.BigChemistry = "NCA"
-	}
-	if s.LittleChemistry == "" {
-		s.LittleChemistry = "LMO"
-	}
-	if s.BigMAh == 0 {
-		s.BigMAh = 2500
-	}
-	if s.LittleMAh == 0 {
-		s.LittleMAh = 2500
-	}
-	if s.MaxTimeS == 0 {
-		s.MaxTimeS = 1e6
-	}
-	if s.Cycles == 0 {
-		s.Cycles = 1
-	}
-	if s.FaultPlan == "none" {
-		s.FaultPlan = "" // canonicalize: both spellings mean fault-free
-	}
-	return s
+	return n
 }
 
 // Validate reports the first structural problem with the spec. Name

@@ -360,6 +360,12 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("streaming unsupported by this connection"))
 		return
 	}
+	// The daemon's http.Server carries Read/WriteTimeouts sized for job
+	// requests; this stream is deliberately long-lived, so lift both
+	// deadlines for this connection only.
+	rc := http.NewResponseController(w)
+	_ = rc.SetWriteDeadline(time.Time{})
+	_ = rc.SetReadDeadline(time.Time{})
 	w.Header().Set("Content-Type", "text/event-stream")
 	w.Header().Set("Cache-Control", "no-cache")
 	w.Header().Set("X-Accel-Buffering", "no")

@@ -8,13 +8,18 @@
 # single-core twin-step throughput, and the zero-allocs/step guard), then
 # the telemetry store scrape benchmark into BENCH_obs.json (ns per full
 # registry sample and the zero-allocs/tick hard gate: benchjson fails the
-# run if BenchmarkStoreSample ever allocates).
+# run if BenchmarkStoreSample ever allocates), then the serving hot-path
+# benchmarks plus a capman-loadgen run against an in-process capmand
+# into BENCH_serve.json (cache-hit admission latency with the hard
+# 0 allocs/op gate, sharded-cache read cost and contended speedup, and
+# the loadgen report: throughput, p50/p95/p99, hit rate, shed rate).
 #
 # Environment:
 #   BENCHTIME  go test -benchtime value (default 2s; use 1x for a smoke run)
 #   OUT        simstruct output path (default BENCH_simstruct.json at the repo root)
 #   OUT_TWIN   twin output path (default BENCH_twin.json at the repo root)
 #   OUT_OBS    telemetry output path (default BENCH_obs.json at the repo root)
+#   OUT_SERVE  serving output path (default BENCH_serve.json at the repo root)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -22,9 +27,11 @@ BENCHTIME="${BENCHTIME:-2s}"
 OUT="${OUT:-BENCH_simstruct.json}"
 OUT_TWIN="${OUT_TWIN:-BENCH_twin.json}"
 OUT_OBS="${OUT_OBS:-BENCH_obs.json}"
+OUT_SERVE="${OUT_SERVE:-BENCH_serve.json}"
 
 raw="$(mktemp)"
-trap 'rm -f "$raw"' EXIT
+lg_report="$(mktemp)"
+trap 'rm -f "$raw" "$lg_report"' EXIT
 
 go test -run '^$' -bench 'BenchmarkSimilarityIndexSized|BenchmarkEMD' \
     -benchmem -benchtime "$BENCHTIME" . | tee "$raw"
@@ -44,3 +51,17 @@ go test -run '^$' -bench 'BenchmarkStoreSample' \
     -benchmem -benchtime "$BENCHTIME" ./internal/obs/tsdb | tee "$raw"
 go run ./scripts/benchjson < "$raw" > "$OUT_OBS"
 echo "bench.sh: wrote $OUT_OBS"
+
+: > "$raw"
+go test -run '^$' -bench 'BenchmarkAdmissionPath|BenchmarkShardedCache' \
+    -benchmem -benchtime "$BENCHTIME" ./internal/server | tee "$raw"
+if [ "$BENCHTIME" = "1x" ]; then
+    # Smoke run: a short closed-loop burst against the in-process daemon.
+    go run ./cmd/capman-loadgen -inprocess -requests 200 -concurrency 4 \
+        -keyspace 16 -tte-frac 0.25 -report "$lg_report" -expect-no-errors
+else
+    go run ./cmd/capman-loadgen -inprocess -duration 5s -concurrency 8 \
+        -keyspace 32 -tte-frac 0.2 -report "$lg_report" -expect-no-errors
+fi
+go run ./scripts/benchjson -loadgen "$lg_report" < "$raw" > "$OUT_SERVE"
+echo "bench.sh: wrote $OUT_SERVE"

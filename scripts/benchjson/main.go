@@ -6,11 +6,17 @@
 //
 //	go test -run '^$' -bench 'BenchmarkSimilarityIndexSized|BenchmarkEMD' \
 //	    -benchmem -benchtime 2s . | go run ./scripts/benchjson > BENCH_simstruct.json
+//
+// With -loadgen <path>, the capman-loadgen JSON report at that path is
+// embedded verbatim under "loadgen" — bench.sh uses this to fold the
+// live-daemon load test into BENCH_serve.json next to the micro
+// benchmarks.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"regexp"
@@ -31,10 +37,11 @@ type result struct {
 
 // output is the whole trajectory document.
 type output struct {
-	CPUs    int      `json:"cpus"`
-	CPUNote string   `json:"cpu_note,omitempty"`
-	Results []result `json:"results"`
-	Derived derived  `json:"derived"`
+	CPUs    int             `json:"cpus"`
+	CPUNote string          `json:"cpu_note,omitempty"`
+	Results []result        `json:"results"`
+	Derived derived         `json:"derived"`
+	Loadgen json.RawMessage `json:"loadgen,omitempty"`
 }
 
 type derived struct {
@@ -69,19 +76,36 @@ type derived struct {
 	// regression.
 	TsdbSampleNs     *float64 `json:"tsdb_sample_ns,omitempty"`
 	TsdbSampleAllocs *float64 `json:"tsdb_sample_allocs,omitempty"`
+	// Serving hot path (BenchmarkAdmissionPath): ns and allocs for a
+	// cache-hit submission — contractually zero allocs at steady state
+	// (TestCacheHitSubmitAllocFree pins it in-package); run() hard-fails
+	// the trajectory on a regression. Key is the canonicalize+hash cost
+	// every request pays.
+	ServeHitNs         *float64 `json:"serve_hit_ns,omitempty"`
+	ServeHitAllocs     *float64 `json:"serve_hit_allocs,omitempty"`
+	ServeHitParallelNs *float64 `json:"serve_hit_parallel_ns,omitempty"`
+	ServeKeyNs         *float64 `json:"serve_key_ns,omitempty"`
+	// Sharded result cache (BenchmarkShardedCache): uncontended get cost
+	// (gated at 0 allocs/op like the hit path) and the contended-read
+	// speedup of 16 shards over the single-lock layout.
+	CacheGetNs        *float64 `json:"cache_get_ns,omitempty"`
+	CacheGetAllocs    *float64 `json:"cache_get_allocs,omitempty"`
+	CacheShardSpeedup *float64 `json:"cache_shard_speedup,omitempty"`
 }
 
 // benchLine matches "BenchmarkName[-P]  <iters>  <value> <unit> ...".
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
 
 func main() {
-	if err := run(); err != nil {
+	loadgen := flag.String("loadgen", "", "path to a capman-loadgen JSON report to embed under \"loadgen\"")
+	flag.Parse()
+	if err := run(*loadgen); err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+func run(loadgenPath string) error {
 	var out output
 	out.CPUs = runtime.NumCPU()
 	if out.CPUs < 4 {
@@ -147,6 +171,33 @@ func run() error {
 	if a := out.Derived.TsdbSampleAllocs; a != nil && *a != 0 {
 		return fmt.Errorf("BenchmarkStoreSample allocates %g/op, want 0", *a)
 	}
+	// The serving hot path is the tentpole contract: a cache-hit
+	// submission and an uncontended cache read are allocation-free at
+	// steady state. Single-iteration (-benchtime 1x) smoke runs are
+	// exempt — at N=1 the testing framework's own bookkeeping pollutes
+	// allocs/op — so the gate binds whenever the benchmark actually
+	// iterated.
+	iters := map[string]int64{}
+	for _, r := range out.Results {
+		iters[r.Name] = r.Iterations
+	}
+	if a := out.Derived.ServeHitAllocs; a != nil && *a != 0 && iters["BenchmarkAdmissionPath/hit"] > 1 {
+		return fmt.Errorf("BenchmarkAdmissionPath/hit allocates %g/op, want 0 (cache-hit serving path regressed)", *a)
+	}
+	if a := out.Derived.CacheGetAllocs; a != nil && *a != 0 && iters["BenchmarkShardedCache/get"] > 1 {
+		return fmt.Errorf("BenchmarkShardedCache/get allocates %g/op, want 0", *a)
+	}
+
+	if loadgenPath != "" {
+		raw, err := os.ReadFile(loadgenPath)
+		if err != nil {
+			return fmt.Errorf("loadgen report: %w", err)
+		}
+		if !json.Valid(raw) {
+			return fmt.Errorf("loadgen report %s is not valid JSON", loadgenPath)
+		}
+		out.Loadgen = json.RawMessage(raw)
+	}
 
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
@@ -200,6 +251,30 @@ func deriveMetrics(results []result) derived {
 		ns, allocs := r.NsPerOp, r.AllocsOp
 		d.TsdbSampleNs = &ns
 		d.TsdbSampleAllocs = &allocs
+	}
+	if r, ok := byName["BenchmarkAdmissionPath/hit"]; ok {
+		ns, allocs := r.NsPerOp, r.AllocsOp
+		d.ServeHitNs = &ns
+		d.ServeHitAllocs = &allocs
+	}
+	if r, ok := byName["BenchmarkAdmissionPath/hit-parallel"]; ok {
+		ns := r.NsPerOp
+		d.ServeHitParallelNs = &ns
+	}
+	if r, ok := byName["BenchmarkAdmissionPath/key"]; ok {
+		ns := r.NsPerOp
+		d.ServeKeyNs = &ns
+	}
+	if r, ok := byName["BenchmarkShardedCache/get"]; ok {
+		ns, allocs := r.NsPerOp, r.AllocsOp
+		d.CacheGetNs = &ns
+		d.CacheGetAllocs = &allocs
+	}
+	if one, ok := byName["BenchmarkShardedCache/get-parallel/shards1"]; ok {
+		if sharded, ok := byName["BenchmarkShardedCache/get-parallel/shards16"]; ok && sharded.NsPerOp > 0 {
+			speedup := one.NsPerOp / sharded.NsPerOp
+			d.CacheShardSpeedup = &speedup
+		}
 	}
 	if emd, ok := byName["BenchmarkEMD"]; ok {
 		d.EMDAllocsChecked = emd.AllocsOp

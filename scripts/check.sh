@@ -52,6 +52,15 @@ go test -race ./internal/fault ./internal/server
 echo "== telemetry smoke: /v1/stream samples + job-done =="
 go test ./cmd/capman-serve -count=1 -run 'TestServeStreamSmoke'
 
+# Serving-hot-path smoke: capman-loadgen boots an in-process capmand and
+# drives >= 100 mixed sim/tte requests through the real HTTP admission
+# path. Zero errors and a nonzero cache-hit rate are hard requirements —
+# a hit-path regression or a shedding bug fails the gate here before the
+# full benchmark run would.
+echo "== loadgen smoke: 120 mixed requests, no errors, hits required =="
+go run ./cmd/capman-loadgen -inprocess -requests 120 -concurrency 4 \
+    -keyspace 12 -tte-frac 0.25 -expect-no-errors -min-hit-rate 0.5 > /dev/null
+
 echo "== go test -race =="
 go test -race ./...
 
@@ -60,14 +69,17 @@ go test -race ./...
 echo "== benchmark smoke (1 iteration each) =="
 go test -run='^$' -bench=. -benchtime=1x ./... > /dev/null
 
-# The benchmark trajectories: one-iteration run through bench.sh so both
-# go test | benchjson pipelines (simstruct + twin) stay executable end to
-# end, including the twin zero-allocs/step hard gate.
+# The benchmark trajectories: one-iteration run through bench.sh so every
+# go test | benchjson pipeline (simstruct + twin + obs + serve, loadgen
+# included) stays executable end to end, including the twin
+# zero-allocs/step hard gate.
 echo "== bench trajectory smoke (bench.sh) =="
 smoke_out="$(mktemp)"
 smoke_twin="$(mktemp)"
 smoke_obs="$(mktemp)"
-BENCHTIME=1x OUT="$smoke_out" OUT_TWIN="$smoke_twin" OUT_OBS="$smoke_obs" ./scripts/bench.sh > /dev/null
-rm -f "$smoke_out" "$smoke_twin" "$smoke_obs"
+smoke_serve="$(mktemp)"
+BENCHTIME=1x OUT="$smoke_out" OUT_TWIN="$smoke_twin" OUT_OBS="$smoke_obs" \
+    OUT_SERVE="$smoke_serve" ./scripts/bench.sh > /dev/null
+rm -f "$smoke_out" "$smoke_twin" "$smoke_obs" "$smoke_serve"
 
 echo "all checks passed"

@@ -54,6 +54,7 @@ var methodKind = map[string]string{
 var requiredNames = []string{
 	"capman_invariant_violations_total",
 	"capman_anomaly_total",
+	"capmand_shed_total",
 }
 
 func main() {
