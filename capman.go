@@ -172,6 +172,23 @@ type (
 	// JobFlight is a failed capmand job's black box, served by the API at
 	// GET /v1/jobs/{id}/flight.
 	JobFlight = server.JobFlight
+
+	// TraceConfig tunes capmand's request-tracing pipeline (tail-sampling
+	// rate and seed, trace-store size, /metrics exemplars) via
+	// ExecutorConfig.Trace.
+	TraceConfig = server.TraceConfig
+	// TraceSummary is one retained request trace, as listed by
+	// GET /v1/traces.
+	TraceSummary = server.TraceSummary
+	// TraceID is the 128-bit request trace identity, compatible with the
+	// W3C traceparent header.
+	TraceID = obs.TraceID
+	// StoredTrace is a retained trace's full span tree, served by
+	// GET /v1/traces/{id}.
+	StoredTrace = obs.StoredTrace
+	// TraceStoreStats is the tail-sampling trace store's retention
+	// accounting (kept signal/sampled, dropped, evicted, live length).
+	TraceStoreStats = obs.TraceStoreStats
 )
 
 // Re-exported chemistry constants.

@@ -216,7 +216,7 @@ func buildSpecs(keyspace int, tteFrac float64, seed int64) []server.JobSpec {
 // state so the measured run starts against a fully populated cache.
 func primeKeys(ctx context.Context, client *http.Client, addr string, specs []server.JobSpec) error {
 	for i := range specs {
-		view, status, err := submitSpec(ctx, client, addr, &specs[i])
+		view, status, _, err := submitSpec(ctx, client, addr, &specs[i])
 		if err != nil {
 			return err
 		}
@@ -257,30 +257,37 @@ func primeKeys(ctx context.Context, client *http.Client, addr string, specs []se
 	return nil
 }
 
-func submitSpec(ctx context.Context, client *http.Client, addr string, spec *server.JobSpec) (server.View, int, error) {
+// submitSpec posts one job. Every request carries a freshly minted W3C
+// traceparent plus an X-Request-ID, so the daemon's tail sampler can
+// join the client's view of a slow request to a server-side waterfall;
+// the trace ID is returned for the report's slowest-traces table.
+func submitSpec(ctx context.Context, client *http.Client, addr string, spec *server.JobSpec) (server.View, int, string, error) {
 	body, err := json.Marshal(spec)
 	if err != nil {
-		return server.View{}, 0, err
+		return server.View{}, 0, "", err
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, addr+"/v1/jobs", bytes.NewReader(body))
 	if err != nil {
-		return server.View{}, 0, err
+		return server.View{}, 0, "", err
 	}
+	tc := obs.NewTraceContext()
 	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("traceparent", tc.Traceparent())
+	req.Header.Set("X-Request-ID", obs.NewRequestID())
 	resp, err := client.Do(req)
 	if err != nil {
-		return server.View{}, 0, err
+		return server.View{}, 0, tc.TraceID.String(), err
 	}
 	defer resp.Body.Close()
 	var view server.View
 	if resp.StatusCode == http.StatusOK || resp.StatusCode == http.StatusAccepted {
 		if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
-			return server.View{}, resp.StatusCode, err
+			return server.View{}, resp.StatusCode, tc.TraceID.String(), err
 		}
 	} else {
 		io.Copy(io.Discard, resp.Body)
 	}
-	return view, resp.StatusCode, nil
+	return view, resp.StatusCode, tc.TraceID.String(), nil
 }
 
 // driveClosed runs `concurrency` workers, each keeping one request in
@@ -367,8 +374,8 @@ loop:
 
 func doOne(ctx context.Context, client *http.Client, addr string, spec *server.JobSpec, rec *recorder) {
 	start := time.Now()
-	_, status, err := submitSpec(ctx, client, addr, spec)
-	rec.record(status, err, time.Since(start))
+	_, status, traceID, err := submitSpec(ctx, client, addr, spec)
+	rec.record(status, err, time.Since(start), traceID)
 }
 
 // histBoundsMs are the latency histogram's upper bounds in milliseconds.
@@ -376,7 +383,7 @@ var histBoundsMs = []float64{0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 2
 
 type recorder struct {
 	mu           sync.Mutex
-	latMs        []float64
+	samples      []sample
 	statusCounts map[string]int64
 	hits         int64
 	accepted     int64
@@ -385,14 +392,24 @@ type recorder struct {
 	dropped      int64
 }
 
+// sample is one completed request: its latency, the trace ID the client
+// minted for it, and the HTTP status (0 for transport errors).
+type sample struct {
+	latMs   float64
+	traceID string
+	status  int
+}
+
 func newRecorder() *recorder {
 	return &recorder{statusCounts: make(map[string]int64)}
 }
 
-func (r *recorder) record(status int, err error, lat time.Duration) {
+func (r *recorder) record(status int, err error, lat time.Duration, traceID string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.latMs = append(r.latMs, float64(lat)/float64(time.Millisecond))
+	r.samples = append(r.samples, sample{
+		latMs: float64(lat) / float64(time.Millisecond), traceID: traceID, status: status,
+	})
 	if err != nil {
 		r.errors++
 		r.statusCounts["error"]++
@@ -439,6 +456,19 @@ type Report struct {
 	Latency       LatencySummary    `json:"latency"`
 	StatusCounts  map[string]int64  `json:"statusCounts"`
 	Histogram     []HistogramBucket `json:"histogram"`
+
+	// SlowestTraces lists the top-5 slowest requests with the trace IDs
+	// the client minted for them, slowest first — paste one into
+	// `capman-spans -id` (or GET /v1/traces/{id}) for the server-side
+	// waterfall, if the tail sampler retained it.
+	SlowestTraces []SlowTrace `json:"slowestTraces,omitempty"`
+}
+
+// SlowTrace is one row of the slowest-requests table.
+type SlowTrace struct {
+	TraceID   string  `json:"traceId"`
+	LatencyMs float64 `json:"latencyMs"`
+	Status    int     `json:"status,omitempty"`
 }
 
 type LatencySummary struct {
@@ -460,7 +490,7 @@ func (r *recorder) report(mode string, rps float64, concurrency, keyspace int,
 	tteFrac float64, seed int64, elapsed time.Duration) Report {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	total := int64(len(r.latMs))
+	total := int64(len(r.samples))
 	rep := Report{
 		Mode: mode, Concurrency: concurrency, Keyspace: keyspace,
 		TTEFraction: tteFrac, Seed: seed,
@@ -479,7 +509,10 @@ func (r *recorder) report(mode string, rps float64, concurrency, keyspace int,
 		rep.ShedRate = float64(r.shed) / float64(total)
 	}
 
-	sorted := append([]float64(nil), r.latMs...)
+	sorted := make([]float64, len(r.samples))
+	for i, s := range r.samples {
+		sorted[i] = s.latMs
+	}
 	sort.Float64s(sorted)
 	if len(sorted) > 0 {
 		var sum float64
@@ -503,6 +536,17 @@ func (r *recorder) report(mode string, rps float64, concurrency, keyspace int,
 		rep.Histogram = append(rep.Histogram, HistogramBucket{LeMs: le, Count: n})
 	}
 	rep.Histogram = append(rep.Histogram, HistogramBucket{LeMs: -1, Count: total})
+
+	slowest := append([]sample(nil), r.samples...)
+	sort.Slice(slowest, func(i, j int) bool { return slowest[i].latMs > slowest[j].latMs })
+	if len(slowest) > 5 {
+		slowest = slowest[:5]
+	}
+	for _, s := range slowest {
+		rep.SlowestTraces = append(rep.SlowestTraces, SlowTrace{
+			TraceID: s.traceID, LatencyMs: s.latMs, Status: s.status,
+		})
+	}
 	return rep
 }
 

@@ -15,7 +15,12 @@
 // time-series store, the GET /v1/stream live event feed that capman-top
 // renders, and GET /v1/alerts — is on by default; tune it with
 // -telemetry-interval / -telemetry-retention / -anomaly-interval or turn
-// it off with -no-telemetry. On
+// it off with -no-telemetry. Request tracing — trace IDs minted (or
+// adopted from an inbound W3C traceparent) at admission, tail-sampled
+// waterfalls at GET /v1/traces and /v1/traces/{id}, trace-ID exemplars
+// on the /metrics latency histograms — is on by default; tune it with
+// -trace-sample / -trace-seed / -trace-store / -exemplars or turn it
+// off with -no-trace. On
 // SIGTERM or SIGINT the server stops accepting work, drains in-flight
 // jobs (up to -drain-timeout), and exits.
 package main
@@ -77,6 +82,11 @@ func run(ctx context.Context, args []string, out *os.File) error {
 	readTimeout := fs.Duration("read-timeout", time.Minute, "http server limit for reading a full request (0 = none; streams exempt themselves)")
 	writeTimeout := fs.Duration("write-timeout", time.Minute, "http server limit for writing a response (0 = none; streams exempt themselves)")
 	maxHeaderBytes := fs.Int("max-header-bytes", 1<<20, "http server cap on request header size")
+	noTrace := fs.Bool("no-trace", false, "disable request tracing (/v1/traces answers 503; no trace IDs minted)")
+	traceSample := fs.Float64("trace-sample", 0, "tail-sampling keep probability for healthy traces (0 = default 0.1; signal traces are always kept)")
+	traceSeed := fs.Uint64("trace-seed", 0, "seed for the deterministic tail sampler (0 = unseeded)")
+	traceStore := fs.Int("trace-store", 0, "retained-trace ring capacity (0 = default 512)")
+	exemplars := fs.Bool("exemplars", true, "attach OpenMetrics trace-ID exemplars to latency histograms on /metrics")
 	noFlight := fs.Bool("no-flight", false, "disable per-job flight recording (failed jobs get no black box)")
 	noInvariants := fs.Bool("no-invariants", false, "disable the runtime safety-invariant checker on served jobs")
 	invariantCPUCeiling := fs.Float64("invariant-cpu-ceiling", 0, "override the checker's CPU thermal ceiling in degC (0 = calibrated default)")
@@ -119,6 +129,13 @@ func run(ctx context.Context, args []string, out *os.File) error {
 				Threshold: *breakerThreshold,
 				Cooldown:  *breakerCooldown,
 			},
+			Trace: server.TraceConfig{
+				Disable:    *noTrace,
+				SampleRate: *traceSample,
+				Seed:       *traceSeed,
+				StoreSize:  *traceStore,
+				Exemplars:  *exemplars && !*noTrace,
+			},
 		},
 		SLO: server.SLOConfig{
 			DecisionP99:  *sloDecisionP99,
@@ -156,6 +173,9 @@ func run(ctx context.Context, args []string, out *os.File) error {
 		"flight", !*noFlight,
 		"invariants", !*noInvariants,
 		"telemetry", !*noTelemetry,
+		"trace", !*noTrace,
+		"trace_sample", *traceSample,
+		"exemplars", *exemplars && !*noTrace,
 		"pprof", *enablePprof,
 		"log_level", level.String(),
 		"log_format", *logFormat)

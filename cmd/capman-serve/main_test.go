@@ -312,3 +312,157 @@ func TestRunRejectsBadInput(t *testing.T) {
 		t.Error("unroutable listen address accepted")
 	}
 }
+
+// TestServeTraceSmoke is the request-tracing smoke run by check.sh: a
+// real daemon (trace sample rate 1) must retain a traced submission,
+// serve it from /v1/traces search and the by-ID waterfall with queue,
+// attempt, and engine-phase spans, and carry trace-ID exemplars on
+// /metrics.
+func TestServeTraceSmoke(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(server.Config{Executor: server.ExecutorConfig{
+		Workers: 1,
+		Trace:   server.TraceConfig{SampleRate: 1, Exemplars: true},
+	}})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() {
+		done <- serve(ctx, ln, srv, defaultTestServer(srv), 60*time.Second, os.Stdout, obs.Nop())
+	}()
+	base := "http://" + ln.Addr().String()
+	waitHealthy(t, base)
+
+	spec := server.JobSpec{
+		Workload: "video", Policy: "dual", Seed: 11,
+		BigMAh: 300, LittleMAh: 300, MaxTimeS: 2000,
+	}
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const traceparent = "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/jobs", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("traceparent", traceparent)
+	req.Header.Set("X-Request-ID", "trace-smoke")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var view server.View
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d", resp.StatusCode)
+	}
+	if view.TraceID != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Fatalf("view trace ID %q, want the traceparent's", view.TraceID)
+	}
+
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, err := http.Get(base + "/v1/jobs/" + view.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var cur server.View
+		err = json.NewDecoder(resp.Body).Decode(&cur)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cur.State.Terminal() {
+			if cur.State != server.StateDone {
+				t.Fatalf("job ended %s: %s", cur.State, cur.Error)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never finished")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Search finds the trace...
+	resp, err = http.Get(base + "/v1/traces?outcome=done")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list struct {
+		Traces []server.TraceSummary `json:"traces"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&list)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, tr := range list.Traces {
+		if tr.TraceID == view.TraceID {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("trace %s not in /v1/traces search", view.TraceID)
+	}
+
+	// ...and the waterfall has the queue, attempt (run), and phase spans.
+	resp, err = http.Get(base + "/v1/traces/" + view.TraceID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var full obs.StoredTrace
+	err = json.NewDecoder(resp.Body).Decode(&full)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	var walk func(nodes []obs.SpanNode)
+	walk = func(nodes []obs.SpanNode) {
+		for _, n := range nodes {
+			names[n.Name] = true
+			walk(n.Children)
+		}
+	}
+	walk(full.Spans)
+	for _, want := range []string{"request", "queue", "attempt", "sim.run", "phase:policy"} {
+		if !names[want] {
+			t.Errorf("waterfall missing %q span (have %v)", want, names)
+		}
+	}
+
+	// /metrics carries the trace's exemplar.
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	sawExemplar := false
+	for sc.Scan() {
+		if strings.Contains(sc.Text(), `# {trace_id="`+view.TraceID+`"}`) {
+			sawExemplar = true
+		}
+	}
+	resp.Body.Close()
+	if !sawExemplar {
+		t.Error("/metrics lacks the retained trace's exemplar")
+	}
+
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("serve did not exit")
+	}
+}

@@ -1,0 +1,172 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/server"
+)
+
+// fixtureTrace is a two-attempt failed job: request → queue + two
+// attempts, the second carrying an engine phase child.
+func fixtureTrace() obs.StoredTrace {
+	t0 := time.Date(2026, 8, 9, 12, 0, 0, 0, time.UTC)
+	return obs.StoredTrace{
+		TraceID:   "0af7651916cd43dd8448eb211c80319c",
+		RequestID: "req-fixture",
+		JobID:     "job-1",
+		Kind:      "sim",
+		Outcome:   "failed",
+		Flags:     []string{"error", "retry-exhausted"},
+		Start:     t0,
+		DurationS: 0.2,
+		Spans: []obs.SpanNode{{
+			Name: "request", SpanID: "00f067aa0ba902b7", Start: t0, DurationMS: 200,
+			Attrs: map[string]any{"job_id": "job-1"},
+			Children: []obs.SpanNode{
+				{Name: "queue", Start: t0, DurationMS: 50},
+				{Name: "attempt", Start: t0.Add(50 * time.Millisecond), DurationMS: 60,
+					Attrs: map[string]any{"attempt": 1, "error": "transient"}},
+				{Name: "attempt", Start: t0.Add(120 * time.Millisecond), DurationMS: 80,
+					Attrs: map[string]any{"attempt": 2},
+					Children: []obs.SpanNode{
+						{Name: "sim.run", Start: t0.Add(121 * time.Millisecond), DurationMS: 70},
+					}},
+			},
+		}},
+	}
+}
+
+func TestWaterfallFromFile(t *testing.T) {
+	tr := fixtureTrace()
+	raw, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	if err := run(context.Background(), []string{"-file", path, "-plain"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		tr.TraceID, "failed", "[error,retry-exhausted]",
+		"request", "queue", "attempt", "sim.run",
+		"█", "error=transient", "job=job-1",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("waterfall missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "\x1b[") {
+		t.Errorf("-plain output contains ANSI escapes:\n%s", got)
+	}
+}
+
+func TestWaterfallANSIColorsErrors(t *testing.T) {
+	tr := fixtureTrace()
+	var out bytes.Buffer
+	renderWaterfall(&out, &tr, 32, true)
+	got := out.String()
+	if !strings.Contains(got, "\x1b[31m") {
+		t.Errorf("errored attempt span not rendered red:\n%s", got)
+	}
+	if !strings.Contains(got, "\x1b[32m") {
+		t.Errorf("healthy spans not rendered green:\n%s", got)
+	}
+}
+
+// fakeDaemon serves the two trace endpoints the CLI talks to.
+func fakeDaemon(t *testing.T, tr obs.StoredTrace) *httptest.Server {
+	t.Helper()
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/traces", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("outcome") == "done" {
+			json.NewEncoder(w).Encode(map[string]any{
+				"traces": []server.TraceSummary{}, "stats": obs.TraceStoreStats{},
+			})
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]any{
+			"traces": []server.TraceSummary{{
+				TraceID: tr.TraceID, JobID: tr.JobID, Kind: tr.Kind,
+				Outcome: tr.Outcome, Flags: tr.Flags, Start: tr.Start,
+				DurationS: tr.DurationS, Spans: 5,
+			}},
+			"stats": obs.TraceStoreStats{KeptSignal: 1, Len: 1},
+		})
+	})
+	mux.HandleFunc("GET /v1/traces/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if r.PathValue("id") != tr.TraceID {
+			w.WriteHeader(http.StatusNotFound)
+			json.NewEncoder(w).Encode(map[string]string{"error": "no retained trace"})
+			return
+		}
+		json.NewEncoder(w).Encode(tr)
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestListMode(t *testing.T) {
+	tr := fixtureTrace()
+	srv := fakeDaemon(t, tr)
+
+	var out bytes.Buffer
+	err := run(context.Background(), []string{
+		"-addr", srv.URL, "-min-dur", "100ms", "-outcome", "failed", "-limit", "10",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{tr.TraceID, "failed", "5 spans", "[error,retry-exhausted]", "1 retained", "1 signal"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("list output missing %q:\n%s", want, got)
+		}
+	}
+
+	out.Reset()
+	if err := run(context.Background(), []string{"-addr", srv.URL, "-outcome", "done"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(out.String(), "no retained traces match") {
+		t.Errorf("empty search should say so:\n%s", out.String())
+	}
+}
+
+func TestWaterfallByID(t *testing.T) {
+	tr := fixtureTrace()
+	srv := fakeDaemon(t, tr)
+
+	var out bytes.Buffer
+	err := run(context.Background(), []string{"-addr", srv.URL, "-id", tr.TraceID, "-plain"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for _, want := range []string{"request", "queue", "attempt", "sim.run"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("waterfall missing span %q:\n%s", want, out.String())
+		}
+	}
+
+	out.Reset()
+	err = run(context.Background(), []string{"-addr", srv.URL, "-id", "deadbeef"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "no retained trace") {
+		t.Errorf("unknown ID should surface the daemon's error, got %v", err)
+	}
+}

@@ -208,6 +208,7 @@ type model struct {
 
 	jobs   []string
 	alerts []string
+	traces []string
 }
 
 func newModel(addr string, width int) *model {
@@ -264,6 +265,19 @@ func (m *model) apply(event, data string) bool {
 			fmt.Sprintf("%s  %s  %s", a.At.Format("15:04:05"), a.Detector, a.Message),
 			historyLines)
 		return false
+	case tsdb.EventTrace:
+		var t server.TraceSummary
+		if err := json.Unmarshal(ev.Data, &t); err != nil {
+			return false
+		}
+		line := fmt.Sprintf("%s  %-6s %s  %s  %d spans",
+			ev.At.Format("15:04:05"), t.Outcome, t.TraceID,
+			fmtSeconds(t.DurationS), t.Spans)
+		if len(t.Flags) > 0 {
+			line += "  [" + strings.Join(t.Flags, ",") + "]"
+		}
+		m.traces = push(m.traces, line, historyLines)
+		return false
 	case tsdb.EventDegrade, tsdb.EventInvariant:
 		m.jobs = push(m.jobs,
 			fmt.Sprintf("%s  %-9s %s", ev.At.Format("15:04:05"), event, compactJSON(ev.Data)),
@@ -308,6 +322,13 @@ func (m *model) render(w io.Writer) {
 		fmt.Fprintln(w, "\nrecent jobs")
 		for i := len(m.jobs) - 1; i >= 0; i-- {
 			fmt.Fprintln(w, "  "+m.jobs[i])
+		}
+	}
+
+	if len(m.traces) > 0 {
+		fmt.Fprintln(w, "\nrecent traces (capman-spans -id <trace>)")
+		for i := len(m.traces) - 1; i >= 0; i-- {
+			fmt.Fprintln(w, "  "+m.traces[i])
 		}
 	}
 	fmt.Fprintln(w, "\nalerts")

@@ -122,8 +122,12 @@ func (f *FlightRecorder) Dropped() int {
 // the box was cut; Spans carries the unit's span forest when a Recorder
 // was attached alongside.
 type FlightBox struct {
-	CutAt         time.Time     `json:"cutAt"`
-	Reason        string        `json:"reason"`
+	CutAt  time.Time `json:"cutAt"`
+	Reason string    `json:"reason"`
+	// TraceID is the request trace the box belongs to (32 hex chars),
+	// empty when the job ran untraced. The cutter sets it so a post-mortem
+	// box and its /v1/traces/{id} waterfall are joinable.
+	TraceID       string        `json:"trace_id,omitempty"`
 	Events        []FlightEvent `json:"events"`
 	DroppedEvents int           `json:"droppedEvents,omitempty"`
 	Spans         []SpanNode    `json:"spans,omitempty"`

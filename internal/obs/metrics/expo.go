@@ -22,6 +22,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		return nil
 	}
 	bw := bufio.NewWriter(w)
+	exemplars := r.exemplars.Load()
 	for _, f := range r.families() {
 		writeHeader(bw, f)
 		if f.collect != nil {
@@ -31,7 +32,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			continue
 		}
 		for _, s := range f.snapshotSeries() {
-			writeSeries(bw, f, s)
+			writeSeries(bw, f, s, exemplars)
 		}
 	}
 	return bw.Flush()
@@ -50,7 +51,7 @@ func writeHeader(w *bufio.Writer, f *family) {
 	w.WriteByte('\n')
 }
 
-func writeSeries(w *bufio.Writer, f *family, s *series) {
+func writeSeries(w *bufio.Writer, f *family, s *series, exemplars bool) {
 	switch inst := s.inst.(type) {
 	case *Counter:
 		writeSample(w, f.name, "", f.labels, s.labelValues, float64(inst.Value()))
@@ -65,11 +66,39 @@ func writeSeries(w *bufio.Writer, f *family, s *series) {
 		cum := snap.Cumulative()
 		for i, b := range snap.Bounds {
 			writeBucket(w, f.name, f.labels, s.labelValues, formatValue(b), cum[i])
+			if exemplars {
+				writeExemplar(w, inst, i)
+			}
+			w.WriteByte('\n')
 		}
 		writeBucket(w, f.name, f.labels, s.labelValues, "+Inf", snap.Count)
+		if exemplars {
+			writeExemplar(w, inst, len(snap.Bounds))
+		}
+		w.WriteByte('\n')
 		writeSample(w, f.name, "_sum", f.labels, s.labelValues, snap.Sum)
 		writeSample(w, f.name, "_count", f.labels, s.labelValues, float64(snap.Count))
 	}
+}
+
+// writeExemplar appends an OpenMetrics exemplar suffix to the current
+// bucket line when one was recorded for bucket idx:
+//
+//	# {trace_id="4bf9...4736"} 0.0042 1712345678.901
+//
+// (the leading space separates it from the bucket count; the caller owns
+// the trailing newline).
+func writeExemplar(w *bufio.Writer, h *Histogram, idx int) {
+	ex, ok := h.exemplarFor(idx)
+	if !ok {
+		return
+	}
+	w.WriteString(` # {trace_id="`)
+	w.WriteString(escapeLabel(ex.traceID))
+	w.WriteString(`"} `)
+	w.WriteString(formatValue(ex.value))
+	w.WriteByte(' ')
+	w.WriteString(strconv.FormatFloat(ex.ts, 'f', 3, 64))
 }
 
 // writeSample emits `name[suffix]{labels...} value`.
@@ -83,13 +112,13 @@ func writeSample(w *bufio.Writer, name, suffix string, labels, values []string, 
 }
 
 // writeBucket emits one cumulative histogram bucket with its le label.
+// The caller writes the line's newline (after an optional exemplar).
 func writeBucket(w *bufio.Writer, name string, labels, values []string, le string, count uint64) {
 	w.WriteString(name)
 	w.WriteString("_bucket")
 	writeLabels(w, labels, values, "le", le)
 	w.WriteByte(' ')
 	w.WriteString(strconv.FormatUint(count, 10))
-	w.WriteByte('\n')
 }
 
 // writeLabels renders {k="v",...}, appending an extra pair when

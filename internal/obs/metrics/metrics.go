@@ -34,6 +34,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/obs"
 )
@@ -115,6 +116,24 @@ type Registry struct {
 	// shared slice to readers without copying — the tsdb sample path
 	// iterates it every tick and must not allocate.
 	sorted []*family
+
+	// exemplars gates whether WritePrometheus attaches OpenMetrics
+	// `# {trace_id="..."}` suffixes to histogram buckets. Off by default:
+	// the plain Prometheus text format has no exemplar syntax, so only
+	// scrapers that negotiated OpenMetrics should see them.
+	exemplars atomic.Bool
+}
+
+// SetExemplars toggles exemplar emission on the exposition writer.
+func (r *Registry) SetExemplars(on bool) {
+	if r != nil {
+		r.exemplars.Store(on)
+	}
+}
+
+// Exemplars reports whether the writer attaches exemplar suffixes.
+func (r *Registry) Exemplars() bool {
+	return r != nil && r.exemplars.Load()
 }
 
 // NewRegistry builds an empty registry.
@@ -375,14 +394,76 @@ func (g *GaugeFloat) Value() float64 {
 	return math.Float64frombits(g.bits.Load())
 }
 
-// Histogram wraps obs.Histogram with the registry's nil-safe contract.
-type Histogram struct{ h *obs.Histogram }
+// Histogram wraps obs.Histogram with the registry's nil-safe contract,
+// plus per-bucket exemplar storage: ObserveExemplar remembers the last
+// (value, trace ID) pair to land in each bucket, and the exposition
+// writer can attach them as OpenMetrics `# {trace_id="..."}` suffixes.
+// Plain Observe never touches exemplar state, so untraced observations
+// keep the lock-free obs.Histogram path.
+type Histogram struct {
+	h *obs.Histogram
+
+	exMu sync.Mutex
+	ex   []exemplar // one per bucket incl. +Inf; allocated on first use
+}
+
+// exemplar is one remembered observation: the value, the trace that
+// produced it, and when it was recorded (unix seconds).
+type exemplar struct {
+	value   float64
+	ts      float64
+	traceID string
+}
 
 // Observe records one value.
 func (h *Histogram) Observe(v float64) {
 	if h != nil {
 		h.h.Observe(v)
 	}
+}
+
+// ObserveExemplar records one value and remembers (v, traceID) as the
+// exemplar of the bucket v lands in. An empty traceID degrades to a
+// plain Observe.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	if h == nil {
+		return
+	}
+	h.h.Observe(v)
+	h.SetExemplar(v, traceID)
+}
+
+// SetExemplar remembers (v, traceID) as the exemplar of the bucket v
+// lands in without counting a new observation — the executor uses it at
+// trace-retention time, so exemplars only ever point at traces that
+// /v1/traces/{id} can actually serve. v must be a value that was (or is
+// about to be) observed, keeping the exemplar inside its bucket's range.
+func (h *Histogram) SetExemplar(v float64, traceID string) {
+	if h == nil || traceID == "" {
+		return
+	}
+	bounds := h.h.Bounds()
+	idx := sort.SearchFloat64s(bounds, v)
+	h.exMu.Lock()
+	if h.ex == nil {
+		h.ex = make([]exemplar, len(bounds)+1)
+	}
+	h.ex[idx] = exemplar{value: v, ts: float64(time.Now().UnixMilli()) / 1e3, traceID: traceID}
+	h.exMu.Unlock()
+}
+
+// exemplarFor returns bucket idx's exemplar (idx len(bounds) is +Inf);
+// ok is false when none was ever recorded there.
+func (h *Histogram) exemplarFor(idx int) (exemplar, bool) {
+	if h == nil {
+		return exemplar{}, false
+	}
+	h.exMu.Lock()
+	defer h.exMu.Unlock()
+	if idx < 0 || idx >= len(h.ex) || h.ex[idx].traceID == "" {
+		return exemplar{}, false
+	}
+	return h.ex[idx], true
 }
 
 // Count returns the number of observations.

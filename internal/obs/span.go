@@ -2,6 +2,8 @@ package obs
 
 import (
 	"context"
+	"encoding/binary"
+	"encoding/hex"
 	"encoding/json"
 	"io"
 	"sort"
@@ -102,6 +104,47 @@ func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 	return RecorderFrom(ctx).StartSpan(ctx, name)
 }
 
+// StartChild opens a span as an explicit child of parent (or as a root
+// when parent is nil) without touching a context — the shape the job
+// executor uses, where queue/attempt spans outlive any one call frame.
+// Nil recorder and the span limit behave exactly as in StartSpan.
+func (r *Recorder) StartChild(parent *Span, name string) *Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	if r.n >= r.limit {
+		r.dropped++
+		r.mu.Unlock()
+		return nil
+	}
+	r.n++
+	r.mu.Unlock()
+
+	s := &Span{name: name, start: time.Now()}
+	if parent != nil {
+		parent.addChild(s)
+	} else {
+		r.mu.Lock()
+		r.roots = append(r.roots, s)
+		r.mu.Unlock()
+	}
+	return s
+}
+
+// WithSpan returns a context carrying s as the current span, so spans
+// opened via StartSpan down the call chain nest under it. A nil span
+// leaves the context unchanged.
+func WithSpan(ctx context.Context, s *Span) context.Context {
+	if s == nil {
+		return ctx
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return context.WithValue(ctx, spanKey, s)
+}
+
 // spanFrom returns the context's current span, if any.
 func spanFrom(ctx context.Context) *Span {
 	if ctx == nil {
@@ -184,6 +227,11 @@ func (s *Span) Duration() time.Duration {
 // SpanNode is the exported form of one span in the JSON dump.
 type SpanNode struct {
 	Name string `json:"name"`
+	// SpanID and ParentSpanID are 16-hex span identifiers, set only when
+	// the snapshot was taken via TraceTree (trace exports); plain Tree
+	// dumps and flight boxes leave them empty.
+	SpanID       string `json:"span_id,omitempty"`
+	ParentSpanID string `json:"parent_span_id,omitempty"`
 	// Start is the span's wall-clock start.
 	Start time.Time `json:"start"`
 	// DurationMS is the span's monotonic length in milliseconds; open
@@ -233,6 +281,40 @@ func (s *Span) node() SpanNode {
 		n.Children = append(n.Children, c.node())
 	}
 	return n
+}
+
+// TraceTree snapshots the recorded spans like Tree, additionally
+// assigning span IDs: the first root takes the given root span ID (the
+// one minted at admission and echoed in traceparent), and every other
+// node gets a deterministic ID derived from it by position, so repeated
+// snapshots of the same trace agree. Parent links are filled in, which
+// lets flat consumers (exporters, the waterfall viewer) rebuild the tree.
+func (r *Recorder) TraceTree(root SpanID) []SpanNode {
+	nodes := r.Tree()
+	ctr := binary.BigEndian.Uint64(root[:])
+	next := func() string {
+		ctr = splitmix64(ctr)
+		var b [8]byte
+		binary.BigEndian.PutUint64(b[:], ctr)
+		return hex.EncodeToString(b[:])
+	}
+	var assign func(n *SpanNode, parent string)
+	assign = func(n *SpanNode, parent string) {
+		if n.SpanID == "" {
+			n.SpanID = next()
+		}
+		n.ParentSpanID = parent
+		for i := range n.Children {
+			assign(&n.Children[i], n.SpanID)
+		}
+	}
+	for i := range nodes {
+		if i == 0 && root.IsValid() {
+			nodes[i].SpanID = root.String()
+		}
+		assign(&nodes[i], "")
+	}
+	return nodes
 }
 
 // WriteJSON dumps the span tree (plus the dropped-span count) as indented

@@ -1,0 +1,78 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseTraceparentRoundTrip(t *testing.T) {
+	tc := NewTraceContext()
+	if !tc.Valid || !tc.Sampled {
+		t.Fatalf("NewTraceContext() = %+v, want valid+sampled", tc)
+	}
+	h := tc.Traceparent()
+	if len(h) != 55 || !strings.HasPrefix(h, "00-") {
+		t.Fatalf("Traceparent() = %q, want 55-char 00-... header", h)
+	}
+	back := ParseTraceparent(h)
+	if !back.Valid || back.TraceID != tc.TraceID || back.SpanID != tc.SpanID || !back.Sampled {
+		t.Fatalf("round trip lost fields: sent %+v got %+v", tc, back)
+	}
+}
+
+func TestParseTraceparentW3C(t *testing.T) {
+	const good = "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01"
+	tc := ParseTraceparent(good)
+	if !tc.Valid || !tc.Sampled {
+		t.Fatalf("valid header rejected: %+v", tc)
+	}
+	if tc.TraceID.String() != "0af7651916cd43dd8448eb211c80319c" {
+		t.Errorf("trace ID = %s", tc.TraceID)
+	}
+	if tc.SpanID.String() != "b7ad6b7169203331" {
+		t.Errorf("span ID = %s", tc.SpanID)
+	}
+
+	// Unsampled flag parses but clears Sampled.
+	if tc := ParseTraceparent(good[:len(good)-2] + "00"); !tc.Valid || tc.Sampled {
+		t.Errorf("flags 00 should be valid+unsampled, got %+v", tc)
+	}
+	// Future versions with trailing fields are accepted per spec.
+	if tc := ParseTraceparent("42-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01-extra"); !tc.Valid {
+		t.Errorf("future version with suffix rejected: %+v", tc)
+	}
+
+	bad := map[string]string{
+		"empty":            "",
+		"short":            "00-abc-def-01",
+		"version ff":       "ff-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01",
+		"zero trace id":    "00-00000000000000000000000000000000-b7ad6b7169203331-01",
+		"zero span id":     "00-0af7651916cd43dd8448eb211c80319c-0000000000000000-01",
+		"uppercase hex":    "00-0AF7651916CD43DD8448EB211C80319C-B7AD6B7169203331-01",
+		"bad delimiters":   "00_0af7651916cd43dd8448eb211c80319c_b7ad6b7169203331_01",
+		"no dash after 55": good + "x",
+		"non-hex":          "00-0af7651916cd43dd8448eb211c8031zz-b7ad6b7169203331-01",
+	}
+	for name, h := range bad {
+		if tc := ParseTraceparent(h); tc.Valid {
+			t.Errorf("%s: %q parsed as valid", name, h)
+		}
+	}
+}
+
+func TestNewTraceIDUnique(t *testing.T) {
+	seen := make(map[TraceID]bool)
+	for i := 0; i < 1000; i++ {
+		id := NewTraceID()
+		if !id.IsValid() {
+			t.Fatal("minted invalid trace ID")
+		}
+		if seen[id] {
+			t.Fatalf("duplicate trace ID %s after %d mints", id, i)
+		}
+		seen[id] = true
+	}
+	if id := NewSpanID(); !id.IsValid() {
+		t.Fatal("minted invalid span ID")
+	}
+}

@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"testing"
+)
+
+// buildTrace records the same small span forest twice; TraceTree must
+// assign identical span IDs both times given the same root.
+func buildTrace(root SpanID) []SpanNode {
+	rec := NewRecorder(0)
+	req := rec.StartChild(nil, "request")
+	q := rec.StartChild(req, "queue")
+	q.End()
+	a1 := rec.StartChild(req, "attempt")
+	run := rec.StartChild(a1, "sim.run")
+	run.End()
+	a1.End()
+	req.End()
+	return rec.TraceTree(root)
+}
+
+func TestTraceTreeDeterministic(t *testing.T) {
+	var root SpanID
+	copy(root[:], []byte{0xb7, 0xad, 0x6b, 0x71, 0x69, 0x20, 0x33, 0x31})
+
+	a, b := buildTrace(root), buildTrace(root)
+	if len(a) != 1 {
+		t.Fatalf("got %d roots, want 1", len(a))
+	}
+	if a[0].SpanID != root.String() {
+		t.Errorf("root span ID %s, want the admission-minted %s", a[0].SpanID, root)
+	}
+	if a[0].ParentSpanID != "" {
+		t.Errorf("root has parent %s", a[0].ParentSpanID)
+	}
+
+	ids := map[string]bool{}
+	var check func(x, y SpanNode)
+	check = func(x, y SpanNode) {
+		if x.SpanID == "" || len(x.SpanID) != 16 {
+			t.Errorf("span %s has bad ID %q", x.Name, x.SpanID)
+		}
+		if x.SpanID != y.SpanID {
+			t.Errorf("span %s ID differs across identical builds: %s vs %s",
+				x.Name, x.SpanID, y.SpanID)
+		}
+		if ids[x.SpanID] {
+			t.Errorf("duplicate span ID %s", x.SpanID)
+		}
+		ids[x.SpanID] = true
+		if len(x.Children) != len(y.Children) {
+			t.Fatalf("span %s child count differs", x.Name)
+		}
+		for i := range x.Children {
+			if x.Children[i].ParentSpanID != x.SpanID {
+				t.Errorf("child %s parent %s, want %s",
+					x.Children[i].Name, x.Children[i].ParentSpanID, x.SpanID)
+			}
+			check(x.Children[i], y.Children[i])
+		}
+	}
+	check(a[0], b[0])
+
+	// A different root yields a different (but still deterministic) set.
+	other := buildTrace(SpanID{1, 2, 3, 4, 5, 6, 7, 8})
+	if other[0].SpanID == a[0].SpanID {
+		t.Error("different roots produced the same root span ID")
+	}
+}
+
+// TestTraceTreeZeroRoot: with no admission-minted root (zero SpanID),
+// every span still gets a derived, non-empty ID.
+func TestTraceTreeZeroRoot(t *testing.T) {
+	nodes := buildTrace(SpanID{})
+	var walk func(n SpanNode)
+	walk = func(n SpanNode) {
+		if n.SpanID == "" {
+			t.Errorf("span %s has no ID under zero root", n.Name)
+		}
+		for _, c := range n.Children {
+			walk(c)
+		}
+	}
+	for _, n := range nodes {
+		walk(n)
+	}
+}

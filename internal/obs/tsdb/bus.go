@@ -14,6 +14,7 @@ const (
 	EventDegrade   = "degrade"   // a guard degradation streamed from a running sim
 	EventInvariant = "invariant" // a safety-invariant violation
 	EventAlert     = "alert"     // an anomaly-engine alert
+	EventTrace     = "trace"     // a retained request trace (tail-sampled)
 )
 
 // Event is one entry on the live ops stream.

@@ -140,6 +140,10 @@ type ExecutorConfig struct {
 	// and invariant events streamed out of running simulations. The
 	// Server wires its /v1/stream bus here.
 	Stream *tsdb.Bus
+	// Trace tunes the request-tracing subsystem (trace IDs, tail-based
+	// sampling, the /v1/traces store). The zero value traces every job;
+	// see TraceConfig.
+	Trace TraceConfig
 	// Logger receives job lifecycle logs, each line tagged with the
 	// submission's request ID (default: discard).
 	Logger *slog.Logger
@@ -216,6 +220,18 @@ type Executor struct {
 	stream         *tsdb.Bus                                                  // nil: no live event stream
 	runFn          func(context.Context, JobSpec, resolved) (*Outcome, error) // test seam
 
+	// Request tracing (trace.go). traces is nil when TraceConfig.Disable
+	// was set; the capmand_traces_total handles are cached so the
+	// per-trace decision path never takes the vector's series lock.
+	traces       *obs.TraceStore
+	traceSignal  *metrics.Counter
+	traceSampled *metrics.Counter
+	traceDropped *metrics.Counter
+	// sloQueueWait / sloTTE are the per-request SLO thresholds the tail
+	// sampler flags against; set once via armTraceSLO before any Submit.
+	sloQueueWait time.Duration
+	sloTTE       time.Duration
+
 	// draining is read lock-free on the Submit fast path; it is only ever
 	// set under e.mu (Drain), which also serializes the queue close.
 	draining atomic.Bool
@@ -263,6 +279,12 @@ func NewExecutor(cfg ExecutorConfig) *Executor {
 		def := invariant.DefaultConfig()
 		e.invariants = &def
 	}
+	if !cfg.Trace.Disable {
+		e.traces = obs.NewTraceStore(cfg.Trace.StoreSize, cfg.Trace.tailSampleRate(), cfg.Trace.Seed)
+		e.traceSignal = e.metrics.TracesTotal.WithLabelValues(obs.TraceDecisionSignal)
+		e.traceSampled = e.metrics.TracesTotal.WithLabelValues(obs.TraceDecisionSampled)
+		e.traceDropped = e.metrics.TracesTotal.WithLabelValues(obs.TraceDecisionDropped)
+	}
 	e.metrics.Workers.Set(int64(cfg.Workers))
 	e.metrics.BreakerStates = e.breakers.States
 	for w := 0; w < cfg.Workers; w++ {
@@ -296,6 +318,15 @@ func (e *Executor) notify(job *Job, typ, detail string) {
 // — but cache hits and coalesced submissions still succeed, since they
 // run nothing.
 func (e *Executor) Submit(spec JobSpec) (View, error) {
+	return e.SubmitWith(spec, SubmitOpts{})
+}
+
+// SubmitWith is Submit carrying the request's inbound identity: a parsed
+// traceparent and an adopted X-Request-ID. Trace identity never enters
+// the cache key — caching stays content-addressed by spec alone — and a
+// submission without a valid inbound trace pays nothing on the cache-hit
+// fast path (minting happens only for jobs, on the slow path).
+func (e *Executor) SubmitWith(spec JobSpec, opts SubmitOpts) (View, error) {
 	if e.draining.Load() {
 		return View{}, ErrDraining
 	}
@@ -310,23 +341,32 @@ func (e *Executor) Submit(spec JobSpec) (View, error) {
 	if ent, hit := e.cache.lookup(key); hit {
 		e.metrics.JobsSubmitted.Inc()
 		e.metrics.CacheHits.Inc()
-		return ent.hitView(time.Now()), nil
+		now := time.Now()
+		if opts.Trace.Valid && e.traces != nil {
+			// The client asked to be traced; record the hit as a one-span
+			// trace. Untraced hits skip this branch entirely.
+			e.recordHitTrace(spec, opts, now)
+		}
+		return ent.hitView(now), nil
 	}
-	return e.submitSlow(spec, key)
+	return e.submitSlow(spec, key, opts)
 }
 
 // submitSlow is the cache-miss continuation of Submit: resolve through
 // the registry, then under the executor lock re-check the cache (a
 // concurrent worker may have just published), coalesce onto an in-flight
 // job, pass the admission gates, and enqueue.
-func (e *Executor) submitSlow(spec JobSpec, key CacheKey) (View, error) {
+func (e *Executor) submitSlow(spec JobSpec, key CacheKey, opts SubmitOpts) (View, error) {
 	cfg, err := e.resolve(spec)
 	if err != nil {
 		return View{}, err
 	}
 	spec = spec.withDefaults()
 	hash := hex.EncodeToString(key[:])
-	reqID := obs.NewRequestID()
+	reqID := opts.RequestID
+	if reqID == "" {
+		reqID = obs.NewRequestID()
+	}
 	log := e.logger.With("request_id", reqID)
 
 	e.mu.Lock()
@@ -351,6 +391,7 @@ func (e *Executor) submitSlow(spec JobSpec, key CacheKey) (View, error) {
 	}
 	if reason := e.shedReason(); reason != "" {
 		e.metrics.Shed.WithLabelValues(reason).Inc()
+		e.recordShedTrace(spec, opts, reason) // 429s are signal: always retained
 		log.Warn("submission shed by admission gate",
 			"reason", reason, "queue_depth", len(e.queue), "retry_after", e.shedRetryAfter.String())
 		return View{}, &ShedError{Reason: reason, RetryAfter: e.shedRetryAfter}
@@ -366,6 +407,7 @@ func (e *Executor) submitSlow(spec JobSpec, key CacheKey) (View, error) {
 		ID: e.nextID(), RequestID: reqID, Hash: hash, Spec: spec, key: key,
 		State: StateQueued, SubmittedAt: time.Now(), cfg: cfg,
 	}
+	e.mintTrace(job, opts)
 	job.timeline.add(EventSubmitted, specDetail(spec))
 	select {
 	case e.queue <- job:
@@ -381,7 +423,8 @@ func (e *Executor) submitSlow(spec JobSpec, key CacheKey) (View, error) {
 	e.notify(job, EventSubmitted, specDetail(spec))
 	e.metrics.QueueDepth.Set(int64(len(e.queue)))
 	log.Info("job submitted", "job_id", job.ID, "hash", short(hash),
-		"workload", spec.Workload, "policy", spec.Policy, "queue_depth", len(e.queue))
+		"workload", spec.Workload, "policy", spec.Policy,
+		"trace_id", job.traceID(), "queue_depth", len(e.queue))
 	return job.view(), nil
 }
 
@@ -568,6 +611,8 @@ func (e *Executor) worker() {
 		job.cancel = cancel
 		spec, cfg := job.Spec, job.cfg
 		wait := job.StartedAt.Sub(job.SubmittedAt)
+		job.queueSpan.SetAttr("wait_s", wait.Seconds())
+		job.queueSpan.End() // admission-rooted queue span closes at dequeue
 		e.metrics.QueueWaitSeconds.Observe(wait.Seconds())
 		job.timeline.add(EventRunning, fmt.Sprintf("after %.3fs queued", wait.Seconds()))
 		e.notify(job, EventRunning, fmt.Sprintf("after %.3fs queued", wait.Seconds()))
@@ -601,22 +646,36 @@ func (e *Executor) worker() {
 		if p, ok := cfg.sim.Policy.(interface{ SetEMDLatency(*obs.Histogram) }); ok {
 			p.SetEMDLatency(e.metrics.EMDLatency.Base())
 		}
+		// The traced job minted its recorder (rooted at admission) in
+		// submitSlow; untraced executors fall back to a per-run recorder
+		// when flight recording wants spans.
+		rec := job.rec
 		var (
 			fl     *obs.FlightRecorder
-			rec    *obs.Recorder
 			before []metrics.Sample
 		)
 		if !e.flightOff {
 			fl = obs.NewFlightRecorder(e.flightLen)
-			rec = obs.NewRecorder(0)
+			if rec == nil {
+				rec = obs.NewRecorder(0)
+			}
 			before = e.metrics.Registry().Gather()
-			ctx = obs.WithRecorder(obs.WithFlight(ctx, fl), rec)
+			ctx = obs.WithFlight(ctx, fl)
 			fl.RecordAttrs(obs.FlightTimeline, "job.start",
 				fmt.Sprintf("dequeued after %.3fs queued", wait.Seconds()),
 				map[string]string{
 					"job_id": job.ID, "request_id": job.RequestID,
 					"workload": spec.Workload, "policy": spec.Policy,
+					"trace_id": job.traceID(),
 				})
+		}
+		if rec != nil {
+			ctx = obs.WithRecorder(ctx, rec)
+		}
+		if job.rootSpan != nil {
+			// Attempt and engine spans opened down the call chain nest
+			// under the request's root span.
+			ctx = obs.WithSpan(ctx, job.rootSpan)
 		}
 
 		// Label the execution for CPU profiles: with -pprof, samples segment
@@ -676,6 +735,9 @@ func (e *Executor) worker() {
 		}
 		reqID, jobID := job.RequestID, job.ID
 		e.mu.Unlock()
+		job.rootSpan.SetAttr("state", string(state))
+		job.rootSpan.SetAttr("attempts", attempts)
+		job.rootSpan.End()
 
 		switch state {
 		case StateDone:
@@ -721,15 +783,24 @@ func (e *Executor) worker() {
 				})
 			box := fl.Snapshot(
 				fmt.Sprintf("job failed after %d attempt(s): %v", attempts, err), rec)
+			box.TraceID = job.traceID()
 			deltas := metrics.DeltaSamples(before, e.metrics.Registry().Gather())
-			e.mu.Lock()
-			job.flight = &JobFlight{
+			flight := &JobFlight{
 				ID: job.ID, RequestID: job.RequestID, State: job.State,
-				Error: job.Err, Attempts: job.Attempts,
+				Error: job.Err, Attempts: job.Attempts, TraceID: box.TraceID,
 				Box: box, MetricDeltas: deltas,
 			}
+			if flight.TraceID != "" {
+				flight.TraceURL = "/v1/traces/" + flight.TraceID
+			}
+			e.mu.Lock()
+			job.flight = flight
 			e.mu.Unlock()
 		}
+
+		// Tail-sampling decision last, so the stored waterfall includes
+		// the ended root span and the box cut above.
+		e.finalizeTrace(job, state, out, wait, wall, attempts)
 	}
 }
 
@@ -789,7 +860,16 @@ func (e *Executor) runWithRetries(ctx context.Context, job *Job, spec JobSpec, c
 	attempts := 0
 	for {
 		attempts++
-		out, err := e.runRecovered(ctx, spec, cfg)
+		// Each attempt gets its own span under the request's root, so a
+		// retried job's waterfall shows every try (and its backoff gap),
+		// with the engine's phase spans nested inside the attempt.
+		attemptCtx, span := obs.StartSpan(ctx, "attempt")
+		span.SetAttr("attempt", attempts)
+		out, err := e.runRecovered(attemptCtx, spec, cfg)
+		if err != nil {
+			span.SetAttr("error", err.Error())
+		}
+		span.End()
 		if err == nil || attempts > e.maxRetries || !isRetryable(err) {
 			return out, attempts, err
 		}
@@ -884,6 +964,12 @@ func runTTEJob(ctx context.Context, cfg twin.Config) (*Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The batch runs under one engine span so a tte trace's waterfall
+	// shows cohort execution the way sim traces show phase spans.
+	_, runSpan := obs.StartSpan(ctx, "twin.run")
+	runSpan.SetAttr("twins", b.Twins())
+	runSpan.SetAttr("steps", b.Steps())
+	defer runSpan.End()
 	log.Debug("tte batch start", "twins", b.Twins(), "steps", b.Steps())
 	fl.RecordAttrs(obs.FlightTimeline, "tte.start",
 		fmt.Sprintf("cohort of %d twins, %d steps each", b.Twins(), b.Steps()),

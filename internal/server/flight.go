@@ -20,9 +20,15 @@ var ErrNoFlight = errors.New("server: no flight box recorded for job")
 type JobFlight struct {
 	ID        string `json:"id"`
 	RequestID string `json:"requestId,omitempty"`
-	State     State  `json:"state"`
-	Error     string `json:"error,omitempty"`
-	Attempts  int    `json:"attempts,omitempty"`
+	// TraceID is the job's request trace, and TraceURL the daemon-local
+	// link ("/v1/traces/{id}") to its waterfall — a failed job is a
+	// signal trace, so the tail sampler always retained it and the link
+	// resolves. Both empty when the job ran untraced.
+	TraceID  string `json:"trace_id,omitempty"`
+	TraceURL string `json:"trace_url,omitempty"`
+	State    State  `json:"state"`
+	Error    string `json:"error,omitempty"`
+	Attempts int    `json:"attempts,omitempty"`
 
 	// Box holds the recorder's snapshot: events oldest-first (newest kept
 	// when the ring overflowed) plus the traced span tree.

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/twin"
 )
@@ -103,21 +104,43 @@ type Job struct {
 	// the executor runs with DisableFlight).
 	flight *JobFlight
 
+	// Request-tracing state (trace.go): the trace identity minted or
+	// adopted at admission, the span recorder rooted there, and the
+	// request/queue spans the worker closes. All nil/zero when tracing is
+	// disabled. Written once at submission; the dequeuing worker owns
+	// them afterwards.
+	trace     obs.TraceContext
+	rec       *obs.Recorder
+	rootSpan  *obs.Span
+	queueSpan *obs.Span
+
 	cfg    resolved
 	cancel context.CancelFunc
 }
 
+// traceID is the job's trace identity in hex, "" when untraced.
+func (j *Job) traceID() string {
+	if !j.trace.Valid {
+		return ""
+	}
+	return j.trace.TraceID.String()
+}
+
 // View is the JSON representation of a job returned by the HTTP API.
 type View struct {
-	ID        string   `json:"id"`
-	RequestID string   `json:"requestId,omitempty"`
-	Hash      string   `json:"hash"`
-	Spec      JobSpec  `json:"spec"`
-	State     State    `json:"state"`
-	Error     string   `json:"error,omitempty"`
-	Outcome   *Outcome `json:"outcome,omitempty"`
-	CacheHit  bool     `json:"cacheHit"`
-	Attempts  int      `json:"attempts,omitempty"`
+	ID        string `json:"id"`
+	RequestID string `json:"requestId,omitempty"`
+	// TraceID joins the job to its request trace at /v1/traces/{id}
+	// (when the tail sampler retained it); empty for untraced jobs and
+	// cache-hit views, which mint nothing.
+	TraceID  string   `json:"traceId,omitempty"`
+	Hash     string   `json:"hash"`
+	Spec     JobSpec  `json:"spec"`
+	State    State    `json:"state"`
+	Error    string   `json:"error,omitempty"`
+	Outcome  *Outcome `json:"outcome,omitempty"`
+	CacheHit bool     `json:"cacheHit"`
+	Attempts int      `json:"attempts,omitempty"`
 
 	SubmittedAt time.Time  `json:"submittedAt"`
 	StartedAt   *time.Time `json:"startedAt,omitempty"`
@@ -133,6 +156,7 @@ func (j *Job) view() View {
 	v := View{
 		ID:          j.ID,
 		RequestID:   j.RequestID,
+		TraceID:     j.traceID(),
 		Hash:        j.Hash,
 		Spec:        j.Spec,
 		State:       j.State,

@@ -77,6 +77,11 @@ type Metrics struct {
 	// work was queued, by reason (queue-depth, burn-rate).
 	Shed *metrics.CounterVec
 
+	// TracesTotal counts tail-sampling decisions, by decision: "signal"
+	// (shed/error/retry-exhausted/slo-breach/fatal-invariant, always
+	// kept), "sampled" (healthy, won the hash draw), "dropped".
+	TracesTotal *metrics.CounterVec
+
 	// BreakerStates, when set (the executor installs it), enumerates the
 	// per-registry-entry circuit breakers for the labeled breaker_state
 	// gauge: 0 closed, 1 half-open, 2 open.
@@ -161,6 +166,10 @@ func NewMetrics() *Metrics {
 
 		Shed: reg.CounterVec("capmand_shed_total",
 			"Submissions shed by the admission gate, by reason.", "reason"),
+
+		TracesTotal: reg.CounterVec("capmand_traces_total",
+			"Tail-sampling decisions over finished request traces, by decision.",
+			"decision"),
 	}
 	reg.LabeledGaugeFunc("capmand_breaker_state",
 		"Per-registry-entry circuit breaker state (0 closed, 1 half-open, 2 open).",

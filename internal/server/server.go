@@ -135,6 +135,11 @@ func New(cfg Config) *Server {
 		ecfg.Stream = s.bus
 	}
 	s.exec = NewExecutor(ecfg)
+	// Per-request SLO thresholds double as tail-sampling signals: a
+	// breaching trace is always retained. Armed before any submission
+	// can reach the executor.
+	s.exec.armTraceSLO(cfg.SLO.QueueWaitP95, cfg.SLO.TTEP99)
+	s.metrics.Registry().SetExemplars(cfg.Executor.Trace.Exemplars)
 	if s.version == "" {
 		s.version = buildVersion()
 	}
@@ -196,6 +201,8 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/flight", s.handleFlight)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/registry", s.handleRegistry)
+	s.mux.HandleFunc("GET /v1/traces", s.handleTraces)
+	s.mux.HandleFunc("GET /v1/traces/{id}", s.handleTraceGet)
 	s.mux.HandleFunc("GET /v1/query", s.handleQuery)
 	s.mux.HandleFunc("GET /v1/stream", s.handleStream)
 	s.mux.HandleFunc("GET /v1/alerts", s.handleAlerts)
@@ -253,7 +260,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decode job spec: %w", err))
 		return
 	}
-	view, err := s.exec.Submit(spec)
+	view, err := s.exec.SubmitWith(spec, submitOptsFrom(r))
 	if err != nil {
 		writeSubmitError(w, err)
 		return
@@ -283,7 +290,7 @@ func (s *Server) handleTTE(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	spec.Kind = "tte"
-	view, err := s.exec.Submit(spec)
+	view, err := s.exec.SubmitWith(spec, submitOptsFrom(r))
 	if err != nil {
 		writeSubmitError(w, err)
 		return

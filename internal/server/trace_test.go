@@ -1,0 +1,358 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/invariant"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+const testTraceparent = "00-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01"
+
+func testOpts() SubmitOpts {
+	return SubmitOpts{Trace: obs.ParseTraceparent(testTraceparent), RequestID: "cli-req-1"}
+}
+
+// spanNames flattens a span forest into "name" and "parent>child" paths.
+func spanNames(nodes []obs.SpanNode, prefix string, into map[string]int) {
+	for _, n := range nodes {
+		path := n.Name
+		if prefix != "" {
+			path = prefix + ">" + n.Name
+		}
+		into[path]++
+		spanNames(n.Children, path, into)
+	}
+}
+
+// TestTraceEndToEnd submits a traced sim job and checks the whole
+// pipeline: the inbound traceparent's ID is adopted, the job view links
+// it, and the retained waterfall covers admission → queue → attempt →
+// engine phases.
+func TestTraceEndToEnd(t *testing.T) {
+	e := newTestExecutor(t, ExecutorConfig{Workers: 1, Trace: TraceConfig{SampleRate: 1}})
+	v, err := e.SubmitWith(fastSpec(), testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.TraceID != "0af7651916cd43dd8448eb211c80319c" {
+		t.Errorf("view trace ID %q, want the inbound traceparent's", v.TraceID)
+	}
+	if v.RequestID != "cli-req-1" {
+		t.Errorf("view request ID %q, want the client's X-Request-ID", v.RequestID)
+	}
+	done := awaitExec(t, e, v.ID, func(v View) bool { return v.State.Terminal() }, "terminal")
+	if done.State != StateDone {
+		t.Fatalf("job ended %q: %s", done.State, done.Error)
+	}
+
+	tr, ok := e.Traces().Get(v.TraceID)
+	if !ok {
+		t.Fatal("finished traced job not retained at sample rate 1")
+	}
+	if tr.JobID != v.ID || tr.Outcome != "done" || tr.Kind != "sim" {
+		t.Errorf("stored trace = job %s outcome %s kind %s", tr.JobID, tr.Outcome, tr.Kind)
+	}
+	if len(tr.Flags) != 0 {
+		t.Errorf("healthy trace carries flags %v", tr.Flags)
+	}
+	if tr.DurationS <= 0 {
+		t.Errorf("trace duration %v, want > 0", tr.DurationS)
+	}
+
+	names := map[string]int{}
+	spanNames(tr.Spans, "", names)
+	for _, want := range []string{
+		"request",
+		"request>queue",
+		"request>attempt",
+		"request>attempt>sim.run",
+		"request>attempt>sim.run>phase:policy",
+	} {
+		if names[want] == 0 {
+			t.Errorf("waterfall missing span path %q (have %v)", want, names)
+		}
+	}
+
+	// Root carries the admission-minted span ID and links children to it.
+	if tr.Spans[0].SpanID == "" || tr.Spans[0].SpanID == "b7ad6b7169203331" {
+		t.Errorf("root span ID %q: must be minted server-side, not the client's", tr.Spans[0].SpanID)
+	}
+	for _, c := range tr.Spans[0].Children {
+		if c.ParentSpanID != tr.Spans[0].SpanID {
+			t.Errorf("child %s parent %q, want root %q", c.Name, c.ParentSpanID, tr.Spans[0].SpanID)
+		}
+	}
+
+	// Exemplars were pinned for the retained trace.
+	found := false
+	for _, ex := range []string{metricsExposition(t, e)} {
+		if strings.Contains(ex, `trace_id="`+v.TraceID+`"`) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("retained trace not pinned as a /metrics exemplar")
+	}
+}
+
+func metricsExposition(t *testing.T, e *Executor) string {
+	t.Helper()
+	e.metrics.Registry().SetExemplars(true)
+	var sb strings.Builder
+	if err := e.metrics.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+// TestTraceMintedWithoutInbound: untraced submissions still get a
+// server-minted trace ID on the slow path (cache hits mint nothing).
+func TestTraceMintedWithoutInbound(t *testing.T) {
+	e := newTestExecutor(t, ExecutorConfig{Workers: 1, Trace: TraceConfig{SampleRate: 1}})
+	v, err := e.Submit(fastSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.TraceID) != 32 {
+		t.Fatalf("minted trace ID %q, want 32 hex chars", v.TraceID)
+	}
+	awaitExec(t, e, v.ID, func(v View) bool { return v.State.Terminal() }, "terminal")
+	if _, ok := e.Traces().Get(v.TraceID); !ok {
+		t.Error("server-minted trace not retained at rate 1")
+	}
+
+	// A duplicate submission is a cache hit: no trace work without an
+	// inbound traceparent, so the view has no trace ID.
+	hit, err := e.Submit(fastSpec())
+	if err != nil || !hit.CacheHit {
+		t.Fatalf("dup submit: %+v %v", hit, err)
+	}
+	if hit.TraceID != "" {
+		t.Errorf("untraced cache hit carries trace ID %q", hit.TraceID)
+	}
+}
+
+// TestTraceCacheHitWithInbound: a traced client gets a one-span cache-hit
+// trace joined to its own trace ID.
+func TestTraceCacheHitWithInbound(t *testing.T) {
+	e := newTestExecutor(t, ExecutorConfig{Workers: 1, Trace: TraceConfig{SampleRate: 1}})
+	v, err := e.Submit(fastSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	awaitExec(t, e, v.ID, func(v View) bool { return v.State.Terminal() }, "terminal")
+
+	hit, err := e.SubmitWith(fastSpec(), testOpts())
+	if err != nil || !hit.CacheHit {
+		t.Fatalf("traced hit: %+v %v", hit, err)
+	}
+	tr, ok := e.Traces().Get("0af7651916cd43dd8448eb211c80319c")
+	if !ok {
+		t.Fatal("traced cache hit not retained at rate 1")
+	}
+	if tr.Outcome != "done" || len(tr.Spans) != 1 || tr.Spans[0].Attrs["cache"] != "hit" {
+		t.Errorf("cache-hit trace = %+v, want one request span with cache=hit", tr)
+	}
+}
+
+// TestTraceSignalRetention pins the tail sampler's contract at sample
+// rate -1 (retain NO healthy traces): every error, retry-exhausted,
+// shed, SLO-breach, and fatal-invariant trace is still retained.
+func TestTraceSignalRetention(t *testing.T) {
+	newE := func(t *testing.T, cfg ExecutorConfig) *Executor {
+		cfg.Trace = TraceConfig{SampleRate: -1}
+		if cfg.Workers == 0 {
+			cfg.Workers = 1
+		}
+		return newTestExecutor(t, cfg)
+	}
+	submitTraced := func(t *testing.T, e *Executor, spec JobSpec, i int) View {
+		t.Helper()
+		tc := obs.NewTraceContext()
+		v, err := e.SubmitWith(spec, SubmitOpts{Trace: tc, RequestID: fmt.Sprintf("sig-%d", i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+
+	t.Run("healthy-dropped", func(t *testing.T) {
+		e := newE(t, ExecutorConfig{})
+		v := submitTraced(t, e, fastSpec(), 0)
+		awaitExec(t, e, v.ID, func(v View) bool { return v.State.Terminal() }, "terminal")
+		if _, ok := e.Traces().Get(v.TraceID); ok {
+			t.Error("healthy trace retained at rate -1")
+		}
+		if got := e.metrics.TracesTotal.WithLabelValues(obs.TraceDecisionDropped).Value(); got == 0 {
+			t.Error("capmand_traces_total{decision=dropped} not incremented")
+		}
+	})
+
+	t.Run("error", func(t *testing.T) {
+		e := newE(t, ExecutorConfig{})
+		e.runFn = func(context.Context, JobSpec, resolved) (*Outcome, error) {
+			return nil, errors.New("deterministic failure")
+		}
+		v := submitTraced(t, e, fastSpec(), 1)
+		awaitExec(t, e, v.ID, func(v View) bool { return v.State.Terminal() }, "terminal")
+		tr, ok := e.Traces().Get(v.TraceID)
+		if !ok {
+			t.Fatal("failed job's trace dropped")
+		}
+		if tr.Outcome != "failed" || !hasFlag(tr.Flags, "error") {
+			t.Errorf("trace outcome %s flags %v, want failed + error", tr.Outcome, tr.Flags)
+		}
+		if hasFlag(tr.Flags, "retry-exhausted") {
+			t.Errorf("non-retryable failure flagged retry-exhausted: %v", tr.Flags)
+		}
+		if got := e.metrics.TracesTotal.WithLabelValues(obs.TraceDecisionSignal).Value(); got == 0 {
+			t.Error("capmand_traces_total{decision=signal} not incremented")
+		}
+	})
+
+	t.Run("retry-exhausted", func(t *testing.T) {
+		e := newE(t, ExecutorConfig{MaxRetries: 1, RetryBaseDelay: time.Millisecond})
+		e.runFn = func(context.Context, JobSpec, resolved) (*Outcome, error) {
+			return nil, fmt.Errorf("%w: always flaky", ErrRetryable)
+		}
+		v := submitTraced(t, e, fastSpec(), 2)
+		awaitExec(t, e, v.ID, func(v View) bool { return v.State.Terminal() }, "terminal")
+		tr, ok := e.Traces().Get(v.TraceID)
+		if !ok {
+			t.Fatal("retry-exhausted trace dropped")
+		}
+		if !hasFlag(tr.Flags, "error") || !hasFlag(tr.Flags, "retry-exhausted") {
+			t.Errorf("flags %v, want error + retry-exhausted", tr.Flags)
+		}
+		// Both attempts appear in the waterfall.
+		names := map[string]int{}
+		spanNames(tr.Spans, "", names)
+		if names["request>attempt"] != 2 {
+			t.Errorf("waterfall has %d attempt spans, want 2 (have %v)", names["request>attempt"], names)
+		}
+	})
+
+	t.Run("shed", func(t *testing.T) {
+		e := newE(t, ExecutorConfig{QueueDepth: 8, ShedQueueWatermark: 1})
+		release := shedGate(e)
+		defer release()
+		first := submitTraced(t, e, seededSpec(1), 3)
+		awaitExec(t, e, first.ID, func(v View) bool { return v.State == StateRunning }, "running")
+		if _, err := e.SubmitWith(seededSpec(2), testOpts()); err != nil {
+			t.Fatal(err)
+		}
+		tc := obs.NewTraceContext()
+		_, err := e.SubmitWith(seededSpec(3), SubmitOpts{Trace: tc})
+		if !errors.Is(err, ErrShed) {
+			t.Fatalf("over-watermark submit returned %v, want ErrShed", err)
+		}
+		tr, ok := e.Traces().Get(tc.TraceID.String())
+		if !ok {
+			t.Fatal("shed trace dropped — 429s must always be retained")
+		}
+		if tr.Outcome != "shed" || !hasFlag(tr.Flags, "shed") {
+			t.Errorf("shed trace outcome %s flags %v", tr.Outcome, tr.Flags)
+		}
+		if len(tr.Spans) != 1 || tr.Spans[0].Attrs["shed_reason"] != "queue-depth" {
+			t.Errorf("shed trace spans %+v, want one span with shed_reason=queue-depth", tr.Spans)
+		}
+	})
+
+	t.Run("slo-breach", func(t *testing.T) {
+		e := newE(t, ExecutorConfig{})
+		e.armTraceSLO(time.Nanosecond, 0) // any queue wait breaches
+		v := submitTraced(t, e, fastSpec(), 4)
+		awaitExec(t, e, v.ID, func(v View) bool { return v.State.Terminal() }, "terminal")
+		tr, ok := e.Traces().Get(v.TraceID)
+		if !ok {
+			t.Fatal("SLO-breaching trace dropped")
+		}
+		if tr.Outcome != "done" || !hasFlag(tr.Flags, "slo-breach") {
+			t.Errorf("outcome %s flags %v, want done + slo-breach", tr.Outcome, tr.Flags)
+		}
+	})
+
+	t.Run("fatal-invariant", func(t *testing.T) {
+		e := newE(t, ExecutorConfig{})
+		e.runFn = func(context.Context, JobSpec, resolved) (*Outcome, error) {
+			return &Outcome{Run: &sim.Result{Invariants: &invariant.Report{Fatal: true, Total: 1}}}, nil
+		}
+		v := submitTraced(t, e, fastSpec(), 5)
+		awaitExec(t, e, v.ID, func(v View) bool { return v.State.Terminal() }, "terminal")
+		tr, ok := e.Traces().Get(v.TraceID)
+		if !ok {
+			t.Fatal("fatal-invariant trace dropped")
+		}
+		if tr.Outcome != "done" || !hasFlag(tr.Flags, "fatal-invariant") {
+			t.Errorf("outcome %s flags %v, want done + fatal-invariant", tr.Outcome, tr.Flags)
+		}
+	})
+}
+
+func hasFlag(flags []string, want string) bool {
+	for _, f := range flags {
+		if f == want {
+			return true
+		}
+	}
+	return false
+}
+
+// TestTraceDisabled: with TraceConfig.Disable nothing is minted and the
+// store is nil.
+func TestTraceDisabled(t *testing.T) {
+	e := newTestExecutor(t, ExecutorConfig{Workers: 1, Trace: TraceConfig{Disable: true}})
+	if e.Traces() != nil {
+		t.Fatal("disabled tracing still built a store")
+	}
+	v, err := e.SubmitWith(fastSpec(), testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.TraceID != "" {
+		t.Errorf("disabled tracing minted trace ID %q", v.TraceID)
+	}
+	done := awaitExec(t, e, v.ID, func(v View) bool { return v.State.Terminal() }, "terminal")
+	if done.State != StateDone {
+		t.Fatalf("job ended %q: %s", done.State, done.Error)
+	}
+}
+
+// TestFlightBoxLinksTrace is the satellite bugfix's pin: a failed job's
+// flight box embeds its trace ID and the /v1/traces/{id} cross-link, and
+// the trace it points at resolves (failures are signal traces).
+func TestFlightBoxLinksTrace(t *testing.T) {
+	e := newTestExecutor(t, ExecutorConfig{Workers: 1, Trace: TraceConfig{SampleRate: -1}})
+	e.runFn = func(context.Context, JobSpec, resolved) (*Outcome, error) {
+		return nil, errors.New("boom")
+	}
+	v, err := e.SubmitWith(fastSpec(), testOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	awaitExec(t, e, v.ID, func(v View) bool { return v.State.Terminal() }, "terminal")
+
+	fl, err := e.Flight(v.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fl.TraceID != v.TraceID {
+		t.Errorf("flight trace ID %q, want %q", fl.TraceID, v.TraceID)
+	}
+	if fl.TraceURL != "/v1/traces/"+v.TraceID {
+		t.Errorf("flight trace URL %q", fl.TraceURL)
+	}
+	if fl.Box.TraceID != v.TraceID {
+		t.Errorf("flight box trace ID %q, want %q", fl.Box.TraceID, v.TraceID)
+	}
+	if _, ok := e.Traces().Get(fl.TraceID); !ok {
+		t.Error("flight box links a trace the sampler did not retain")
+	}
+}

@@ -6,9 +6,10 @@
 # paths must stay at 0 allocs/op or benchjson fails the run), then the
 # twin batch engine benchmark into BENCH_twin.json (twins/op, derived
 # single-core twin-step throughput, and the zero-allocs/step guard), then
-# the telemetry store scrape benchmark into BENCH_obs.json (ns per full
-# registry sample and the zero-allocs/tick hard gate: benchjson fails the
-# run if BenchmarkStoreSample ever allocates), then the serving hot-path
+# the telemetry store scrape benchmark plus the unsampled request-trace
+# path into BENCH_obs.json (ns per full registry sample and two
+# zero-alloc hard gates: benchjson fails the run if BenchmarkStoreSample
+# or BenchmarkTraceUnsampled ever allocates), then the serving hot-path
 # benchmarks plus a capman-loadgen run against an in-process capmand
 # into BENCH_serve.json (cache-hit admission latency with the hard
 # 0 allocs/op gate, sharded-cache read cost and contended speedup, and
@@ -49,6 +50,8 @@ echo "bench.sh: wrote $OUT_TWIN"
 : > "$raw"
 go test -run '^$' -bench 'BenchmarkStoreSample' \
     -benchmem -benchtime "$BENCHTIME" ./internal/obs/tsdb | tee "$raw"
+go test -run '^$' -bench 'BenchmarkTraceUnsampled' \
+    -benchmem -benchtime "$BENCHTIME" ./internal/obs | tee -a "$raw"
 go run ./scripts/benchjson < "$raw" > "$OUT_OBS"
 echo "bench.sh: wrote $OUT_OBS"
 

@@ -52,6 +52,12 @@ go test -race ./internal/fault ./internal/server
 echo "== telemetry smoke: /v1/stream samples + job-done =="
 go test ./cmd/capman-serve -count=1 -run 'TestServeStreamSmoke'
 
+# Request-tracing smoke: a live daemon must retain a traced submission,
+# serve its waterfall (queue + attempt + engine-phase spans) from
+# /v1/traces/{id}, and carry the trace's exemplar on /metrics.
+echo "== trace smoke: submit -> /v1/traces waterfall + exemplar =="
+go test ./cmd/capman-serve -count=1 -run 'TestServeTraceSmoke'
+
 # Serving-hot-path smoke: capman-loadgen boots an in-process capmand and
 # drives >= 100 mixed sim/tte requests through the real HTTP admission
 # path. Zero errors and a nonzero cache-hit rate are hard requirements —

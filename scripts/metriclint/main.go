@@ -55,6 +55,7 @@ var requiredNames = []string{
 	"capman_invariant_violations_total",
 	"capman_anomaly_total",
 	"capmand_shed_total",
+	"capmand_traces_total",
 }
 
 func main() {
